@@ -1,0 +1,127 @@
+// Command calibrate regenerates the workload calibration recorded in
+// EXPERIMENTS.md: nominal metric values, per-σ gradients, the linearized
+// distance-to-failure implied by each spec, and (for the 2-D read-current
+// workloads) the failure probability by grid quadrature.
+//
+//	calibrate            # all workloads
+//	calibrate -grid      # include the slow 2-D quadrature
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/sram"
+	"repro/internal/stat"
+)
+
+func main() {
+	grid := flag.Bool("grid", false, "run the 2-D grid quadratures (slower)")
+	flag.Parse()
+
+	fmt.Println("== static noise margins (Default90nm, σVth = 30 mV) ==")
+	cell := sram.Default90nm()
+	calibrateStatic("RNM", cell, sram.RNMSpec, func(d [sram.NumTransistors]float64) (float64, error) {
+		return cell.ReadSNM(d)
+	})
+	calibrateStatic("WNM (write trip)", cell, sram.WNMSpec, func(d [sram.NumTransistors]float64) (float64, error) {
+		return cell.WriteTrip(d)
+	})
+
+	fmt.Println("\n== read currents ==")
+	fast := sram.FastRead90nm()
+	calibrateStatic("single-path read current (FastRead90nm, µA)", fast,
+		sram.ReadCurrentSpec*1e6, func(d [sram.NumTransistors]float64) (float64, error) {
+			v, err := fast.ReadCurrent(d)
+			return v * 1e6, err
+		})
+	calibrateStatic("dual read current (Default90nm, µA)", cell,
+		sram.DualReadCurrentSpec*1e6, func(d [sram.NumTransistors]float64) (float64, error) {
+			v, err := cell.DualReadCurrent(d)
+			return v * 1e6, err
+		})
+
+	fmt.Println("\n== access time (FastRead90nm, ps; fails HIGH) ==")
+	calibrateStaticDir("access time", fast, 39.7, true, func(d [sram.NumTransistors]float64) (float64, error) {
+		v, err := fast.AccessTime(nil, d)
+		return v * 1e12, err
+	})
+
+	if *grid {
+		fmt.Println("\n== 2-D grid quadratures ==")
+		quadrature("single-path read current", sram.ReadCurrentWorkload())
+		quadrature("dual read current", sram.DualReadCurrentWorkload())
+	}
+}
+
+type rawMetric func(d [sram.NumTransistors]float64) (float64, error)
+
+// calibrateStatic prints the nominal value, the per-σ gradient for every
+// transistor, and the linearized failure distance β = (nominal −
+// spec)/‖∇‖ with the Pf ≈ Φ(−β) it implies, for metrics that fail low.
+func calibrateStatic(name string, cell *sram.Cell, spec float64, f rawMetric) {
+	calibrateStaticDir(name, cell, spec, false, f)
+}
+
+// calibrateStaticDir is calibrateStatic with an explicit failure
+// direction (failHigh for timing metrics, where exceeding the spec
+// fails).
+func calibrateStaticDir(name string, cell *sram.Cell, spec float64, failHigh bool, f rawMetric) {
+	var zero [sram.NumTransistors]float64
+	nominal, err := f(zero)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %s: %v\n", name, err)
+		return
+	}
+	grad := make([]float64, sram.NumTransistors)
+	norm := 0.0
+	for i := 0; i < sram.NumTransistors; i++ {
+		var dp, dm [sram.NumTransistors]float64
+		dp[i], dm[i] = cell.SigmaVth*0.5, -cell.SigmaVth*0.5
+		fp, err1 := f(dp)
+		fm, err2 := f(dm)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %s gradient %d failed\n", name, i)
+			return
+		}
+		grad[i] = fp - fm
+		norm += grad[i] * grad[i]
+	}
+	norm = math.Sqrt(norm)
+	beta := math.Inf(1)
+	if norm > 0 {
+		if failHigh {
+			beta = (spec - nominal) / norm
+		} else {
+			beta = (nominal - spec) / norm
+		}
+	}
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  nominal %.4g, spec %.4g\n", nominal, spec)
+	fmt.Printf("  grad/σ per transistor: %.4g\n", grad)
+	fmt.Printf("  ‖∇‖ = %.4g/σ; linearized β = %.2fσ → Pf ≈ %.2g\n",
+		norm, beta, stat.NormSF(beta))
+}
+
+// quadrature integrates a 2-D workload's failure probability on a grid.
+func quadrature(name string, m interface {
+	Dim() int
+	Value(x []float64) float64
+}) {
+	if m.Dim() != 2 {
+		fmt.Fprintf(os.Stderr, "calibrate: %s is not 2-D\n", name)
+		return
+	}
+	const step = 0.25
+	pf := 0.0
+	for x2 := -10.0; x2 <= 10; x2 += step {
+		for x1 := -6.0; x1 <= 12; x1 += step {
+			if m.Value([]float64{x1, x2}) < 0 {
+				pf += stat.NormPDF(x1) * stat.NormPDF(x2) * step * step
+			}
+		}
+	}
+	fmt.Printf("  %s: Pf ≈ %.3g (grid step %.2fσ)\n", name, pf, step)
+}

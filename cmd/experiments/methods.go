@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/baselines"
+	"repro/internal/gibbs"
+	"repro/internal/mc"
+	"repro/internal/model"
+	"repro/internal/stat"
+)
+
+// methodNames is the paper's comparison order.
+var methodNames = []string{"MIS", "MNIS", "G-C", "G-S"}
+
+// budgets carries the paper's stage sizing (§V: MIS 5000 / MNIS 1000
+// first-stage simulations; G-C/G-S 5000 including the starting-point
+// model).
+type budgets struct {
+	misStage1  int
+	mnisTrainN int
+	gibbsSims  int64
+	stage2     int // fixed second-stage size (trace experiments)
+	stage2Max  int // cap for until-target runs
+	traceEvery int // second-stage snapshot stride
+	gibbsKCap  int // upper bound on Gibbs sample count
+}
+
+func defaultBudgets(c config) budgets {
+	return budgets{
+		misStage1:  c.scale(5000, 300),
+		mnisTrainN: c.scale(900, 100),
+		gibbsSims:  int64(c.scale(5000, 300)),
+		stage2:     c.scale(20000, 1000),
+		stage2Max:  c.scale(100000, 4000),
+		traceEvery: c.scale(500, 100),
+		gibbsKCap:  1 << 20,
+	}
+}
+
+// methodRun is the uniform result row used by every experiment.
+type methodRun struct {
+	name       string
+	pf         float64
+	relErr     float64
+	stage1     int64
+	stage2     int64
+	trace      []mc.TracePoint
+	distortion *stat.MVNormal
+	gibbs      [][]float64
+}
+
+// runMethod executes one method with fixed second-stage size n.
+func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.TraceEvery, seed int64) (*methodRun, error) {
+	counter := mc.NewCounter(metric)
+	rng := rand.New(rand.NewSource(seed))
+	out := &methodRun{name: name}
+	switch name {
+	case "MIS":
+		r, err := baselines.MIS(counter, baselines.MISOptions{
+			Stage1: b.misStage1, N: n, TraceEvery: traceEvery,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.pf, out.relErr = r.Pf, r.RelErr99
+		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
+		out.trace, out.distortion = r.Trace, r.GNor
+	case "MNIS":
+		r, err := baselines.MNIS(counter, baselines.MNISOptions{
+			Start: &model.StartOptions{TrainN: b.mnisTrainN},
+			N:     n, TraceEvery: traceEvery,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.pf, out.relErr = r.Pf, r.RelErr99
+		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
+		out.trace, out.distortion = r.Trace, r.GNor
+	case "G-C", "G-S":
+		coord := gibbs.Cartesian
+		if name == "G-S" {
+			coord = gibbs.Spherical
+		}
+		r, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
+			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims,
+			N: n, TraceEvery: traceEvery,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.pf, out.relErr = r.Pf, r.RelErr99
+		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
+		out.trace, out.distortion = r.Trace, r.GNor
+		out.gibbs = r.Samples
+	default:
+		return nil, fmt.Errorf("unknown method %q", name)
+	}
+	return out, nil
+}
+
+// runMethodUntil executes one method with a convergence-target second
+// stage (Table I style).
+func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, seed int64) (*methodRun, error) {
+	counter := mc.NewCounter(metric)
+	rng := rand.New(rand.NewSource(seed))
+	out := &methodRun{name: name}
+	const minN = 500
+	switch name {
+	case "MIS":
+		r, err := baselines.MISUntil(counter, baselines.MISOptions{Stage1: b.misStage1},
+			target, minN, b.stage2Max, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.pf, out.relErr = r.Pf, r.RelErr99
+		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
+		out.distortion = r.GNor
+	case "MNIS":
+		r, err := baselines.MNISUntil(counter, baselines.MNISOptions{
+			Start: &model.StartOptions{TrainN: b.mnisTrainN},
+		}, target, minN, b.stage2Max, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.pf, out.relErr = r.Pf, r.RelErr99
+		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
+		out.distortion = r.GNor
+	case "G-C", "G-S":
+		coord := gibbs.Cartesian
+		if name == "G-S" {
+			coord = gibbs.Spherical
+		}
+		r, err := gibbs.TwoStageUntil(counter, gibbs.TwoStageOptions{
+			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims,
+		}, target, minN, b.stage2Max, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.pf, out.relErr = r.Pf, r.RelErr99
+		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
+		out.distortion = r.GNor
+		out.gibbs = r.Samples
+	default:
+		return nil, fmt.Errorf("unknown method %q", name)
+	}
+	return out, nil
+}
+
+// writeCSV writes rows under the output directory.
+func writeCSV(cfg config, name string, header []string, rows [][]string) error {
+	path := filepath.Join(cfg.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}
+
+func f64(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,131 @@
+// Command spicecli runs the circuit-simulation substrate on a
+// SPICE-flavored netlist file: DC operating points, DC sweeps and
+// transient analyses.
+//
+//	spicecli -op circuit.sp
+//	spicecli -sweep vin:0:1:51 circuit.sp
+//	spicecli -tran 1n:10p -probe out circuit.sp
+//
+// See internal/spice.ParseNetlist for the accepted netlist syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/spice"
+)
+
+func main() {
+	var (
+		doOP  = flag.Bool("op", false, "print the DC operating point")
+		sweep = flag.String("sweep", "", "DC sweep: SOURCE:START:STOP:STEPS")
+		tran  = flag.String("tran", "", "transient: STOP:STEP (seconds, suffixes ok)")
+		probe = flag.String("probe", "", "comma-separated nodes to print (default: all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spicecli [-op] [-sweep src:a:b:n] [-tran stop:step] [-probe nodes] netlist.sp")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ckt, err := spice.ParseNetlist(f)
+	if err != nil {
+		fatal(err)
+	}
+	nodes := probeList(*probe, ckt)
+
+	ran := false
+	if *doOP || (*sweep == "" && *tran == "") {
+		ran = true
+		op, err := ckt.SolveDC(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("DC operating point:")
+		for _, n := range nodes {
+			fmt.Printf("  V(%s) = %.6g V\n", n, op.Voltage(n))
+		}
+	}
+	if *sweep != "" {
+		ran = true
+		parts := strings.Split(*sweep, ":")
+		if len(parts) != 4 {
+			fatal(fmt.Errorf("bad -sweep %q", *sweep))
+		}
+		start, err1 := spice.ParseValue(parts[1])
+		stop, err2 := spice.ParseValue(parts[2])
+		steps, err3 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			fatal(fmt.Errorf("bad -sweep %q", *sweep))
+		}
+		fmt.Printf("%12s", parts[0])
+		for _, n := range nodes {
+			fmt.Printf(" %12s", "V("+n+")")
+		}
+		fmt.Println()
+		err = ckt.Sweep(parts[0], start, stop, steps, nil, func(v float64, op *spice.OperatingPoint) bool {
+			fmt.Printf("%12.5g", v)
+			for _, n := range nodes {
+				fmt.Printf(" %12.5g", op.Voltage(n))
+			}
+			fmt.Println()
+			return true
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *tran != "" {
+		ran = true
+		parts := strings.Split(*tran, ":")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -tran %q", *tran))
+		}
+		stop, err1 := spice.ParseValue(parts[0])
+		step, err2 := spice.ParseValue(parts[1])
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad -tran %q", *tran))
+		}
+		fmt.Printf("%12s", "t")
+		for _, n := range nodes {
+			fmt.Printf(" %12s", "V("+n+")")
+		}
+		fmt.Println()
+		err = ckt.SolveTran(spice.TranOptions{Stop: stop, Step: step, Method: spice.Trapezoidal},
+			func(p spice.TranPoint) bool {
+				fmt.Printf("%12.5g", p.T)
+				for _, n := range nodes {
+					fmt.Printf(" %12.5g", p.OP.Voltage(n))
+				}
+				fmt.Println()
+				return true
+			})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	_ = ran
+}
+
+func probeList(probe string, ckt *spice.Circuit) []string {
+	if probe != "" {
+		return strings.Split(probe, ",")
+	}
+	nodes := ckt.NodeNames()
+	sort.Strings(nodes)
+	return nodes
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spicecli:", err)
+	os.Exit(1)
+}

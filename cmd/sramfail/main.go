@@ -1,0 +1,89 @@
+// Command sramfail estimates the failure rate of the built-in 6-T SRAM
+// cell metrics with any of the library's estimators.
+//
+// Usage:
+//
+//	sramfail -metric rnm -method g-s -k 1000 -n 10000 -seed 1
+//	sramfail -metric readcurrent -method mnis -n 10000
+//	sramfail -metric wnm -method g-s -target 0.05 -n 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		metricName = flag.String("metric", "rnm", "metric: rnm, wnm, readcurrent, dualread or access")
+		methodName = flag.String("method", "g-s", "estimator: mc, mis, mnis, g-c, g-s or blockade")
+		k          = flag.Int("k", 0, "first-stage budget (0 = method default)")
+		n          = flag.Int("n", 10000, "second-stage samples (cap when -target is set)")
+		target     = flag.Float64("target", 0, "stop when the 99% relative error reaches this (0 = fixed N)")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		quadratic  = flag.Bool("quadratic", false, "use a quadratic response surface for the starting point")
+		workers    = flag.Int("workers", 0, "parallel workers for -method mc (0 = all cores)")
+		mixture    = flag.Int("mixture", 0, "Gaussian-mixture components for the G-C/G-S distortion (0/1 = single Normal)")
+	)
+	flag.Parse()
+
+	metric, err := metricByName(*metricName)
+	if err != nil {
+		fatal(err)
+	}
+	method, err := repro.ParseMethod(*methodName)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	res, err := repro.Estimate(metric, repro.Options{
+		Method: method, K: *k, N: *n, Target: *target,
+		Seed: *seed, Quadratic: *quadratic, Workers: *workers,
+		Mixture: *mixture,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("metric            %s\n", *metricName)
+	fmt.Printf("method            %s\n", method)
+	fmt.Printf("failure rate      %.4g\n", res.Pf)
+	if math.IsInf(res.RelErr99, 1) {
+		fmt.Printf("relerr (99%% CI)   inf (no failures observed)\n")
+	} else {
+		fmt.Printf("relerr (99%% CI)   %.2f%%\n", 100*res.RelErr99)
+	}
+	fmt.Printf("failures          %d / %d stage-2 samples\n", res.Failures, res.N)
+	fmt.Printf("simulations       stage1 %d + stage2 %d = %d\n",
+		res.Stage1Sims, res.Stage2Sims, res.TotalSims)
+	fmt.Printf("wall time         %v\n", elapsed.Round(time.Millisecond))
+}
+
+func metricByName(name string) (repro.Metric, error) {
+	switch name {
+	case "rnm":
+		return repro.RNMWorkload(), nil
+	case "wnm":
+		return repro.WNMWorkload(), nil
+	case "readcurrent":
+		return repro.ReadCurrentWorkload(), nil
+	case "dualread":
+		return repro.DualReadCurrentWorkload(), nil
+	case "access":
+		return repro.AccessTimeWorkload(), nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q (want rnm, wnm, readcurrent, dualread or access)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sramfail:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// A metric is any margin function over independent standard Normal
+// variation coordinates; this one fails when x₀ + x₁ exceeds 6 (exact
+// failure probability Φ(−6/√2) ≈ 1.1e-5).
+func ExampleEstimate() {
+	metric := repro.MetricFunc{M: 2, F: func(x []float64) float64 {
+		return 6 - x[0] - x[1]
+	}}
+	res, err := repro.Estimate(metric, repro.Options{
+		Method: repro.GS,
+		K:      500,
+		N:      20000,
+		Seed:   1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("order of magnitude: 1e%d\n", int(orderOf(res.Pf)))
+	fmt.Printf("stages recorded: %v\n", res.Stage1Sims > 0 && res.Stage2Sims == 20000)
+	// Output:
+	// order of magnitude: 1e-5
+	// stages recorded: true
+}
+
+// Target mode stops the second stage as soon as the paper's accuracy
+// criterion (99% CI relative error) is met.
+func ExampleEstimate_target() {
+	metric := repro.MetricFunc{M: 2, F: func(x []float64) float64 {
+		return 5 - x[0]
+	}}
+	res, err := repro.Estimate(metric, repro.Options{
+		Method: repro.GC,
+		Target: 0.10,
+		N:      200000, // cap
+		Seed:   2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("reached 10%% target: %v\n", res.RelErr99 <= 0.10)
+	fmt.Printf("stopped before the cap: %v\n", res.N < 200000)
+	// Output:
+	// reached 10% target: true
+	// stopped before the cap: true
+}
+
+func ExampleParseMethod() {
+	m, err := repro.ParseMethod("g-s")
+	fmt.Println(m, err)
+	_, err = repro.ParseMethod("bogus")
+	fmt.Println(err != nil)
+	// Output:
+	// g-s <nil>
+	// true
+}
+
+func orderOf(v float64) float64 {
+	e := 0.0
+	for v < 1 {
+		v *= 10
+		e--
+	}
+	return e
+}

@@ -1,0 +1,85 @@
+// Custom-metric example: plug your own performance model into the
+// library through the public Metric interface. Here an analytic
+// 8-transistor register-file cell model (a behavioural stand-in for a
+// SPICE deck you might own) is analyzed with the two Gibbs variants and
+// validated against the closed-form failure probability.
+//
+//	go run ./examples/customcell
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+// registerFileCell is a behavioural margin model of an 8-T register-file
+// read port: the read margin degrades linearly with the read-stack
+// threshold shifts and quadratically with the cross-coupled pair
+// imbalance. Failure when margin < 0. Because the model is analytic we
+// can also integrate the exact failure probability for comparison.
+type registerFileCell struct {
+	stackSens   [2]float64 // read-stack sensitivities (per σ)
+	imbalance   float64    // quadratic imbalance coefficient
+	nominal     float64    // nominal margin (in σ-units of the stack)
+	imbalancedM int        // total number of mismatch coordinates
+}
+
+func newRegisterFileCell() *registerFileCell {
+	return &registerFileCell{
+		stackSens:   [2]float64{1.0, 0.8},
+		imbalance:   0.05,
+		nominal:     5.4,
+		imbalancedM: 4,
+	}
+}
+
+// Dim implements repro.Metric: 2 read-stack + 2 cross-couple coordinates.
+func (c *registerFileCell) Dim() int { return c.imbalancedM }
+
+// Value implements repro.Metric.
+func (c *registerFileCell) Value(x []float64) float64 {
+	m := c.nominal - c.stackSens[0]*x[0] - c.stackSens[1]*x[1]
+	d := x[2] - x[3]
+	return m - c.imbalance*d*d
+}
+
+// exactPf integrates the failure probability: conditioned on d = x₂−x₃
+// (Normal with variance 2), failure is the linear tail event
+// s·(x₀,x₁) > nominal − imbalance·d², so
+// Pf = E_d[ Φ(−(nominal − imb·d²)/‖s‖) ], evaluated by quadrature.
+func (c *registerFileCell) exactPf() float64 {
+	norm := math.Hypot(c.stackSens[0], c.stackSens[1])
+	const h = 1e-3
+	sigma := math.Sqrt2
+	sum := 0.0
+	for d := -10.0; d < 10; d += h {
+		pd := math.Exp(-0.5*(d/sigma)*(d/sigma)) / (sigma * math.Sqrt(2*math.Pi))
+		tail := 0.5 * math.Erfc((c.nominal-c.imbalance*d*d)/norm/math.Sqrt2)
+		sum += pd * tail * h
+	}
+	return sum
+}
+
+func main() {
+	cell := newRegisterFileCell()
+	exact := cell.exactPf()
+	fmt.Printf("exact failure probability (quadrature): %.4g\n\n", exact)
+
+	for _, m := range []repro.Method{repro.GC, repro.GS} {
+		res, err := repro.Estimate(cell, repro.Options{
+			Method: m, K: 800, N: 20000, Seed: 3,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", m, err)
+		}
+		fmt.Printf("%-4s Pf = %.4g (err vs exact %+.1f%%), relerr %.1f%%, %d + %d sims\n",
+			m, res.Pf, 100*(res.Pf/exact-1), 100*res.RelErr99,
+			res.Stage1Sims, res.Stage2Sims)
+	}
+
+	fmt.Println("\nAnything satisfying repro.Metric — a SPICE wrapper, a behavioural")
+	fmt.Println("model, a lookup table — gets the same two-stage analysis.")
+}

@@ -1,0 +1,50 @@
+// Noise-margin study (the paper's §V-A workload): estimate the read- and
+// write-margin failure rates of the 6-T cell with all four importance
+// sampling methods and compare their accuracy and cost — a miniature of
+// the paper's Fig. 6/7 and Table I.
+//
+//	go run ./examples/noisemargin [-n 5000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "second-stage samples per method")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	workloads := []struct {
+		name   string
+		metric repro.Metric
+	}{
+		{"read noise margin (RNM)", repro.RNMWorkload()},
+		{"write margin (WNM)", repro.WNMWorkload()},
+	}
+
+	for _, w := range workloads {
+		fmt.Printf("\n=== %s ===\n", w.name)
+		fmt.Printf("%-6s %12s %10s %14s\n", "method", "Pf", "relerr", "simulations")
+		for _, m := range repro.Methods() {
+			res, err := repro.Estimate(w.metric, repro.Options{
+				Method: m,
+				N:      *n,
+				Seed:   *seed,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", m, err)
+			}
+			fmt.Printf("%-6s %12.3g %9.1f%% %7d + %d\n",
+				m, res.Pf, 100*res.RelErr99, res.Stage1Sims, res.Stage2Sims)
+		}
+	}
+	fmt.Println("\nAll four methods agree on these well-behaved (single-lobe) failure")
+	fmt.Println("regions; the Gibbs methods reach a given accuracy with fewer samples")
+	fmt.Println("because they fit the covariance of the optimal distribution, not just")
+	fmt.Println("its mean (paper §V-A).")
+}

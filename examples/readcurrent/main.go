@@ -1,0 +1,49 @@
+// Read-current study (the paper's §V-B workload): the dual-sided
+// read-current failure region is a single connected but strongly
+// non-convex L — two orthogonal high-probability lobes. Mean-shift
+// importance sampling and Cartesian Gibbs sampling get trapped in one
+// lobe and report roughly half the true failure rate with high
+// confidence; spherical Gibbs sampling slides along probability contours
+// through both lobes and matches brute-force Monte Carlo.
+//
+//	go run ./examples/readcurrent [-n 10000] [-golden 2000000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "second-stage samples per method")
+	golden := flag.Int("golden", 2_000_000, "brute-force Monte Carlo samples (0 to skip)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	metric := repro.DualReadCurrentWorkload()
+
+	fmt.Printf("%-16s %12s %10s %14s\n", "method", "Pf", "relerr", "simulations")
+	for _, m := range repro.Methods() {
+		res, err := repro.Estimate(metric, repro.Options{Method: m, N: *n, Seed: *seed})
+		if err != nil {
+			log.Fatalf("%s: %v", m, err)
+		}
+		fmt.Printf("%-16s %12.3g %9.1f%% %7d + %d\n",
+			m, res.Pf, 100*res.RelErr99, res.Stage1Sims, res.Stage2Sims)
+	}
+
+	if *golden > 0 {
+		res, err := repro.Estimate(metric, repro.Options{Method: repro.MC, N: *golden, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %12.3g %9.1f%%   (%d failures in %d samples)\n",
+			"brute-force MC", res.Pf, 100*res.RelErr99, res.Failures, res.N)
+	}
+
+	fmt.Println("\nExpected shape (paper Table II): G-S ≈ brute force; G-C confidently")
+	fmt.Println("reports a single lobe (≈ half the true rate); MIS and MNIS scatter.")
+}

@@ -1,0 +1,201 @@
+// Package baselines implements the two traditional importance-sampling
+// methods the paper compares against:
+//
+//   - MIS, mixture importance sampling (Kanj, Joshi, Nassif, DAC 2006
+//     [8]): a broad first-stage exploration of the variation space
+//     locates failing samples; their f-weighted centroid becomes the mean
+//     of a mean-shifted Normal distortion.
+//   - MNIS, minimum-norm importance sampling (Qazi et al., DATE 2010
+//     [14], after Dolecek et al. [10]): a model-based norm minimization
+//     finds the most-likely failure point, which becomes the mean of the
+//     distortion.
+//
+// Both construct g^NOR = N(μ, I): as the paper stresses (§V-A), "these
+// two traditional methods only identify the mean value of g^OPT(x),
+// while the covariance matrix is completely ignored" — the property that
+// the Gibbs two-stage flow improves on.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/mc"
+	"repro/internal/model"
+	"repro/internal/stat"
+)
+
+// ErrNoFailures is returned when the MIS exploration stage finds no
+// failing sample (the budget or spread is too small for the failure
+// rate).
+var ErrNoFailures = errors.New("baselines: first stage found no failures")
+
+// Result reports a baseline estimate with the paper's stage accounting.
+type Result struct {
+	mc.Result
+	// Mean is the distortion mean found by the first stage.
+	Mean []float64
+	// GNor is the mean-shifted unit-covariance distortion.
+	GNor *stat.MVNormal
+	// Stage1Sims and Stage2Sims split the simulation cost.
+	Stage1Sims, Stage2Sims int64
+}
+
+// MISOptions configures mixture importance sampling.
+type MISOptions struct {
+	// Stage1 is the number of exploratory simulations (paper Table I:
+	// 5000).
+	Stage1 int
+	// N is the number of second-stage importance samples.
+	N int
+	// Spread scales the exploration distribution: stage-1 samples are
+	// drawn from N(0, Spread²·I) ∪ U(−URange, URange) as a 50/50
+	// mixture (default Spread 3, URange 6).
+	Spread, URange float64
+	// TraceEvery records second-stage convergence snapshots (0 off).
+	TraceEvery mc.TraceEvery
+}
+
+func (o *MISOptions) defaults() MISOptions {
+	d := *o
+	if d.Spread <= 0 {
+		d.Spread = 3
+	}
+	if d.URange <= 0 {
+		d.URange = 6
+	}
+	return d
+}
+
+// MIS runs mixture importance sampling: explore, take the f-weighted
+// centroid of the failing samples as the distortion mean, and run the
+// second importance-sampling stage with unit covariance.
+func MIS(counter *mc.Counter, opts MISOptions, rng *rand.Rand) (*Result, error) {
+	o := opts.defaults()
+	if o.N <= 0 {
+		return nil, errors.New("baselines: MIS sample count must be positive")
+	}
+	res, err := misExplore(counter, &o, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Result, err = mc.ImportanceSample(counter, res.GNor, o.N, rng, o.TraceEvery)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage2Sims = counter.Count() - res.Stage1Sims
+	return res, nil
+}
+
+// MNISOptions configures minimum-norm importance sampling.
+type MNISOptions struct {
+	// Start tunes the model-based norm minimization; its TrainN is the
+	// stage-1 budget (paper Table I: 1000).
+	Start *model.StartOptions
+	// N is the number of second-stage importance samples.
+	N int
+	// TraceEvery records second-stage convergence snapshots (0 off).
+	TraceEvery mc.TraceEvery
+}
+
+// MNIS runs minimum-norm importance sampling: find the minimum-norm
+// failure point with a fitted performance model (plus simulation-verified
+// ray refinement), then run the mean-shifted unit-covariance second
+// stage.
+func MNIS(counter *mc.Counter, opts MNISOptions, rng *rand.Rand) (*Result, error) {
+	if opts.N <= 0 {
+		return nil, errors.New("baselines: MNIS sample count must be positive")
+	}
+	mean, err := model.FindFailurePoint(counter, opts.Start, rng)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: MNIS norm minimization: %w", err)
+	}
+	gnor, err := stat.NewMVNormal(mean, linalg.Identity(len(mean)))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
+	res.Result, err = mc.ImportanceSample(counter, gnor, opts.N, rng, opts.TraceEvery)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage2Sims = counter.Count() - res.Stage1Sims
+	return res, nil
+}
+
+// MISUntil is MIS with a convergence-target second stage (Table I).
+func MISUntil(counter *mc.Counter, opts MISOptions, target float64, minN, maxN int, rng *rand.Rand) (*Result, error) {
+	o := opts.defaults()
+	o.N = 1
+	// Run the exploration exactly as MIS does, then substitute the
+	// until-target second stage.
+	res, err := misExplore(counter, &o, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Result, err = mc.ImportanceSampleUntil(counter, res.GNor, target, minN, maxN, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage2Sims = counter.Count() - res.Stage1Sims
+	return res, nil
+}
+
+// MNISUntil is MNIS with a convergence-target second stage (Table I).
+func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN int, rng *rand.Rand) (*Result, error) {
+	mean, err := model.FindFailurePoint(counter, opts.Start, rng)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: MNIS norm minimization: %w", err)
+	}
+	gnor, err := stat.NewMVNormal(mean, linalg.Identity(len(mean)))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
+	res.Result, err = mc.ImportanceSampleUntil(counter, gnor, target, minN, maxN, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage2Sims = counter.Count() - res.Stage1Sims
+	return res, nil
+}
+
+// misExplore factors the MIS first stage for reuse by MISUntil.
+func misExplore(counter *mc.Counter, o *MISOptions, rng *rand.Rand) (*Result, error) {
+	if o.Stage1 <= 0 {
+		return nil, errors.New("baselines: MIS stage sizes must be positive")
+	}
+	dim := counter.Dim()
+	mean := make([]float64, dim)
+	wsum := 0.0
+	x := make([]float64, dim)
+	for i := 0; i < o.Stage1; i++ {
+		if rng.Intn(2) == 0 {
+			for j := range x {
+				x[j] = o.Spread * rng.NormFloat64()
+			}
+		} else {
+			for j := range x {
+				x[j] = o.URange * (2*rng.Float64() - 1)
+			}
+		}
+		if counter.Value(x) < 0 {
+			w := stat.StdNormPDF(x)
+			wsum += w
+			for j := range x {
+				mean[j] += w * x[j]
+			}
+		}
+	}
+	if wsum == 0 {
+		return nil, ErrNoFailures
+	}
+	linalg.Scale(mean, 1/wsum)
+	gnor, err := stat.NewMVNormal(mean, linalg.Identity(dim))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}, nil
+}

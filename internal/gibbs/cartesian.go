@@ -1,0 +1,64 @@
+package gibbs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/mc"
+	"repro/internal/stat"
+)
+
+// ErrStartNotFailing is returned when a chain is started outside the
+// failure region: Gibbs sampling of g^OPT requires a failing start
+// (Algorithm 4 provides one).
+var ErrStartNotFailing = errors.New("gibbs: starting point is not in the failure region")
+
+// CartesianChain runs the paper's Algorithm 1: starting from a failure
+// point, it repeatedly resamples one Cartesian coordinate at a time from
+// the 1-D conditional g^OPT(x_m | x_\m) — a truncated standard Normal over
+// the coordinate's failure interval, sampled by inverse transform
+// (Algorithm 3). Every coordinate update appends one sample, so the
+// returned slice has exactly k samples (k simulations ≫ k because each
+// update performs a bracketing/bisection search).
+func CartesianChain(metric mc.Metric, start []float64, k int, opts *Options, rng *rand.Rand) ([][]float64, error) {
+	o := opts.defaults()
+	dim := metric.Dim()
+	if len(start) != dim {
+		return nil, fmt.Errorf("gibbs: start has %d coordinates, metric wants %d", len(start), dim)
+	}
+	if k <= 0 {
+		return nil, errors.New("gibbs: sample count must be positive")
+	}
+	x := linalg.CopyVec(start)
+	if !finiteVec(x) {
+		return nil, fmt.Errorf("gibbs: starting point is not finite: %v", x)
+	}
+	if !mc.Fail(metric, x) {
+		return nil, ErrStartNotFailing
+	}
+	samples := make([][]float64, 0, k)
+	m := 0
+	for len(samples) < k {
+		if o.Stop != nil && o.Stop() && len(samples) >= 2 {
+			break
+		}
+		probe := func(t float64) bool {
+			old := x[m]
+			x[m] = t
+			fail := mc.Fail(metric, x)
+			x[m] = old
+			return fail
+		}
+		if u, v, ok := failureInterval(probe, x[m], -o.Zeta, o.Zeta, &o); ok {
+			x[m] = stat.TruncNormSample(u, v, uniform01(rng))
+		}
+		// Paper Algorithm 1 line 5: each coordinate draw creates a new
+		// sampling point (even when the recovery scan found nothing and
+		// the coordinate kept its value).
+		samples = append(samples, linalg.CopyVec(x))
+		m = (m + 1) % dim
+	}
+	return samples, nil
+}

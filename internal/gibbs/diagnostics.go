@@ -1,0 +1,86 @@
+package gibbs
+
+import (
+	"errors"
+
+	"repro/internal/stat"
+)
+
+// Chain diagnostics. The paper's Algorithm 4 exists to shrink the
+// warm-up interval and its §VI limitation notes slow high-dimensional
+// mixing; these estimators quantify both: per-coordinate
+// autocorrelation, integrated autocorrelation time, and effective sample
+// size of a Gibbs sample stream.
+
+// Autocorrelation returns the normalized autocorrelation of xs at the
+// given lag (lag 0 ⇒ 1).
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		return 0, errors.New("gibbs: lag out of range")
+	}
+	var m stat.Running
+	for _, v := range xs {
+		m.Push(v)
+	}
+	mu, v := m.Mean(), m.Var()
+	if v == 0 {
+		return 0, errors.New("gibbs: constant series has no autocorrelation")
+	}
+	s := 0.0
+	for i := 0; i+lag < n; i++ {
+		s += (xs[i] - mu) * (xs[i+lag] - mu)
+	}
+	return s / (float64(n-1) * v), nil
+}
+
+// IntegratedAutocorrTime estimates τ = 1 + 2·Σ ρ(k), truncating the sum
+// at the first non-positive autocorrelation (Geyer's initial positive
+// sequence, simplified). τ ≈ 1 for independent samples; K Gibbs samples
+// carry roughly K/τ independent ones.
+func IntegratedAutocorrTime(xs []float64) (float64, error) {
+	if len(xs) < 4 {
+		return 0, errors.New("gibbs: series too short")
+	}
+	tau := 1.0
+	maxLag := len(xs) / 2
+	for k := 1; k < maxLag; k++ {
+		rho, err := Autocorrelation(xs, k)
+		if err != nil {
+			return 0, err
+		}
+		if rho <= 0 {
+			break
+		}
+		tau += 2 * rho
+	}
+	return tau, nil
+}
+
+// EffectiveSampleSize returns the minimum per-coordinate effective sample
+// size of a multivariate sample stream: K/max_j τ_j. It is the honest
+// "how many Gibbs samples do I really have" number to compare against
+// the covariance-fit requirements of Algorithm 5.
+func EffectiveSampleSize(samples [][]float64) (float64, error) {
+	if len(samples) < 4 {
+		return 0, errors.New("gibbs: too few samples")
+	}
+	dim := len(samples[0])
+	worst := 1.0
+	col := make([]float64, len(samples))
+	for j := 0; j < dim; j++ {
+		for i, s := range samples {
+			col[i] = s[j]
+		}
+		tau, err := IntegratedAutocorrTime(col)
+		if err != nil {
+			// A frozen coordinate (constant series) contributes no
+			// information; treat its τ as the chain length.
+			tau = float64(len(samples))
+		}
+		if tau > worst {
+			worst = tau
+		}
+	}
+	return float64(len(samples)) / worst, nil
+}

@@ -1,0 +1,100 @@
+package gibbs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/surrogate"
+)
+
+func TestAutocorrelationIID(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	r0, err := Autocorrelation(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r0-1) > 1e-2 {
+		t.Fatalf("lag-0 autocorrelation %v", r0)
+	}
+	r1, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1) > 0.03 {
+		t.Fatalf("iid lag-1 autocorrelation %v", r1)
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with φ = 0.8: ρ(k) = 0.8^k, τ = (1+φ)/(1−φ) = 9.
+	rng := rand.New(rand.NewSource(2))
+	const phi = 0.8
+	xs := make([]float64, 200000)
+	x := 0.0
+	for i := range xs {
+		x = phi*x + rng.NormFloat64()
+		xs[i] = x
+	}
+	r1, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1-phi) > 0.02 {
+		t.Fatalf("AR1 lag-1 %v, want %v", r1, phi)
+	}
+	tau, err := IntegratedAutocorrTime(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-9) > 1.5 {
+		t.Fatalf("τ = %v, want ≈9", tau)
+	}
+}
+
+func TestAutocorrelationValidation(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 5); err == nil {
+		t.Fatal("lag out of range should error")
+	}
+	if _, err := Autocorrelation([]float64{2, 2, 2, 2}, 1); err == nil {
+		t.Fatal("constant series should error")
+	}
+	if _, err := IntegratedAutocorrTime([]float64{1, 2}); err == nil {
+		t.Fatal("short series should error")
+	}
+	if _, err := EffectiveSampleSize([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("short stream should error")
+	}
+}
+
+// The spherical chain on an arc mixes faster (higher ESS per sample)
+// than the Cartesian chain — the quantitative form of Fig. 14.
+func TestESSOrderingOnArc(t *testing.T) {
+	arc := &surrogate.Arc{R: 3, HalfAngle: 2.5}
+	start := []float64{3.3 * math.Cos(2.2), 3.3 * math.Sin(2.2)}
+	rngC := rand.New(rand.NewSource(3))
+	cart, err := CartesianChain(arc, start, 2000, nil, rngC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngS := rand.New(rand.NewSource(3))
+	sph, err := SphericalChain(arc, start, 2000, nil, rngS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	essC, err := EffectiveSampleSize(cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	essS, err := EffectiveSampleSize(sph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if essS <= essC {
+		t.Fatalf("spherical ESS %v should exceed Cartesian ESS %v on the arc", essS, essC)
+	}
+}

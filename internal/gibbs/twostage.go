@@ -1,0 +1,217 @@
+package gibbs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mc"
+	"repro/internal/model"
+	"repro/internal/stat"
+)
+
+// Coord selects the Gibbs chain's coordinate system.
+type Coord int
+
+// Coordinate systems (the paper's G-C and G-S variants).
+const (
+	Cartesian Coord = iota
+	Spherical
+)
+
+func (c Coord) String() string {
+	switch c {
+	case Cartesian:
+		return "G-C"
+	case Spherical:
+		return "G-S"
+	default:
+		return fmt.Sprintf("Coord(%d)", int(c))
+	}
+}
+
+// TwoStageOptions configures the paper's Algorithm 5.
+type TwoStageOptions struct {
+	// Coord selects Algorithm 1 (Cartesian) or Algorithm 2 (spherical)
+	// for the first stage.
+	Coord Coord
+	// K is the number of first-stage Gibbs samples (paper: 1e2–1e3).
+	K int
+	// N is the number of second-stage importance-sampling simulations
+	// (paper: 1e3–1e4). Ignored by TwoStageUntil.
+	N int
+	// Stage1Budget, when positive, caps the whole first stage (starting
+	// point search + Gibbs chain) at this many simulations, the way the
+	// paper sizes its comparisons; K then acts as an upper bound on the
+	// sample count.
+	Stage1Budget int64
+	// Chain tunes the Gibbs chain; nil selects defaults.
+	Chain *Options
+	// Start tunes the Algorithm 4 model-based starting-point search;
+	// nil selects defaults.
+	Start *model.StartOptions
+	// StartPoint, when non-nil, skips Algorithm 4 and starts the chain
+	// here (used by the ablation benchmarks).
+	StartPoint []float64
+	// Mixture, when ≥ 2, fits a Gaussian mixture with that many
+	// components instead of the single Normal g^NOR — the paper's §IV-C
+	// extension, useful on multi-lobe failure regions. 0 or 1 keeps the
+	// plain Algorithm 5 fit.
+	Mixture int
+	// TraceEvery records a convergence snapshot every so many
+	// second-stage samples (0 disables).
+	TraceEvery mc.TraceEvery
+}
+
+// TwoStageResult reports the estimate with the paper's cost accounting.
+type TwoStageResult struct {
+	mc.Result
+	// Start is the Algorithm 4 starting point.
+	Start []float64
+	// Samples are the K first-stage Gibbs samples (Cartesian
+	// coordinates).
+	Samples [][]float64
+	// GNor is the fitted Normal distortion g^NOR(x) (always computed).
+	GNor *stat.MVNormal
+	// GMix is the fitted Gaussian-mixture distortion when
+	// Options.Mixture ≥ 2 (nil otherwise); when present it is the
+	// distribution the second stage sampled.
+	GMix *stat.GMM
+	// Stage1Sims and Stage2Sims split the total simulation count: stage
+	// 1 covers the starting-point search plus the Gibbs chain; stage 2
+	// is the importance-sampling run.
+	Stage1Sims, Stage2Sims int64
+}
+
+// firstStage runs Algorithm 4 (unless a start point is given), the chosen
+// Gibbs chain, and the g^NOR fit, recording stage-1 cost in res.
+func firstStage(counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*TwoStageResult, error) {
+	if opts.K <= 0 {
+		return nil, errors.New("gibbs: K must be positive")
+	}
+	res := &TwoStageResult{}
+
+	start := opts.StartPoint
+	if start == nil {
+		var err error
+		start, err = model.FindFailurePoint(counter, opts.Start, rng)
+		if err != nil {
+			return nil, fmt.Errorf("gibbs: starting-point selection: %w", err)
+		}
+	}
+	res.Start = start
+
+	chainOpts := opts.Chain
+	if opts.Stage1Budget > 0 {
+		var co Options
+		if chainOpts != nil {
+			co = *chainOpts
+		}
+		budget := opts.Stage1Budget
+		co.Stop = func() bool { return counter.Count() >= budget }
+		chainOpts = &co
+	}
+	var (
+		samples [][]float64
+		err     error
+	)
+	switch opts.Coord {
+	case Cartesian:
+		samples, err = CartesianChain(counter, start, opts.K, chainOpts, rng)
+	case Spherical:
+		samples, err = SphericalChain(counter, start, opts.K, chainOpts, rng)
+	default:
+		return nil, fmt.Errorf("gibbs: unknown coordinate system %v", opts.Coord)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Samples = samples
+	res.Stage1Sims = counter.Count()
+
+	res.GNor, err = FitDistortion(samples)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Mixture >= 2 {
+		res.GMix, err = FitDistortionGMM(samples, opts.Mixture, rng)
+		if err != nil {
+			return nil, fmt.Errorf("gibbs: fitting mixture distortion: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// distortion returns the distribution the second stage samples from.
+func (r *TwoStageResult) distortion() mc.Distortion {
+	if r.GMix != nil {
+		return r.GMix
+	}
+	return r.GNor
+}
+
+// TwoStage runs the paper's Algorithm 5 end to end:
+//
+//  1. Algorithm 4: model-based starting-point selection (skipped when
+//     StartPoint is given).
+//  2. Algorithm 1 or 2 (+3): generate K Gibbs samples in the failure
+//     region.
+//  3. Fit the multivariate Normal g^NOR from the samples' mean and
+//     covariance.
+//  4. Draw N samples from g^NOR and estimate P_f by eq. (33).
+//
+// The metric must be wrapped in a Counter so the stage costs can be
+// reported the way the paper reports them (Tables I and II).
+func TwoStage(counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand) (*TwoStageResult, error) {
+	if opts.N <= 0 {
+		return nil, errors.New("gibbs: N must be positive")
+	}
+	res, err := firstStage(counter, &opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Result, err = mc.ImportanceSample(counter, res.distortion(), opts.N, rng, opts.TraceEvery)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage2Sims = counter.Count() - res.Stage1Sims
+	return res, nil
+}
+
+// TwoStageUntil runs the same flow but replaces the fixed N with a
+// convergence target: the second stage stops as soon as the 99% relative
+// error reaches target (or maxN simulations). This regenerates the
+// paper's Table I ("number of simulations to achieve 5% error").
+func TwoStageUntil(counter *mc.Counter, opts TwoStageOptions, target float64, minN, maxN int, rng *rand.Rand) (*TwoStageResult, error) {
+	res, err := firstStage(counter, &opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Result, err = mc.ImportanceSampleUntil(counter, res.distortion(), target, minN, maxN, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage2Sims = counter.Count() - res.Stage1Sims
+	return res, nil
+}
+
+// FitDistortion performs Algorithm 5 step 4: estimate the mean and
+// covariance of the Gibbs samples and build the Normal approximation
+// g^NOR of the optimal distortion g^OPT. Near-singular covariances (short
+// or poorly mixed chains) are regularized with diagonal jitter inside
+// stat.NewMVNormal.
+func FitDistortion(samples [][]float64) (*stat.MVNormal, error) {
+	mu, cov, err := stat.Covariance(samples)
+	if err != nil {
+		return nil, fmt.Errorf("gibbs: fitting g^NOR: %w", err)
+	}
+	return stat.NewMVNormal(mu, cov)
+}
+
+// FitDistortionGMM fits a k-component Gaussian mixture to the Gibbs
+// samples (the §IV-C extension of Algorithm 5 step 4). The paper warns
+// that non-Normal distortions "often require more Gibbs samples to fit";
+// callers should raise K accordingly.
+func FitDistortionGMM(samples [][]float64, k int, rng *rand.Rand) (*stat.GMM, error) {
+	return stat.FitGMM(samples, k, 60, rng)
+}

@@ -1,0 +1,117 @@
+package linalg
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L Lᵀ. It backs both multivariate-Normal sampling and
+// Normal-density evaluation in the two-stage Monte Carlo flow.
+type Cholesky struct {
+	L *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of a symmetric positive
+// definite matrix. Only the lower triangle of a is read.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// FactorCholeskyRegularized factors a, adding jitter*I (doubling on each
+// failure, up to maxTries attempts) when a is not numerically positive
+// definite. This is how the two-stage flow copes with near-singular sample
+// covariances estimated from few Gibbs samples. It returns the factor and
+// the total jitter that was added to the diagonal.
+func FactorCholeskyRegularized(a *Matrix, jitter float64, maxTries int) (*Cholesky, float64, error) {
+	if c, err := FactorCholesky(a); err == nil {
+		return c, 0, nil
+	}
+	added := jitter
+	for try := 0; try < maxTries; try++ {
+		b := a.Clone()
+		for i := 0; i < b.Rows; i++ {
+			b.Add(i, i, added)
+		}
+		if c, err := FactorCholesky(b); err == nil {
+			return c, added, nil
+		}
+		added *= 2
+	}
+	return nil, 0, ErrNotPositiveDefinite
+}
+
+// Solve solves A x = b via the factorization (two triangular solves).
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic("linalg: Cholesky solve length mismatch")
+	}
+	x := CopyVec(b)
+	// L y = b
+	for i := 0; i < n; i++ {
+		row := c.L.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	// Lᵀ x = y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.L.At(j, i) * x[j]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// MulVec returns L*z; with z ~ N(0, I) this yields a sample with covariance
+// A = L Lᵀ.
+func (c *Cholesky) MulVec(z []float64) []float64 {
+	n := c.L.Rows
+	if len(z) != n {
+		panic("linalg: Cholesky mulvec length mismatch")
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := c.L.Row(i)
+		s := 0.0
+		for j := 0; j <= i; j++ {
+			s += row[j] * z[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// LogDet returns log det(A) = 2 Σ log L_ii for the factored matrix.
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}

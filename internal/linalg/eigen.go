@@ -1,0 +1,85 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymEigen computes all eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi method. Eigenvalues are returned in descending
+// order; column j of the returned matrix is the eigenvector for values[j].
+// This backs PCA whitening of correlated process variations (paper §II:
+// correlated jointly-Normal variables are transformed by PCA).
+func SymEigen(a *Matrix) (values []float64, vectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: SymEigen of non-square matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-28*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sv := make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for jNew, jOld := range idx {
+		sv[jNew] = values[jOld]
+		for i := 0; i < n; i++ {
+			vectors.Set(i, jNew, v.At(i, jOld))
+		}
+	}
+	return sv, vectors
+}

@@ -1,0 +1,60 @@
+// Package mc provides the Monte Carlo foundations shared by every
+// estimator in the library: the Metric/indicator abstraction with
+// simulation counting, the plain Monte Carlo engine, and the
+// importance-sampling estimator with 99%-confidence-interval convergence
+// traces (the paper's accuracy figure of merit).
+package mc
+
+import "sync/atomic"
+
+// Metric is a normalized circuit performance margin over the
+// variation space x (independent standard Normal coordinates, paper
+// eq. 1): the sample fails exactly when Value(x) < 0. Each Value call
+// stands for one transistor-level simulation — the paper's unit of cost.
+type Metric interface {
+	// Dim returns the dimensionality M of the variation space.
+	Dim() int
+	// Value returns the margin at x; negative means failure.
+	Value(x []float64) float64
+}
+
+// Fail reports whether x falls in the failure region Ω of the metric.
+func Fail(m Metric, x []float64) bool { return m.Value(x) < 0 }
+
+// Counter wraps a Metric and counts simulations. All estimators in the
+// library draw their cost reports from Counter, so "number of
+// transistor-level simulations" is measured, never assumed.
+type Counter struct {
+	m Metric
+	n atomic.Int64
+}
+
+// NewCounter wraps m.
+func NewCounter(m Metric) *Counter { return &Counter{m: m} }
+
+// Dim implements Metric.
+func (c *Counter) Dim() int { return c.m.Dim() }
+
+// Value implements Metric, incrementing the simulation count.
+func (c *Counter) Value(x []float64) float64 {
+	c.n.Add(1)
+	return c.m.Value(x)
+}
+
+// Count returns the number of simulations performed so far.
+func (c *Counter) Count() int64 { return c.n.Load() }
+
+// Reset zeroes the simulation count.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// MetricFunc adapts a plain function to the Metric interface.
+type MetricFunc struct {
+	M int
+	F func(x []float64) float64
+}
+
+// Dim implements Metric.
+func (f MetricFunc) Dim() int { return f.M }
+
+// Value implements Metric.
+func (f MetricFunc) Value(x []float64) float64 { return f.F(x) }

@@ -1,0 +1,80 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/stat"
+)
+
+// ParallelMC runs brute-force Monte Carlo across workers goroutines
+// (0 = GOMAXPROCS), merging the per-worker tallies. It powers the
+// Table II golden reference (the paper's 8.7-million-sample run), which
+// would otherwise dominate wall-clock time. The metric must be safe for
+// concurrent use; each worker gets an independent deterministic stream
+// seeded from seed.
+func ParallelMC(metric Metric, n int, seed int64, workers int) (Result, error) {
+	if n <= 0 {
+		return Result{}, ErrBadSampleCount
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	type tally struct {
+		n, failures int
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := n / workers
+		if w < n%workers {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*1000003))
+			dim := metric.Dim()
+			x := make([]float64, dim)
+			failures := 0
+			for i := 0; i < count; i++ {
+				for j := range x {
+					x[j] = rng.NormFloat64()
+				}
+				if metric.Value(x) < 0 {
+					failures++
+				}
+			}
+			tallies[w] = tally{n: count, failures: failures}
+		}(w, count)
+	}
+	wg.Wait()
+	total, failures := 0, 0
+	for _, t := range tallies {
+		total += t.n
+		failures += t.failures
+	}
+	// Bernoulli tally: mean p, variance p(1−p)/n.
+	p := float64(failures) / float64(total)
+	se := 0.0
+	if total > 1 {
+		se = sqrt(p * (1 - p) / float64(total))
+	}
+	rel := math.Inf(1)
+	if p > 0 {
+		rel = stat.Z99 * se / p
+	}
+	return Result{Pf: p, StdErr: se, RelErr99: rel, N: total, Failures: failures}, nil
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,265 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrNoConvergence is returned when the operating-point solve exhausts
+// Newton iterations, gmin stepping and source stepping.
+var ErrNoConvergence = errors.New("spice: DC operating point did not converge")
+
+// OperatingPoint is a solved DC solution.
+type OperatingPoint struct {
+	circuit *Circuit
+	x       []float64
+}
+
+// Voltage returns the solved voltage of a named node (0 for ground);
+// asking for an unknown node is a netlist bug and panics.
+func (op *OperatingPoint) Voltage(node string) float64 {
+	idx, ok := op.circuit.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", node))
+	}
+	return voltageAt(op.x, idx)
+}
+
+// Clone deep-copies the operating point (for use as a later initial guess).
+func (op *OperatingPoint) Clone() *OperatingPoint {
+	return &OperatingPoint{circuit: op.circuit, x: linalg.CopyVec(op.x)}
+}
+
+// DCOptions tunes the Newton solve. The zero value picks robust defaults.
+type DCOptions struct {
+	// MaxIter bounds Newton iterations per attempt (default 150).
+	MaxIter int
+	// VTol is the voltage-update convergence tolerance (default 1e-9 V).
+	VTol float64
+	// ITol is the KCL residual tolerance (default 1e-9 A; node currents
+	// in the SRAM cell are µA-scale).
+	ITol float64
+	// MaxStep limits the per-iteration voltage update (default 0.4 V).
+	MaxStep float64
+	// Gmin is the shunt conductance from every node to ground
+	// (default 1e-12 S).
+	Gmin float64
+	// InitialGuess seeds node voltages by name. Nodes not listed start at
+	// 0 V. This is how callers select a bistable cell's state.
+	InitialGuess map[string]float64
+	// Warm, if non-nil, seeds the full unknown vector from a previous
+	// solution of the same circuit (used by sweeps); it overrides
+	// InitialGuess.
+	Warm *OperatingPoint
+}
+
+func (o *DCOptions) defaults() DCOptions {
+	d := DCOptions{MaxIter: 150, VTol: 1e-9, ITol: 1e-9, MaxStep: 0.4, Gmin: 1e-12}
+	if o == nil {
+		return d
+	}
+	out := *o
+	if out.MaxIter <= 0 {
+		out.MaxIter = d.MaxIter
+	}
+	if out.VTol <= 0 {
+		out.VTol = d.VTol
+	}
+	if out.ITol <= 0 {
+		out.ITol = d.ITol
+	}
+	if out.MaxStep <= 0 {
+		out.MaxStep = d.MaxStep
+	}
+	if out.Gmin <= 0 {
+		out.Gmin = d.Gmin
+	}
+	return out
+}
+
+// SolveDC computes the DC operating point. It first tries plain damped
+// Newton from the initial guess; on failure it falls back to gmin stepping
+// and then source stepping, mirroring production SPICE practice.
+func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
+	o := opts.defaults()
+	c.indexBranches()
+	n := c.NumUnknowns()
+	x := make([]float64, n)
+	if o.Warm != nil {
+		if len(o.Warm.x) != n {
+			return nil, fmt.Errorf("spice: warm start size %d does not match system size %d", len(o.Warm.x), n)
+		}
+		copy(x, o.Warm.x)
+	} else {
+		for name, v := range o.InitialGuess {
+			idx, ok := c.nodeIndex[name]
+			if !ok {
+				return nil, fmt.Errorf("spice: initial guess for unknown node %q", name)
+			}
+			if idx >= 0 {
+				x[idx] = v
+			}
+		}
+	}
+
+	if err := c.newton(x, &o, o.Gmin, 1.0); err == nil {
+		return &OperatingPoint{circuit: c, x: x}, nil
+	}
+
+	// Gmin stepping: solve with a heavy shunt, then relax it.
+	xg := linalg.CopyVec(x)
+	ok := true
+	for gmin := 1e-2; gmin >= o.Gmin; gmin /= 10 {
+		if err := c.newton(xg, &o, gmin, 1.0); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		if err := c.newton(xg, &o, o.Gmin, 1.0); err == nil {
+			return &OperatingPoint{circuit: c, x: xg}, nil
+		}
+	}
+
+	// Source stepping: ramp all sources from 0 with an adaptive step, so
+	// bifurcation-adjacent operating points (where a fixed ramp stalls)
+	// are approached gradually.
+	xs := make([]float64, n)
+	frac, step := 0.0, 0.1
+	trial := make([]float64, n)
+	for frac < 1.0 {
+		next := math.Min(frac+step, 1.0)
+		copy(trial, xs)
+		if err := c.newton(trial, &o, o.Gmin, next); err != nil {
+			step /= 2
+			if step < 1e-4 {
+				return nil, fmt.Errorf("%w (source stepping stalled at %.1f%%)", ErrNoConvergence, 100*frac)
+			}
+			continue
+		}
+		copy(xs, trial)
+		frac = next
+		if step < 0.2 {
+			step *= 1.5
+		}
+	}
+	return &OperatingPoint{circuit: c, x: xs}, nil
+}
+
+// newton runs damped Newton iteration in place on x with the given gmin
+// shunt and source scale factor.
+func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) error {
+	n := c.NumUnknowns()
+	nn := c.NumNodes()
+	f := make([]float64, n)
+	j := linalg.NewMatrix(n, n)
+
+	// Temporarily scale sources for source stepping.
+	if srcScale != 1.0 {
+		orig := make([]float64, len(c.vsources))
+		for i, v := range c.vsources {
+			orig[i] = v.E
+			v.E *= srcScale
+		}
+		defer func() {
+			for i, v := range c.vsources {
+				v.E = orig[i]
+			}
+		}()
+	}
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		for i := range f {
+			f[i] = 0
+		}
+		j.Zero()
+		for _, d := range c.devices {
+			d.Stamp(x, f, j)
+		}
+		// gmin shunts keep the Jacobian nonsingular with off devices.
+		for i := 0; i < nn; i++ {
+			f[i] += gmin * x[i]
+			j.Add(i, i, gmin)
+		}
+
+		maxRes := 0.0
+		for _, v := range f {
+			if a := math.Abs(v); a > maxRes {
+				maxRes = a
+			}
+		}
+
+		lu, err := linalg.FactorLU(j)
+		if err != nil {
+			return fmt.Errorf("spice: singular Jacobian at iteration %d: %w", iter, err)
+		}
+		neg := make([]float64, n)
+		for i := range f {
+			neg[i] = -f[i]
+		}
+		dx := lu.Solve(neg)
+
+		// Damp: limit the largest node-voltage step.
+		maxDx := 0.0
+		for i := 0; i < nn; i++ {
+			if a := math.Abs(dx[i]); a > maxDx {
+				maxDx = a
+			}
+		}
+		scale := 1.0
+		if maxDx > o.MaxStep {
+			scale = o.MaxStep / maxDx
+		}
+		for i := range x {
+			x[i] += scale * dx[i]
+		}
+		if maxDx*scale < o.VTol && maxRes < o.ITol {
+			return nil
+		}
+		for i := range x {
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return fmt.Errorf("spice: iterate diverged at iteration %d", iter)
+			}
+		}
+	}
+	return ErrNoConvergence
+}
+
+// Sweep solves the circuit repeatedly while stepping the named voltage
+// source from start to stop in steps points (inclusive), warm-starting
+// each solve from the previous solution. It calls fn with the source value
+// and operating point after each successful solve; fn returning false
+// stops the sweep early. The source value is restored afterwards.
+func (c *Circuit) Sweep(sourceName string, start, stop float64, steps int, opts *DCOptions, fn func(v float64, op *OperatingPoint) bool) error {
+	if steps < 2 {
+		return errors.New("spice: sweep needs at least 2 points")
+	}
+	src, err := c.VSourceByName(sourceName)
+	if err != nil {
+		return err
+	}
+	orig := src.E
+	defer func() { src.E = orig }()
+
+	var warm *OperatingPoint
+	for i := 0; i < steps; i++ {
+		v := start + (stop-start)*float64(i)/float64(steps-1)
+		src.E = v
+		local := opts.defaults()
+		if warm != nil {
+			local.Warm = warm
+		}
+		op, err := c.SolveDC(&local)
+		if err != nil {
+			return fmt.Errorf("spice: sweep %s=%.4f: %w", sourceName, v, err)
+		}
+		warm = op
+		if !fn(v, op) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package sram
+
+import (
+	"errors"
+	"math"
+)
+
+// Array-level yield modeling: the reason cell failure rates must reach
+// the 1e-8..1e-6 regime at all (paper §I: "roughly half of the area of an
+// advanced microprocessor chip is occupied by SRAM"). Given a per-cell
+// failure probability from any estimator, these helpers compute the
+// probability that a memory array — optionally with redundant repair
+// rows — is fully functional.
+
+// ArrayYield returns the probability that all cells of an array with the
+// given cell count work, Y = (1−pf)^cells, computed in log space so
+// billions of cells at pf ≈ 1e-6 do not underflow.
+func ArrayYield(pf float64, cells int64) (float64, error) {
+	if pf < 0 || pf > 1 {
+		return 0, errors.New("sram: failure probability outside [0, 1]")
+	}
+	if cells < 0 {
+		return 0, errors.New("sram: negative cell count")
+	}
+	if pf == 0 || cells == 0 {
+		return 1, nil
+	}
+	if pf == 1 {
+		return 0, nil
+	}
+	return math.Exp(float64(cells) * math.Log1p(-pf)), nil
+}
+
+// RedundantArrayYield returns the yield of an array organized as rows of
+// rowCells cells with spare redundant rows: the array works when at most
+// spareRows rows contain any failing cell. Row failures are Poisson-
+// binomial; with identical cells the defective-row count is binomial
+// with p_row = 1 − (1−pf)^rowCells, and for large row counts the Poisson
+// tail is used to keep the computation stable.
+func RedundantArrayYield(pf float64, rows, rowCells int64, spareRows int) (float64, error) {
+	if rows <= 0 || rowCells <= 0 {
+		return 0, errors.New("sram: rows and rowCells must be positive")
+	}
+	if spareRows < 0 {
+		return 0, errors.New("sram: negative spare count")
+	}
+	rowOK, err := ArrayYield(pf, rowCells)
+	if err != nil {
+		return 0, err
+	}
+	pRow := 1 - rowOK
+	// λ = rows·pRow; for realistic arrays λ is small and the Poisson
+	// approximation of the binomial is accurate to O(pRow).
+	lambda := float64(rows) * pRow
+	if lambda > 700 {
+		return 0, nil // effectively zero yield
+	}
+	sum := 0.0
+	term := math.Exp(-lambda) // k = 0
+	for k := 0; k <= spareRows; k++ {
+		if k > 0 {
+			term *= lambda / float64(k)
+		}
+		sum += term
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum, nil
+}
+
+// RequiredPf inverts ArrayYield: the per-cell failure probability needed
+// for the target yield over the given number of cells,
+// pf = 1 − yield^(1/cells).
+func RequiredPf(targetYield float64, cells int64) (float64, error) {
+	if targetYield <= 0 || targetYield >= 1 {
+		return 0, errors.New("sram: target yield must be in (0, 1)")
+	}
+	if cells <= 0 {
+		return 0, errors.New("sram: cell count must be positive")
+	}
+	return -math.Expm1(math.Log(targetYield) / float64(cells)), nil
+}

@@ -1,0 +1,133 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayYieldKnown(t *testing.T) {
+	// 1e-6 per cell over 1M cells: Y = (1−1e-6)^1e6 ≈ e^{−1} ≈ 0.3679.
+	y, err := ArrayYield(1e-6, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-math.Exp(-1)) > 1e-4 {
+		t.Fatalf("yield %v, want ≈ e^-1", y)
+	}
+	if y, _ := ArrayYield(0, 1e9); y != 1 {
+		t.Fatal("zero pf should give unit yield")
+	}
+	if y, _ := ArrayYield(1, 10); y != 0 {
+		t.Fatal("certain failure should give zero yield")
+	}
+	if y, _ := ArrayYield(0.5, 0); y != 1 {
+		t.Fatal("empty array always yields")
+	}
+}
+
+func TestArrayYieldValidation(t *testing.T) {
+	if _, err := ArrayYield(-0.1, 10); err == nil {
+		t.Fatal("negative pf should error")
+	}
+	if _, err := ArrayYield(1.1, 10); err == nil {
+		t.Fatal("pf>1 should error")
+	}
+	if _, err := ArrayYield(0.5, -1); err == nil {
+		t.Fatal("negative cells should error")
+	}
+}
+
+func TestArrayYieldNoUnderflow(t *testing.T) {
+	// A billion cells at 1e-9: Y ≈ e^{−1}; naive (1−p)^n would be fine,
+	// but 1e-15 per cell over 1e12 cells must not underflow either.
+	y, err := ArrayYield(1e-15, 1_000_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-math.Exp(-1e-3)) > 1e-9 {
+		t.Fatalf("yield %v", y)
+	}
+}
+
+func TestRedundantArrayYieldImproves(t *testing.T) {
+	pf := 2e-6
+	var rows, rowCells int64 = 4096, 256
+	y0, err := RedundantArrayYield(pf, rows, rowCells, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero spares must equal the plain array yield.
+	plain, _ := ArrayYield(pf, rows*rowCells)
+	if math.Abs(y0-plain) > 1e-3 {
+		t.Fatalf("0-spare redundant yield %v vs plain %v", y0, plain)
+	}
+	prev := y0
+	for _, spares := range []int{1, 2, 4, 8} {
+		y, err := RedundantArrayYield(pf, rows, rowCells, spares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y <= prev {
+			t.Fatalf("%d spares should improve yield: %v -> %v", spares, prev, y)
+		}
+		prev = y
+	}
+	if prev < 0.99 {
+		t.Fatalf("8 spares at λ≈2 should nearly saturate yield: %v", prev)
+	}
+}
+
+func TestRedundantArrayYieldValidation(t *testing.T) {
+	if _, err := RedundantArrayYield(1e-6, 0, 10, 1); err == nil {
+		t.Fatal("zero rows should error")
+	}
+	if _, err := RedundantArrayYield(1e-6, 10, 0, 1); err == nil {
+		t.Fatal("zero rowCells should error")
+	}
+	if _, err := RedundantArrayYield(1e-6, 10, 10, -1); err == nil {
+		t.Fatal("negative spares should error")
+	}
+	if y, _ := RedundantArrayYield(0.9, 1_000_000, 1024, 2); y != 0 {
+		t.Fatal("hopeless array should yield 0")
+	}
+}
+
+func TestRequiredPfRoundTrip(t *testing.T) {
+	f := func(u uint16) bool {
+		target := 0.5 + 0.49*float64(u)/65535
+		cells := int64(1_000_000)
+		pf, err := RequiredPf(target, cells)
+		if err != nil {
+			return false
+		}
+		y, err := ArrayYield(pf, cells)
+		if err != nil {
+			return false
+		}
+		return math.Abs(y-target) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RequiredPf(0, 10); err == nil {
+		t.Fatal("target 0 should error")
+	}
+	if _, err := RequiredPf(0.9, 0); err == nil {
+		t.Fatal("zero cells should error")
+	}
+}
+
+// The headline sanity: a 10 Mb cache at the paper's 1e-6 failure decade
+// needs redundancy; at 1e-8 it mostly does not.
+func TestArrayYieldPaperRegime(t *testing.T) {
+	cells := int64(10 * 1024 * 1024)
+	yHigh, _ := ArrayYield(1e-6, cells)
+	yLow, _ := ArrayYield(1e-8, cells)
+	if yHigh > 0.01 {
+		t.Fatalf("1e-6 per cell should doom a 10 Mb array: %v", yHigh)
+	}
+	if yLow < 0.85 {
+		t.Fatalf("1e-8 per cell should mostly yield: %v", yLow)
+	}
+}

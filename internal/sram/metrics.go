@@ -1,0 +1,146 @@
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mc"
+)
+
+// MetricKind selects which cell performance the Metric evaluates.
+type MetricKind int
+
+// Supported circuit metrics.
+const (
+	// RNM: read noise margin (state-0 butterfly eye under read bias).
+	RNM MetricKind = iota
+	// WNM: write margin (collapsed state-1 eye under write bias).
+	WNM
+	// ReadCurrent: |I(M3)| in the read configuration.
+	ReadCurrent
+	// HoldSNM: retention margin with the word line off.
+	Hold
+	// DualReadCurrent: min of the two single-sided read currents.
+	DualRead
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case RNM:
+		return "rnm"
+	case WNM:
+		return "wnm"
+	case ReadCurrent:
+		return "readcurrent"
+	case Hold:
+		return "hold"
+	case DualRead:
+		return "dualread"
+	default:
+		return fmt.Sprintf("MetricKind(%d)", int(k))
+	}
+}
+
+// Metric adapts a cell metric to the mc.Metric margin convention: the
+// sample fails when the margin (metric value minus Spec) is negative.
+// Variation coordinates are standard-Normal; coordinate j drives
+// transistor Which[j] with ΔVth = SigmaVth·x_j.
+type Metric struct {
+	Cell *Cell
+	Kind MetricKind
+	// Spec is the pass/fail threshold in the metric's own unit (volts
+	// for margins, amperes for read current).
+	Spec float64
+	// Which lists the transistors exposed as variation coordinates; the
+	// remaining transistors stay at nominal ΔVth = 0.
+	Which []int
+	// Scale converts the raw margin to a well-conditioned magnitude for
+	// response-surface fitting (default 1).
+	Scale float64
+}
+
+// AllTransistors is the full 6-dimensional variation space.
+func AllTransistors() []int { return []int{M1, M2, M3, M4, M5, M6} }
+
+// NewRNMMetric builds the paper's §V-A read-noise-margin workload: all six
+// ΔVth as variation coordinates, failing when RNM < spec.
+func NewRNMMetric(cell *Cell, spec float64) *Metric {
+	return &Metric{Cell: cell, Kind: RNM, Spec: spec, Which: AllTransistors()}
+}
+
+// NewWNMMetric builds the §V-A write-margin workload.
+func NewWNMMetric(cell *Cell, spec float64) *Metric {
+	return &Metric{Cell: cell, Kind: WNM, Spec: spec, Which: AllTransistors()}
+}
+
+// NewReadCurrentMetric builds the §V-B read-current workload: a 2-D
+// variation space over {ΔVth1, ΔVth3} (driver and access of the read
+// path), failing when the read current drops below ith amperes.
+func NewReadCurrentMetric(cell *Cell, ith float64) *Metric {
+	return &Metric{
+		Cell: cell, Kind: ReadCurrent, Spec: ith,
+		Which: []int{M1, M3},
+		// Read currents are µA-scale; rescale so margins are O(1) for
+		// the response-surface solver.
+		Scale: 1e6,
+	}
+}
+
+// Dim implements mc.Metric.
+func (m *Metric) Dim() int { return len(m.Which) }
+
+// Value implements mc.Metric: the signed margin at normalized variation
+// point x. Simulation failures (non-convergence) are treated as circuit
+// failures with a finite, physically-grounded worst-case raw value
+// (errorValue); keeping the margin finite protects the response-surface
+// fits in Algorithm 4 from being poisoned by an occasional hard corner.
+func (m *Metric) Value(x []float64) float64 {
+	if len(x) != len(m.Which) {
+		panic(fmt.Sprintf("sram: metric got %d coordinates, want %d", len(x), len(m.Which)))
+	}
+	var dvth [NumTransistors]float64
+	for j, tr := range m.Which {
+		dvth[tr] = m.Cell.SigmaVth * x[j]
+	}
+	raw, err := m.raw(dvth)
+	if err != nil || math.IsNaN(raw) || math.IsInf(raw, 0) {
+		raw = m.errorValue()
+	}
+	scale := m.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	return (raw - m.Spec) * scale
+}
+
+// errorValue is the raw metric value substituted when a simulation fails
+// to converge: the metric's physical worst case.
+func (m *Metric) errorValue() float64 {
+	switch m.Kind {
+	case WNM:
+		return WriteTripFloor // write never succeeds
+	case ReadCurrent, DualRead:
+		return 0 // no read current at all
+	default:
+		return -m.Cell.VDD // fully collapsed noise margin
+	}
+}
+
+func (m *Metric) raw(dvth [NumTransistors]float64) (float64, error) {
+	switch m.Kind {
+	case RNM:
+		return m.Cell.ReadSNM(dvth)
+	case WNM:
+		return m.Cell.WriteMargin(dvth)
+	case ReadCurrent:
+		return m.Cell.ReadCurrent(dvth)
+	case Hold:
+		return m.Cell.HoldSNM(dvth)
+	case DualRead:
+		return m.Cell.DualReadCurrent(dvth)
+	default:
+		return 0, fmt.Errorf("sram: unknown metric kind %v", m.Kind)
+	}
+}
+
+var _ mc.Metric = (*Metric)(nil)

@@ -1,0 +1,50 @@
+package sram
+
+import "testing"
+
+func TestRetentionVoltageNominal(t *testing.T) {
+	c := Default90nm()
+	drv, err := c.RetentionVoltage(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv < 0.04 || drv > 0.6 {
+		t.Fatalf("nominal DRV %v outside plausible range", drv)
+	}
+}
+
+func TestRetentionVoltageWorsensWithMismatch(t *testing.T) {
+	c := Default90nm()
+	drv0, err := c.RetentionVoltage(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strongly skewed cell: driver A weak, driver B strong — the hold
+	// loop is imbalanced and needs more supply to stay bistable.
+	var d [NumTransistors]float64
+	d[M1] = 0.15
+	d[M2] = -0.15
+	d[M5] = -0.15
+	d[M6] = 0.15
+	drv1, err := c.RetentionVoltage(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv1 <= drv0 {
+		t.Fatalf("skewed cell should need more retention supply: %v -> %v", drv0, drv1)
+	}
+}
+
+func TestRetentionVoltageBrokenCellSaturates(t *testing.T) {
+	c := Default90nm()
+	var d [NumTransistors]float64
+	d[M1] = 0.9  // driver A dead: nothing holds Q low
+	d[M5] = -0.9 // load A absurdly strong: pulls Q up regardless
+	drv, err := c.RetentionVoltage(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv != c.VDD {
+		t.Fatalf("unretentive cell should saturate at VDD: %v", drv)
+	}
+}

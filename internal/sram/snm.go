@@ -1,0 +1,175 @@
+package sram
+
+import "sort"
+
+// curve is a sampled transfer curve y(x) with clamped linear
+// interpolation. Cell VTCs are monotone, but interpolation only assumes
+// sorted x.
+type curve struct {
+	xs, ys []float64 // xs strictly increasing
+}
+
+// at evaluates the curve at x, clamping outside the sampled range (the
+// rails extend flat, which is physically what the inverter does).
+func (c *curve) at(x float64) float64 {
+	n := len(c.xs)
+	if n == 0 {
+		panic("sram: empty curve")
+	}
+	if x <= c.xs[0] {
+		return c.ys[0]
+	}
+	if x >= c.xs[n-1] {
+		return c.ys[n-1]
+	}
+	i := sort.SearchFloat64s(c.xs, x)
+	// xs[i-1] < x ≤ xs[i]
+	x0, x1 := c.xs[i-1], c.xs[i]
+	y0, y1 := c.ys[i-1], c.ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// eyeSquare computes the signed side of the largest axis-aligned square
+// nested in one eye of the butterfly plot formed by the transfer curves
+// g1: y = g1(x) and g2: x = g2(y) (both monotone decreasing).
+//
+// For the state-0 eye (x low, y high; lobe = 0) a square of side s fits
+// with its bottom edge at y = b iff b + s ≤ g1(g2(b) + s); the largest
+// such s at a given b is the root of the decreasing function
+// h(s) = g1(g2(b) + s) − b − s, found by bisection on interpolated curves
+// only (no circuit simulation). The eye size is max over b. The state-1
+// eye (lobe = 1) follows by exchanging the curves' roles.
+//
+// The returned value is continuous through zero: when the eye has
+// collapsed (monostable cell) it is negative, measuring how far the
+// curves overlap — exactly the margin polarity the failure indicator
+// needs. vdd scales the search ranges.
+func eyeSquare(g1, g2 *curve, lobe int, vdd float64) float64 {
+	f := func(b, s float64) float64 {
+		if lobe == 0 {
+			return g1.at(g2.at(b)+s) - b - s
+		}
+		return g2.at(g1.at(b)+s) - b - s
+	}
+	sAt := func(b float64) float64 {
+		lo, hi := -2*vdd, 2*vdd
+		// h is strictly decreasing in s (dh/ds ≤ −1); bracket is
+		// guaranteed because curves are clamped to [0, vdd].
+		for i := 0; i < 60; i++ {
+			mid := 0.5 * (lo + hi)
+			if f(b, mid) > 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return 0.5 * (lo + hi)
+	}
+	// Coarse scan of the square's base coordinate followed by ternary
+	// refinement around the best cell.
+	const coarse = 81
+	bestB, bestS := 0.0, sAt(0)
+	for i := 1; i < coarse; i++ {
+		b := vdd * float64(i) / float64(coarse-1)
+		if s := sAt(b); s > bestS {
+			bestB, bestS = b, s
+		}
+	}
+	step := vdd / float64(coarse-1)
+	lo, hi := bestB-step, bestB+step
+	for i := 0; i < 40; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if sAt(m1) < sAt(m2) {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	if s := sAt(0.5 * (lo + hi)); s > bestS {
+		bestS = s
+	}
+	return bestS
+}
+
+// Curve is a sampled transfer curve exposed to external consumers (the
+// butterfly command and plots).
+type Curve struct {
+	X, Y []float64
+}
+
+// TransferCurves returns the two butterfly curves in the given
+// configuration: g1 maps a forced Q to the resulting QB, g2 maps a forced
+// QB to the resulting Q.
+func TransferCurves(c *Cell, cfg BiasConfig, dvth [NumTransistors]float64) (g1, g2 *Curve, err error) {
+	c1, err := c.transferCurveQtoQB(cfg, dvth)
+	if err != nil {
+		return nil, nil, err
+	}
+	c2, err := c.transferCurveQBtoQ(cfg, dvth)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Curve{X: c1.xs, Y: c1.ys}, &Curve{X: c2.xs, Y: c2.ys}, nil
+}
+
+// SNM holds the two eye sizes of a butterfly plot.
+type SNM struct {
+	// Eye0 is the signed square side of the eye around the state Q=0
+	// crossing; Eye1 around Q=1. Negative means the eye has collapsed.
+	Eye0, Eye1 float64
+}
+
+// Min returns the classical static noise margin: the smaller eye.
+func (s SNM) Min() float64 {
+	if s.Eye0 < s.Eye1 {
+		return s.Eye0
+	}
+	return s.Eye1
+}
+
+// NoiseMargins extracts both butterfly eyes in the given configuration.
+func (c *Cell) NoiseMargins(cfg BiasConfig, dvth [NumTransistors]float64) (SNM, error) {
+	g1, err := c.transferCurveQtoQB(cfg, dvth)
+	if err != nil {
+		return SNM{}, err
+	}
+	g2, err := c.transferCurveQBtoQ(cfg, dvth)
+	if err != nil {
+		return SNM{}, err
+	}
+	return SNM{
+		Eye0: eyeSquare(g1, g2, 0, c.VDD),
+		Eye1: eyeSquare(g1, g2, 1, c.VDD),
+	}, nil
+}
+
+// ReadSNM returns the read-stability margin for the cell storing 0: the
+// state-0 eye of the butterfly under read bias. The paper analyzes one
+// failure mechanism at a time (§IV-A); the symmetric read-1 failure rate
+// is obtained by doubling.
+func (c *Cell) ReadSNM(dvth [NumTransistors]float64) (float64, error) {
+	s, err := c.NoiseMargins(ReadConfig, dvth)
+	if err != nil {
+		return 0, err
+	}
+	return s.Eye0, nil
+}
+
+// WriteMargin returns the write-noise-margin proxy used by the WNM
+// experiments: the bitline write-trip voltage (see WriteTrip). A larger
+// value means an easier write; the cell write-fails when the margin drops
+// below the spec threshold.
+func (c *Cell) WriteMargin(dvth [NumTransistors]float64) (float64, error) {
+	return c.WriteTrip(dvth)
+}
+
+// HoldSNM returns the data-retention margin (WL off) for the state-0 eye.
+func (c *Cell) HoldSNM(dvth [NumTransistors]float64) (float64, error) {
+	s, err := c.NoiseMargins(HoldConfig, dvth)
+	if err != nil {
+		return 0, err
+	}
+	return s.Eye0, nil
+}

@@ -1,0 +1,228 @@
+package sram
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/spice"
+)
+
+// Dynamic (transient) cell metrics. The paper motivates the read-current
+// experiment through access-time failure — "the read current directly
+// impacts the discharge speed of bit lines during a read operation"
+// (§V-B). These metrics close that loop: they simulate the actual
+// bitline discharge and write transition instead of using the static
+// current as a proxy.
+
+// TranSpec holds the transient test-bench parameters.
+type TranSpec struct {
+	// CBit is the bitline capacitance in farads (default 10 fF).
+	CBit float64
+	// CCell is the internal storage-node capacitance (default 0.2 fF).
+	CCell float64
+	// Step and Stop are the integration step and end time (defaults
+	// 2 ps and 1 ns).
+	Step, Stop float64
+	// WLEdge is when the word line rises (default 50 ps, 20 ps ramp).
+	WLEdge float64
+	// Sense is the bitline differential that ends a read (default
+	// 100 mV).
+	Sense float64
+}
+
+func (s *TranSpec) defaults() TranSpec {
+	d := TranSpec{CBit: 10e-15, CCell: 0.2e-15, Step: 2e-12, Stop: 1e-9, WLEdge: 50e-12, Sense: 0.1}
+	if s == nil {
+		return d
+	}
+	out := *s
+	if out.CBit <= 0 {
+		out.CBit = d.CBit
+	}
+	if out.CCell <= 0 {
+		out.CCell = d.CCell
+	}
+	if out.Step <= 0 {
+		out.Step = d.Step
+	}
+	if out.Stop <= 0 {
+		out.Stop = d.Stop
+	}
+	if out.WLEdge <= 0 {
+		out.WLEdge = d.WLEdge
+	}
+	if out.Sense <= 0 {
+		out.Sense = d.Sense
+	}
+	return out
+}
+
+// buildTran assembles the cell with capacitive bitlines. When driveBL is
+// true the bitlines are driven by sources (write); otherwise they float
+// on their precharge capacitors (read sensing).
+func (c *Cell) buildTran(spec TranSpec, dvth [NumTransistors]float64, driveBL bool, blLevel float64) *spice.Circuit {
+	ckt := spice.NewCircuit()
+	ckt.AddVSource("vdd", "vdd", "0", c.VDD)
+	wl := ckt.AddVSource("vwl", "wl", "0", 0)
+	wl.Waveform = spice.StepWaveform(0, c.VDD, spec.WLEdge, 20e-12)
+	if driveBL {
+		ckt.AddVSource("vbl", "bl", "0", blLevel)
+		ckt.AddVSource("vblb", "blb", "0", c.VDD)
+	}
+	ckt.AddCapacitor("cbl", "bl", "0", spec.CBit)
+	ckt.AddCapacitor("cblb", "blb", "0", spec.CBit)
+	ckt.AddCapacitor("cq", "q", "0", spec.CCell)
+	ckt.AddCapacitor("cqb", "qb", "0", spec.CCell)
+
+	ckt.AddMOSFET("m1", "q", "qb", "0", "0", c.Driver).DeltaVth = dvth[M1]
+	ckt.AddMOSFET("m2", "qb", "q", "0", "0", c.Driver).DeltaVth = dvth[M2]
+	ckt.AddMOSFET("m3", "bl", "wl", "q", "0", c.Access).DeltaVth = dvth[M3]
+	ckt.AddMOSFET("m4", "blb", "wl", "qb", "0", c.Access).DeltaVth = dvth[M4]
+	ckt.AddMOSFET("m5", "q", "qb", "vdd", "vdd", c.Load).DeltaVth = dvth[M5]
+	ckt.AddMOSFET("m6", "qb", "q", "vdd", "vdd", c.Load).DeltaVth = dvth[M6]
+	return ckt
+}
+
+// AccessTime simulates a read of a stored 0: the precharged floating
+// bitlines are released onto the cell when the word line rises, and the
+// returned value is the time (from the WL edge) for the bitline
+// differential to reach spec.Sense. If the differential never develops
+// within spec.Stop — a read access failure — the remaining-window value
+// spec.Stop − spec.WLEdge is returned, keeping the metric finite and
+// monotone.
+func (c *Cell) AccessTime(spec *TranSpec, dvth [NumTransistors]float64) (float64, error) {
+	s := spec.defaults()
+	ckt := c.buildTran(s, dvth, false, 0)
+	tCross := -1.0
+	prevT, prevD := 0.0, 0.0
+	err := ckt.SolveTran(spice.TranOptions{
+		Stop: s.Stop, Step: s.Step, Method: spice.BackwardEuler,
+		InitialConditions: map[string]float64{
+			"bl": c.VDD, "blb": c.VDD, "q": 0, "qb": c.VDD,
+		},
+	}, func(p spice.TranPoint) bool {
+		d := p.OP.Voltage("blb") - p.OP.Voltage("bl")
+		if p.T > s.WLEdge && d >= s.Sense {
+			// Linear interpolation of the crossing keeps the metric
+			// smooth in the mismatch variables (no step-quantization
+			// plateaus, which would break binary search and model fits).
+			tCross = p.T
+			if d > prevD {
+				tCross = prevT + (s.Sense-prevD)*(p.T-prevT)/(d-prevD)
+			}
+			return false
+		}
+		prevT, prevD = p.T, d
+		return true
+	})
+	if err != nil {
+		return 0, fmt.Errorf("sram: access-time transient: %w", err)
+	}
+	if tCross < 0 {
+		return s.Stop - s.WLEdge, nil
+	}
+	return tCross - s.WLEdge, nil
+}
+
+// WriteDelay simulates writing a 0 into a cell storing 1 (BL driven low)
+// and returns the time from the WL edge until Q falls through VDD/2. A
+// cell that never flips within spec.Stop returns the remaining-window
+// value spec.Stop − spec.WLEdge (a write failure under any realistic
+// timing spec).
+func (c *Cell) WriteDelay(spec *TranSpec, dvth [NumTransistors]float64) (float64, error) {
+	s := spec.defaults()
+	ckt := c.buildTran(s, dvth, true, 0)
+	tFlip := -1.0
+	prevT, prevQ := 0.0, c.VDD
+	err := ckt.SolveTran(spice.TranOptions{
+		Stop: s.Stop, Step: s.Step, Method: spice.BackwardEuler,
+		InitialConditions: map[string]float64{
+			"q": c.VDD, "qb": 0, "bl": 0, "blb": c.VDD,
+		},
+	}, func(p spice.TranPoint) bool {
+		q := p.OP.Voltage("q")
+		if p.T > s.WLEdge && q < 0.5*c.VDD {
+			tFlip = p.T
+			if q < prevQ {
+				tFlip = prevT + (prevQ-0.5*c.VDD)*(p.T-prevT)/(prevQ-q)
+			}
+			return false
+		}
+		prevT, prevQ = p.T, q
+		return true
+	})
+	if err != nil {
+		return 0, fmt.Errorf("sram: write-delay transient: %w", err)
+	}
+	if tFlip < 0 {
+		return s.Stop - s.WLEdge, nil
+	}
+	return tFlip - s.WLEdge, nil
+}
+
+// TranMetric adapts a dynamic metric to mc.Metric: margin = Spec − delay
+// (fail when the cell is slower than Spec). Coordinates map to
+// transistors through Which with ΔVth = SigmaVth·x, like the static
+// Metric.
+type TranMetric struct {
+	Cell *Cell
+	// Kind selects AccessTime ("access") or WriteDelay ("write").
+	Kind string
+	// Spec is the timing budget in seconds.
+	Spec float64
+	// Bench tunes the transient test bench (nil = defaults).
+	Bench *TranSpec
+	// Which lists the transistors exposed as variation coordinates.
+	Which []int
+	// Scale converts seconds to well-conditioned units for response
+	// surfaces (default 1e12: picoseconds).
+	Scale float64
+}
+
+// Dim implements mc.Metric.
+func (m *TranMetric) Dim() int { return len(m.Which) }
+
+// Value implements mc.Metric.
+func (m *TranMetric) Value(x []float64) float64 {
+	if len(x) != len(m.Which) {
+		panic(fmt.Sprintf("sram: tran metric got %d coordinates, want %d", len(x), len(m.Which)))
+	}
+	var dvth [NumTransistors]float64
+	for j, tr := range m.Which {
+		dvth[tr] = m.Cell.SigmaVth * x[j]
+	}
+	var (
+		delay float64
+		err   error
+	)
+	switch m.Kind {
+	case "access":
+		delay, err = m.Cell.AccessTime(m.Bench, dvth)
+	case "write":
+		delay, err = m.Cell.WriteDelay(m.Bench, dvth)
+	default:
+		err = errors.New("sram: unknown tran metric kind")
+	}
+	if err != nil {
+		// Non-convergence means the cell is broken: maximal delay.
+		delay = m.Bench.defaults().Stop
+	}
+	scale := m.Scale
+	if scale == 0 {
+		scale = 1e12
+	}
+	return (m.Spec - delay) * scale
+}
+
+// AccessTimeWorkload is the dynamic counterpart of the read-current
+// experiment: access-time failure over the read-path pair {ΔVth1, ΔVth3}
+// of the fast-read cell. The spec is calibrated like the static
+// workloads (see EXPERIMENTS.md): nominal ≈ 31.3 ps with a
+// ‖∇‖ ≈ 1.44 ps/σ gradient, so a 39.7 ps budget puts the boundary near
+// 4.7σ along the steepest direction.
+func AccessTimeWorkload() *TranMetric {
+	return &TranMetric{
+		Cell: FastRead90nm(), Kind: "access", Spec: 39.7e-12,
+		Which: []int{M1, M3},
+	}
+}

@@ -1,0 +1,69 @@
+package stat
+
+import "math"
+
+// Chi is the Chi distribution with K degrees of freedom: the distribution
+// of the radius r = ‖x‖₂ of an M-dimensional standard Normal vector
+// (paper eq. 13). The spherical Gibbs chain samples r from truncated Chi
+// conditionals, so we need its PDF, CDF and quantile.
+type Chi struct {
+	K int // degrees of freedom (the dimensionality M)
+}
+
+// PDF returns f(r) = 2 r^{K−1} e^{−r²/2} / (2^{K/2} Γ(K/2)) for r ≥ 0.
+func (c Chi) PDF(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r == 0 {
+		if c.K == 1 {
+			return 2 * invSqrt2Pi // limit of the K=1 half-Normal at 0
+		}
+		return 0
+	}
+	k := float64(c.K)
+	lg := LogGamma(0.5 * k)
+	logf := math.Log(2) + (k-1)*math.Log(r) - 0.5*r*r - 0.5*k*math.Log(2) - lg
+	return math.Exp(logf)
+}
+
+// CDF returns P(R ≤ r) = P(K/2, r²/2), the regularized lower incomplete
+// gamma function.
+func (c Chi) CDF(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return RegIncGammaP(0.5*float64(c.K), 0.5*r*r)
+}
+
+// SF returns P(R > r), accurately for large r.
+func (c Chi) SF(r float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	return RegIncGammaQ(0.5*float64(c.K), 0.5*r*r)
+}
+
+// Quantile returns the p-quantile of the Chi distribution.
+func (c Chi) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	x := InvRegIncGammaP(0.5*float64(c.K), p)
+	return math.Sqrt(2 * x)
+}
+
+// Mean returns E[R] = √2 Γ((K+1)/2) / Γ(K/2).
+func (c Chi) Mean() float64 {
+	k := float64(c.K)
+	return sqrt2 * math.Exp(LogGamma(0.5*(k+1))-LogGamma(0.5*k))
+}
+
+// Var returns Var[R] = K − E[R]².
+func (c Chi) Var() float64 {
+	m := c.Mean()
+	return float64(c.K) - m*m
+}

@@ -1,0 +1,257 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// GMM is a Gaussian mixture distribution. The paper's §IV-C notes that
+// the optimal distortion g^OPT can be approximated by a Gaussian mixture
+// instead of a single Normal at the cost of more first-stage samples;
+// this type implements that extension, and the two-stage flow can fit it
+// from the Gibbs samples (gibbs.FitDistortionGMM). A mixture matters
+// exactly where the single Normal breaks: multi-lobe failure regions like
+// the dual read-current workload.
+type GMM struct {
+	Weights    []float64
+	Components []*MVNormal
+	dim        int
+	logW       []float64
+}
+
+// NewGMM assembles a mixture from weights (normalized internally) and
+// components of equal dimensionality.
+func NewGMM(weights []float64, comps []*MVNormal) (*GMM, error) {
+	if len(weights) == 0 || len(weights) != len(comps) {
+		return nil, errors.New("stat: GMM needs matching non-empty weights and components")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, errors.New("stat: GMM weights must be non-negative")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, errors.New("stat: GMM weights sum to zero")
+	}
+	dim := comps[0].Dim()
+	g := &GMM{dim: dim}
+	for i, c := range comps {
+		if c.Dim() != dim {
+			return nil, errors.New("stat: GMM component dimensions differ")
+		}
+		w := weights[i] / sum
+		if w == 0 {
+			continue // drop dead components
+		}
+		g.Weights = append(g.Weights, w)
+		g.Components = append(g.Components, c)
+		g.logW = append(g.logW, math.Log(w))
+	}
+	return g, nil
+}
+
+// Dim returns the dimensionality.
+func (g *GMM) Dim() int { return g.dim }
+
+// LogPDF evaluates the mixture density via log-sum-exp.
+func (g *GMM) LogPDF(x []float64) float64 {
+	maxv := math.Inf(-1)
+	terms := make([]float64, len(g.Components))
+	for i, c := range g.Components {
+		terms[i] = g.logW[i] + c.LogPDF(x)
+		if terms[i] > maxv {
+			maxv = terms[i]
+		}
+	}
+	if math.IsInf(maxv, -1) {
+		return maxv
+	}
+	sum := 0.0
+	for _, t := range terms {
+		sum += math.Exp(t - maxv)
+	}
+	return maxv + math.Log(sum)
+}
+
+// PDF returns the density at x.
+func (g *GMM) PDF(x []float64) float64 { return math.Exp(g.LogPDF(x)) }
+
+// Sample draws one sample: pick a component by weight, then sample it.
+func (g *GMM) Sample(rng *rand.Rand) []float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range g.Weights {
+		acc += w
+		if u <= acc {
+			return g.Components[i].Sample(rng)
+		}
+	}
+	return g.Components[len(g.Components)-1].Sample(rng)
+}
+
+// FitGMM fits a k-component mixture to samples by expectation
+// maximization with k-means++-style seeding. Covariances are regularized
+// with a trace-scaled jitter so degenerate components cannot collapse.
+// With k = 1 it reduces to the plain mean/covariance fit.
+func FitGMM(samples [][]float64, k, iters int, rng *rand.Rand) (*GMM, error) {
+	n := len(samples)
+	if k <= 0 {
+		return nil, errors.New("stat: GMM needs k ≥ 1")
+	}
+	if n < 2*k {
+		return nil, errors.New("stat: too few samples for the requested mixture size")
+	}
+	dim := len(samples[0])
+
+	// Global moments for seeding and regularization.
+	gmean, gcov, err := Covariance(samples)
+	if err != nil {
+		return nil, err
+	}
+	jitter := 0.0
+	for i := 0; i < dim; i++ {
+		jitter += gcov.At(i, i)
+	}
+	jitter = math.Max(jitter/float64(dim)*1e-6, 1e-12)
+
+	if k == 1 {
+		mv, err := NewMVNormal(gmean, gcov)
+		if err != nil {
+			return nil, err
+		}
+		return NewGMM([]float64{1}, []*MVNormal{mv})
+	}
+
+	// k-means++ seeding of the component means.
+	means := make([][]float64, 0, k)
+	first := samples[rng.Intn(n)]
+	means = append(means, linalg.CopyVec(first))
+	d2 := make([]float64, n)
+	for len(means) < k {
+		total := 0.0
+		for i, s := range samples {
+			best := math.Inf(1)
+			for _, m := range means {
+				d := sqDist(s, m)
+				if d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All samples identical to chosen means: duplicate a mean.
+			means = append(means, linalg.CopyVec(means[0]))
+			continue
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if u <= acc {
+				pick = i
+				break
+			}
+		}
+		means = append(means, linalg.CopyVec(samples[pick]))
+	}
+
+	weights := make([]float64, k)
+	comps := make([]*MVNormal, k)
+	for j := 0; j < k; j++ {
+		weights[j] = 1 / float64(k)
+		cov := gcov.Clone()
+		for i := 0; i < dim; i++ {
+			cov.Add(i, i, jitter)
+		}
+		comps[j], err = NewMVNormal(means[j], cov)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	resp := linalg.NewMatrix(n, k)
+	for iter := 0; iter < iters; iter++ {
+		// E step: responsibilities.
+		for i, s := range samples {
+			row := resp.Row(i)
+			maxv := math.Inf(-1)
+			for j := 0; j < k; j++ {
+				row[j] = math.Log(weights[j]) + comps[j].LogPDF(s)
+				if row[j] > maxv {
+					maxv = row[j]
+				}
+			}
+			sum := 0.0
+			for j := 0; j < k; j++ {
+				row[j] = math.Exp(row[j] - maxv)
+				sum += row[j]
+			}
+			for j := 0; j < k; j++ {
+				row[j] /= sum
+			}
+		}
+		// M step: weighted moments.
+		for j := 0; j < k; j++ {
+			nj := 0.0
+			mean := make([]float64, dim)
+			for i, s := range samples {
+				r := resp.At(i, j)
+				nj += r
+				for d := 0; d < dim; d++ {
+					mean[d] += r * s[d]
+				}
+			}
+			if nj < 1e-8 {
+				// Dead component: reseed on a random sample.
+				mean = linalg.CopyVec(samples[rng.Intn(n)])
+				nj = 1
+			} else {
+				linalg.Scale(mean, 1/nj)
+			}
+			cov := linalg.NewMatrix(dim, dim)
+			for i, s := range samples {
+				r := resp.At(i, j)
+				if r == 0 {
+					continue
+				}
+				for a := 0; a < dim; a++ {
+					da := s[a] - mean[a]
+					for bIdx := a; bIdx < dim; bIdx++ {
+						cov.Add(a, bIdx, r*da*(s[bIdx]-mean[bIdx]))
+					}
+				}
+			}
+			for a := 0; a < dim; a++ {
+				for bIdx := a; bIdx < dim; bIdx++ {
+					v := cov.At(a, bIdx) / nj
+					cov.Set(a, bIdx, v)
+					cov.Set(bIdx, a, v)
+				}
+				cov.Add(a, a, jitter)
+			}
+			weights[j] = nj / float64(n)
+			comps[j], err = NewMVNormal(mean, cov)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return NewGMM(weights, comps)
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestGMMValidation(t *testing.T) {
+	mv := StandardMVNormal(2)
+	if _, err := NewGMM(nil, nil); err == nil {
+		t.Fatal("empty GMM should error")
+	}
+	if _, err := NewGMM([]float64{1, 1}, []*MVNormal{mv}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := NewGMM([]float64{-1}, []*MVNormal{mv}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if _, err := NewGMM([]float64{0}, []*MVNormal{mv}); err == nil {
+		t.Fatal("zero-sum weights should error")
+	}
+	if _, err := NewGMM([]float64{1, 1}, []*MVNormal{mv, StandardMVNormal(3)}); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestGMMSingleComponentMatchesNormal(t *testing.T) {
+	cov := linalg.NewMatrixFrom([][]float64{{2, 0.5}, {0.5, 1}})
+	mv, err := NewMVNormal([]float64{1, -1}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGMM([]float64{3}, []*MVNormal{mv}) // weight normalizes to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{0, 0}, {1, -1}, {3, 2}} {
+		if math.Abs(g.LogPDF(x)-mv.LogPDF(x)) > 1e-12 {
+			t.Fatalf("single-component GMM disagrees with Normal at %v", x)
+		}
+	}
+}
+
+func TestGMMMixturePDF(t *testing.T) {
+	a := StandardMVNormal(1)
+	b, _ := NewMVNormal([]float64{4}, linalg.Identity(1))
+	g, err := NewGMM([]float64{0.25, 0.75}, []*MVNormal{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1.0}
+	want := 0.25*a.PDF(x) + 0.75*b.PDF(x)
+	if math.Abs(g.PDF(x)-want) > 1e-15 {
+		t.Fatalf("mixture pdf: got %v want %v", g.PDF(x), want)
+	}
+}
+
+func TestGMMSampleProportions(t *testing.T) {
+	a, _ := NewMVNormal([]float64{-10}, linalg.Identity(1))
+	b, _ := NewMVNormal([]float64{10}, linalg.Identity(1))
+	g, err := NewGMM([]float64{0.3, 0.7}, []*MVNormal{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 50000
+	right := 0
+	for i := 0; i < n; i++ {
+		if g.Sample(rng)[0] > 0 {
+			right++
+		}
+	}
+	if frac := float64(right) / n; math.Abs(frac-0.7) > 0.01 {
+		t.Fatalf("component proportion %v, want 0.7", frac)
+	}
+}
+
+func TestFitGMMTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var samples [][]float64
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.NormFloat64()*0.5 + 5, rng.NormFloat64() * 0.5}
+		samples = append(samples, x)
+	}
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.NormFloat64() * 0.5, rng.NormFloat64()*0.5 + 5}
+		samples = append(samples, x)
+	}
+	g, err := FitGMM(samples, 2, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Components) != 2 {
+		t.Fatalf("components: %d", len(g.Components))
+	}
+	// One component near (5,0), the other near (0,5); weights ≈ .6/.4.
+	m0, m1 := g.Components[0].Mean, g.Components[1].Mean
+	if m0[0] < m1[0] {
+		m0, m1 = m1, m0
+		g.Weights[0], g.Weights[1] = g.Weights[1], g.Weights[0]
+	}
+	if math.Abs(m0[0]-5) > 0.3 || math.Abs(m0[1]) > 0.3 {
+		t.Fatalf("component mean off: %v", m0)
+	}
+	if math.Abs(m1[1]-5) > 0.3 || math.Abs(m1[0]) > 0.3 {
+		t.Fatalf("component mean off: %v", m1)
+	}
+	if math.Abs(g.Weights[0]-0.6) > 0.05 {
+		t.Fatalf("weights off: %v", g.Weights)
+	}
+}
+
+func TestFitGMMOneComponentEqualsMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var samples [][]float64
+	for i := 0; i < 500; i++ {
+		samples = append(samples, []float64{rng.NormFloat64() + 2, rng.NormFloat64() - 1})
+	}
+	g, err := FitGMM(samples, 1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _, _ := Covariance(samples)
+	for i := range mu {
+		if math.Abs(g.Components[0].Mean[i]-mu[i]) > 1e-12 {
+			t.Fatalf("k=1 mean should equal the sample mean: %v vs %v",
+				g.Components[0].Mean, mu)
+		}
+	}
+}
+
+func TestFitGMMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := FitGMM([][]float64{{1}, {2}}, 0, 5, rng); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := FitGMM([][]float64{{1}, {2}, {3}}, 2, 5, rng); err == nil {
+		t.Fatal("too few samples should error")
+	}
+}
+
+// The fitted mixture must integrate importance weights correctly: using a
+// 2-component GMM as the distortion for a bimodal set of means should
+// produce finite, sane log densities everywhere between the lobes.
+func TestGMMLogPDFStable(t *testing.T) {
+	a, _ := NewMVNormal([]float64{-30, 0}, linalg.Identity(2))
+	b, _ := NewMVNormal([]float64{30, 0}, linalg.Identity(2))
+	g, _ := NewGMM([]float64{0.5, 0.5}, []*MVNormal{a, b})
+	for _, x := range [][]float64{{-30, 0}, {0, 0}, {30, 0}, {100, 100}} {
+		v := g.LogPDF(x)
+		if math.IsNaN(v) || math.IsInf(v, 1) {
+			t.Fatalf("unstable logpdf at %v: %v", x, v)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package stat
+
+import (
+	"errors"
+
+	"repro/internal/linalg"
+)
+
+// ErrTooFewSamples is returned when moment estimation receives fewer
+// samples than required.
+var ErrTooFewSamples = errors.New("stat: too few samples")
+
+// MeanVec returns the sample mean of the rows of xs.
+func MeanVec(xs [][]float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrTooFewSamples
+	}
+	d := len(xs[0])
+	mu := make([]float64, d)
+	for _, x := range xs {
+		for i, v := range x {
+			mu[i] += v
+		}
+	}
+	inv := 1 / float64(len(xs))
+	for i := range mu {
+		mu[i] *= inv
+	}
+	return mu, nil
+}
+
+// Covariance returns the unbiased sample covariance matrix of the rows of
+// xs (divisor n−1). This implements Algorithm 5 step 4: estimating the
+// mean and covariance of g^NOR(x) from the first-stage Gibbs samples.
+func Covariance(xs [][]float64) ([]float64, *linalg.Matrix, error) {
+	if len(xs) < 2 {
+		return nil, nil, ErrTooFewSamples
+	}
+	mu, err := MeanVec(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := len(mu)
+	cov := linalg.NewMatrix(d, d)
+	for _, x := range xs {
+		for i := 0; i < d; i++ {
+			di := x[i] - mu[i]
+			for j := i; j < d; j++ {
+				cov.Add(i, j, di*(x[j]-mu[j]))
+			}
+		}
+	}
+	inv := 1 / float64(len(xs)-1)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.At(i, j) * inv
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return mu, cov, nil
+}
+
+// Running accumulates a scalar stream with Welford's algorithm and exposes
+// mean, variance and Normal-theory confidence intervals. The
+// importance-sampling estimators feed their weights through this to report
+// the paper's "relative error defined by the 99% confidence interval".
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Push adds an observation.
+func (r *Running) Push(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n < 1 {
+		return 0
+	}
+	v := r.Var()
+	return sqrtPos(v / float64(r.n))
+}
+
+// Z99 is the two-sided 99% Normal critical value used throughout the
+// paper's accuracy metric.
+const Z99 = 2.5758293035489008
+
+// CIHalfWidth returns z·StdErr, the half-width of the two-sided confidence
+// interval at the given critical value.
+func (r *Running) CIHalfWidth(z float64) float64 { return z * r.StdErr() }
+
+// RelErr99 returns the paper's accuracy figure of merit: the 99%
+// confidence-interval half-width divided by the estimated mean. It returns
+// +Inf when the mean is zero (no failures observed yet).
+func (r *Running) RelErr99() float64 {
+	if r.mean == 0 {
+		return inf()
+	}
+	return r.CIHalfWidth(Z99) / r.mean
+}
+
+func sqrtPos(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return sqrt(v)
+}

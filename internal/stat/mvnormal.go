@@ -1,0 +1,116 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// MVNormal is a multivariate Normal distribution N(Mean, Cov) with a cached
+// Cholesky factor, used both to sample the distorted distribution g^NOR(x)
+// in the second Monte Carlo stage and to evaluate its density in the
+// importance-sampling weight I·f/g (paper eq. 33).
+type MVNormal struct {
+	Mean []float64
+	chol *linalg.Cholesky
+	dim  int
+	// logNormConst = −(M/2)·ln(2π) − (1/2)·ln det Σ
+	logNormConst float64
+}
+
+// NewMVNormal builds the distribution from a mean vector and covariance
+// matrix. The covariance is regularized with escalating diagonal jitter if
+// it is not numerically positive definite (covariances estimated from few
+// Gibbs samples are routinely near-singular).
+func NewMVNormal(mean []float64, cov *linalg.Matrix) (*MVNormal, error) {
+	if cov.Rows != cov.Cols || cov.Rows != len(mean) {
+		return nil, fmt.Errorf("stat: MVNormal shape mismatch: mean %d, cov %dx%d",
+			len(mean), cov.Rows, cov.Cols)
+	}
+	chol, _, err := linalg.FactorCholeskyRegularized(cov, 1e-12, 60)
+	if err != nil {
+		return nil, err
+	}
+	d := len(mean)
+	return &MVNormal{
+		Mean:         linalg.CopyVec(mean),
+		chol:         chol,
+		dim:          d,
+		logNormConst: -0.5*float64(d)*math.Log(2*math.Pi) - 0.5*chol.LogDet(),
+	}, nil
+}
+
+// StandardMVNormal returns N(0, I) in dim dimensions — the process-variation
+// PDF f(x) of paper eq. (1).
+func StandardMVNormal(dim int) *MVNormal {
+	mv, err := NewMVNormal(make([]float64, dim), linalg.Identity(dim))
+	if err != nil {
+		panic(err) // identity covariance cannot fail
+	}
+	return mv
+}
+
+// Dim returns the dimensionality.
+func (m *MVNormal) Dim() int { return m.dim }
+
+// LogPDF returns the log density at x.
+func (m *MVNormal) LogPDF(x []float64) float64 {
+	d := make([]float64, m.dim)
+	for i := range d {
+		d[i] = x[i] - m.Mean[i]
+	}
+	// Solve L y = d; the quadratic form is ‖y‖².
+	y := m.forwardSolve(d)
+	q := 0.0
+	for _, v := range y {
+		q += v * v
+	}
+	return m.logNormConst - 0.5*q
+}
+
+// PDF returns the density at x.
+func (m *MVNormal) PDF(x []float64) float64 { return math.Exp(m.LogPDF(x)) }
+
+// forwardSolve solves L y = d using the lower Cholesky factor.
+func (m *MVNormal) forwardSolve(d []float64) []float64 {
+	l := m.chol.L
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := l.Row(i)
+		s := d[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * y[j]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// Sample draws one sample x = Mean + L z with z ~ N(0, I).
+func (m *MVNormal) Sample(rng *rand.Rand) []float64 {
+	z := make([]float64, m.dim)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	x := m.chol.MulVec(z)
+	for i := range x {
+		x[i] += m.Mean[i]
+	}
+	return x
+}
+
+// StdNormLogPDF returns the log density of the M-dimensional standard
+// Normal at x without constructing an MVNormal.
+func StdNormLogPDF(x []float64) float64 {
+	q := 0.0
+	for _, v := range x {
+		q += v * v
+	}
+	return -0.5*float64(len(x))*math.Log(2*math.Pi) - 0.5*q
+}
+
+// StdNormPDF returns the density of the M-dimensional standard Normal at x.
+func StdNormPDF(x []float64) float64 { return math.Exp(StdNormLogPDF(x)) }

@@ -1,0 +1,261 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestStandardMVNormalPDF(t *testing.T) {
+	mv := StandardMVNormal(3)
+	x := []float64{0.3, -1.2, 0.7}
+	want := NormPDF(0.3) * NormPDF(-1.2) * NormPDF(0.7)
+	if math.Abs(mv.PDF(x)-want) > 1e-15 {
+		t.Fatalf("PDF: got %v want %v", mv.PDF(x), want)
+	}
+	if math.Abs(StdNormPDF(x)-want) > 1e-15 {
+		t.Fatalf("StdNormPDF: got %v want %v", StdNormPDF(x), want)
+	}
+}
+
+func TestMVNormalShapeMismatch(t *testing.T) {
+	if _, err := NewMVNormal([]float64{0, 0, 0}, linalg.Identity(2)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMVNormalDensityKnown(t *testing.T) {
+	// 2-D with Σ = [[2,1],[1,2]]: det = 3.
+	cov := linalg.NewMatrixFrom([][]float64{{2, 1}, {1, 2}})
+	mv, err := NewMVNormal([]float64{1, -1}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density at the mean: 1/(2π√det).
+	want := 1 / (2 * math.Pi * math.Sqrt(3))
+	if got := mv.PDF([]float64{1, -1}); math.Abs(got-want) > 1e-14 {
+		t.Fatalf("density at mean: got %v want %v", got, want)
+	}
+	// Quadratic form at x = mean + (1,0): Σ⁻¹ = (1/3)[[2,−1],[−1,2]],
+	// q = 2/3.
+	want2 := want * math.Exp(-0.5*2.0/3.0)
+	if got := mv.PDF([]float64{2, -1}); math.Abs(got-want2) > 1e-14 {
+		t.Fatalf("density off mean: got %v want %v", got, want2)
+	}
+}
+
+func TestMVNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cov := linalg.NewMatrixFrom([][]float64{{2, 0.8}, {0.8, 1}})
+	mean := []float64{3, -2}
+	mv, err := NewMVNormal(mean, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = mv.Sample(rng)
+	}
+	mu, c, err := Covariance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mean {
+		if math.Abs(mu[i]-mean[i]) > 0.02 {
+			t.Fatalf("sample mean %d: %v", i, mu[i])
+		}
+	}
+	if c.MaxAbsDiff(cov) > 0.05 {
+		t.Fatalf("sample covariance off: %+v", c)
+	}
+}
+
+func TestMVNormalSingularCovRegularized(t *testing.T) {
+	// Perfectly correlated — the regularizer must save it.
+	cov := linalg.NewMatrixFrom([][]float64{{1, 1}, {1, 1}})
+	mv, err := NewMVNormal([]float64{0, 0}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mv.PDF([]float64{0, 0}); math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		t.Fatalf("regularized density invalid: %v", v)
+	}
+}
+
+func TestMeanVecAndCovariance(t *testing.T) {
+	xs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	mu, err := MeanVec(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu[0] != 3 || mu[1] != 4 {
+		t.Fatalf("mean wrong: %v", mu)
+	}
+	_, cov, err := Covariance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Var of {1,3,5} = 4 (unbiased), covariance = 4 too (perfectly linear).
+	if math.Abs(cov.At(0, 0)-4) > 1e-14 || math.Abs(cov.At(0, 1)-4) > 1e-14 {
+		t.Fatalf("cov wrong: %+v", cov)
+	}
+	if _, err := MeanVec(nil); err != ErrTooFewSamples {
+		t.Fatal("want ErrTooFewSamples")
+	}
+	if _, _, err := Covariance(xs[:1]); err != ErrTooFewSamples {
+		t.Fatal("want ErrTooFewSamples for n=1")
+	}
+}
+
+func TestRunningWelford(t *testing.T) {
+	var r Running
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range data {
+		r.Push(v)
+	}
+	if r.N() != len(data) {
+		t.Fatal("N wrong")
+	}
+	if math.Abs(r.Mean()-5) > 1e-14 {
+		t.Fatalf("mean: %v", r.Mean())
+	}
+	// Unbiased variance of the data = 32/7.
+	if math.Abs(r.Var()-32.0/7.0) > 1e-13 {
+		t.Fatalf("var: %v", r.Var())
+	}
+	se := math.Sqrt(32.0 / 7.0 / 8.0)
+	if math.Abs(r.StdErr()-se) > 1e-13 {
+		t.Fatalf("stderr: %v", r.StdErr())
+	}
+	if math.Abs(r.CIHalfWidth(Z99)-Z99*se) > 1e-13 {
+		t.Fatal("CI half width wrong")
+	}
+	if math.Abs(r.RelErr99()-Z99*se/5) > 1e-13 {
+		t.Fatal("RelErr99 wrong")
+	}
+}
+
+func TestRunningZeroMean(t *testing.T) {
+	var r Running
+	r.Push(0)
+	r.Push(0)
+	if !math.IsInf(r.RelErr99(), 1) {
+		t.Fatal("RelErr99 with zero mean should be +Inf")
+	}
+	var empty Running
+	if empty.Var() != 0 || empty.StdErr() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+}
+
+func TestTruncNormSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lo, hi := 1.5, 2.5
+	var r Running
+	for i := 0; i < 100000; i++ {
+		x := TruncNormSample(lo, hi, rng.Float64())
+		if x < lo || x > hi {
+			t.Fatalf("sample out of interval: %v", x)
+		}
+		r.Push(x)
+	}
+	// Analytic mean of truncated standard Normal on [a,b]:
+	// (φ(a) − φ(b)) / (Φ(b) − Φ(a)).
+	want := (NormPDF(lo) - NormPDF(hi)) / (NormCDF(hi) - NormCDF(lo))
+	if math.Abs(r.Mean()-want) > 5e-3 {
+		t.Fatalf("truncated mean: got %v want %v", r.Mean(), want)
+	}
+}
+
+func TestTruncChiSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const k = 6
+	lo, hi := 3.0, 5.0
+	c := Chi{K: k}
+	var r Running
+	for i := 0; i < 60000; i++ {
+		x := TruncChiSample(k, lo, hi, rng.Float64())
+		if x < lo || x > hi {
+			t.Fatalf("sample out of interval: %v", x)
+		}
+		r.Push(x)
+	}
+	// Numeric mean of the truncated Chi via fine trapezoid integration.
+	const h = 1e-4
+	num, den := 0.0, 0.0
+	for x := lo; x < hi; x += h {
+		p0, p1 := c.PDF(x), c.PDF(x+h)
+		num += 0.5 * (x*p0 + (x+h)*p1) * h
+		den += 0.5 * (p0 + p1) * h
+	}
+	want := num / den
+	if math.Abs(r.Mean()-want) > 5e-3 {
+		t.Fatalf("truncated chi mean: got %v want %v", r.Mean(), want)
+	}
+}
+
+// Sampling (r, α) per paper eqs (13)–(15) and mapping through eq (11) must
+// reproduce a standard Normal x — the statement of Theorem 1.
+func TestTheorem1SphericalMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const m = 4
+	const n = 150000
+	xs := make([][]float64, n)
+	chi := Chi{K: m}
+	for i := range xs {
+		r := chi.Quantile(rng.Float64())
+		alpha := make([]float64, m)
+		na := 0.0
+		for j := range alpha {
+			alpha[j] = rng.NormFloat64()
+			na += alpha[j] * alpha[j]
+		}
+		na = math.Sqrt(na)
+		x := make([]float64, m)
+		for j := range x {
+			x[j] = r * alpha[j] / na
+		}
+		xs[i] = x
+	}
+	mu, cov, err := Covariance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		if math.Abs(mu[i]) > 0.02 {
+			t.Fatalf("mean[%d] = %v, want 0", i, mu[i])
+		}
+		for j := 0; j < m; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(cov.At(i, j)-want) > 0.03 {
+				t.Fatalf("cov[%d,%d] = %v, want %v", i, j, cov.At(i, j), want)
+			}
+		}
+	}
+	// Marginal normality check via a few quantiles of x_0.
+	col := make([]float64, n)
+	for i := range xs {
+		col[i] = xs[i][0]
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if math.Abs(empiricalQuantile(col, p)-NormQuantile(p)) > 0.03 {
+			t.Fatalf("marginal quantile %v off: %v vs %v",
+				p, empiricalQuantile(col, p), NormQuantile(p))
+		}
+	}
+}
+
+func empiricalQuantile(xs []float64, p float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}

@@ -1,0 +1,151 @@
+// Package stat implements the probability and statistics substrate for the
+// SRAM failure-rate library: Normal and Chi distributions with quantiles,
+// regularized incomplete gamma functions, multivariate Normal density and
+// sampling, moment estimation, and importance-sampling confidence intervals.
+//
+// Go's standard library provides only math.Erf/Erfc/Gamma/Lgamma; everything
+// above that (inverse CDFs, incomplete gamma, Chi(M), covariance fitting) is
+// implemented here and validated in the package tests.
+package stat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain is returned when a special-function argument is out of range.
+var ErrDomain = errors.New("stat: argument out of domain")
+
+// RegIncGammaP computes the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x ≥ 0, using the series expansion for
+// x < a+1 and the Lentz continued fraction otherwise (Numerical Recipes
+// style). Accuracy is ~1e-14 over the ranges used by the Chi CDF.
+func RegIncGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	return 1 - gammaQContinuedFraction(a, x)
+}
+
+// RegIncGammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = 1 − P(a, x), accurately in the upper tail.
+func RegIncGammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-16 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// InvRegIncGammaP returns x such that P(a, x) = p, via a Newton iteration
+// seeded with the Wilson–Hilferty approximation and safeguarded by
+// bisection. Used for the Chi(M) quantile in spherical Gibbs sampling.
+func InvRegIncGammaP(a, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Wilson–Hilferty starting guess.
+	g := 1 - 2/(9*a) + NormQuantile(p)*math.Sqrt(2/(9*a))
+	x := a * g * g * g
+	if x <= 0 || math.IsNaN(x) {
+		x = a
+	}
+	lo, hi := 0.0, math.Max(4*a+20, 2*x)
+	for RegIncGammaP(a, hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	for i := 0; i < 200; i++ {
+		f := RegIncGammaP(a, x) - p
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		// P'(a,x) = x^{a-1} e^{-x} / Γ(a)
+		dp := math.Exp((a-1)*math.Log(x) - x - lg)
+		var next float64
+		if dp > 0 {
+			next = x - f/dp
+		}
+		if !(next > lo && next < hi) || dp == 0 {
+			next = 0.5 * (lo + hi)
+		}
+		if math.Abs(next-x) <= 1e-14*(math.Abs(x)+1e-300) {
+			return next
+		}
+		x = next
+	}
+	return x
+}
+
+// LogGamma returns ln Γ(x) for x > 0.
+func LogGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,40 @@
+package stat
+
+import "math"
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+func inf() float64           { return math.Inf(1) }
+
+// TruncNormSample draws one sample from a standard Normal truncated to
+// [lo, hi] by inverse-transform: u ~ U(Φ(lo), Φ(hi)), x = Φ⁻¹(u). This is
+// the 1-D sampling primitive of paper Algorithm 3 for the x_m and α_m
+// conditionals. u01 must be uniform on (0, 1).
+func TruncNormSample(lo, hi, u01 float64) float64 {
+	flo, fhi := NormCDF(lo), NormCDF(hi)
+	u := flo + u01*(fhi-flo)
+	x := NormQuantile(u)
+	return clamp(x, lo, hi)
+}
+
+// TruncChiSample draws one sample from a Chi(K) distribution truncated to
+// [lo, hi] by inverse-transform, for the radius conditional of the
+// spherical Gibbs chain.
+func TruncChiSample(k int, lo, hi, u01 float64) float64 {
+	c := Chi{K: k}
+	flo, fhi := c.CDF(lo), c.CDF(hi)
+	u := flo + u01*(fhi-flo)
+	x := c.Quantile(u)
+	return clamp(x, lo, hi)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	// Quantile round-off can land an ulp outside the truncation interval;
+	// the Gibbs chain requires in-interval samples.
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

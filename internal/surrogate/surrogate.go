@@ -1,0 +1,149 @@
+// Package surrogate provides analytic variation-space metrics whose exact
+// failure probabilities are known in closed form. They serve three roles:
+// ground truth for validating every estimator in the library, cheap
+// stand-ins for circuit metrics in property-based tests, and the
+// irregular-region stress cases (quadrant, arc) that the paper uses to
+// demonstrate where Cartesian Gibbs sampling and mean-shift importance
+// sampling break down (§III-B and §V-B).
+package surrogate
+
+import (
+	"math"
+
+	"repro/internal/stat"
+)
+
+// Linear is the half-space failure region {x : wᵀx > b}; the margin is
+// b − wᵀx. The exact failure probability is Φ(−b/‖w‖).
+type Linear struct {
+	W []float64
+	B float64
+}
+
+// Dim implements mc.Metric.
+func (l *Linear) Dim() int { return len(l.W) }
+
+// Value implements mc.Metric.
+func (l *Linear) Value(x []float64) float64 {
+	s := 0.0
+	for i, w := range l.W {
+		s += w * x[i]
+	}
+	return l.B - s
+}
+
+// ExactPf returns the closed-form failure probability.
+func (l *Linear) ExactPf() float64 {
+	n := 0.0
+	for _, w := range l.W {
+		n += w * w
+	}
+	return stat.NormSF(l.B / math.Sqrt(n))
+}
+
+// Quadrant is the shifted-quadrant failure region
+// {x : x_i ≥ A for all i}, the paper's eq. (18) example when A = 0.
+// Exact failure probability: Φ(−A)^M.
+type Quadrant struct {
+	M int
+	A float64
+}
+
+// Dim implements mc.Metric.
+func (q *Quadrant) Dim() int { return q.M }
+
+// Value implements mc.Metric: fail iff min_i(x_i − A) ≥ 0, so the margin
+// is −min_i(x_i − A).
+func (q *Quadrant) Value(x []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range x {
+		if v-q.A < m {
+			m = v - q.A
+		}
+	}
+	return -m
+}
+
+// ExactPf returns Φ(−A)^M.
+func (q *Quadrant) ExactPf() float64 {
+	return math.Pow(stat.NormSF(q.A), float64(q.M))
+}
+
+// Shell is the spherical-shell failure region {x : ‖x‖₂ ≥ R}; margin
+// R − ‖x‖. Exact failure probability is the Chi(M) survival function at R.
+type Shell struct {
+	M int
+	R float64
+}
+
+// Dim implements mc.Metric.
+func (s *Shell) Dim() int { return s.M }
+
+// Value implements mc.Metric.
+func (s *Shell) Value(x []float64) float64 {
+	n := 0.0
+	for _, v := range x {
+		n += v * v
+	}
+	return s.R - math.Sqrt(n)
+}
+
+// ExactPf returns Chi(M).SF(R).
+func (s *Shell) ExactPf() float64 { return stat.Chi{K: s.M}.SF(s.R) }
+
+// Arc is a 2-D failure region spread along a probability contour:
+// {x : ‖x‖ ≥ R and |atan2(x₂, x₁)| ≤ HalfAngle}. For wide half-angles it
+// is strongly non-convex around the origin — the geometry for which the
+// paper shows spherical Gibbs sampling succeeding while Cartesian Gibbs
+// and mean-shift methods get stuck in one angular lobe (§V-B, Fig. 13).
+// Exact failure probability: Chi(2).SF(R)·HalfAngle/π (the standard
+// 2-D Normal is isotropic, so angle and radius are independent).
+type Arc struct {
+	R         float64
+	HalfAngle float64 // radians, in (0, π]
+}
+
+// Dim implements mc.Metric.
+func (a *Arc) Dim() int { return 2 }
+
+// Value implements mc.Metric: fail iff both the radial and the angular
+// conditions hold, so the margin is −min(radial slack, angular slack).
+// The angular slack is expressed in radius-scaled units to keep the
+// margin continuous at the origin.
+func (a *Arc) Value(x []float64) float64 {
+	r := math.Hypot(x[0], x[1])
+	theta := math.Abs(math.Atan2(x[1], x[0]))
+	radial := r - a.R
+	angular := (a.HalfAngle - theta) * math.Max(r, 1e-12)
+	return -math.Min(radial, angular)
+}
+
+// ExactPf returns the closed-form failure probability.
+func (a *Arc) ExactPf() float64 {
+	return stat.Chi{K: 2}.SF(a.R) * a.HalfAngle / math.Pi
+}
+
+// SeriesStack mimics the read-current failure mechanism of a series
+// transistor stack: the current is limited by the weaker of two devices,
+// so the cell fails when either coordinate pushes its device's threshold
+// up too far — the union of two half-planes, a non-convex L-shaped
+// region. Margin: min(A − x₁, A − x₂)... the cell fails when
+// min over devices of (A − x_i) < 0, i.e. max_i x_i > A.
+// Exact failure probability: 1 − Φ(A)².
+type SeriesStack struct {
+	A float64
+}
+
+// Dim implements mc.Metric.
+func (s *SeriesStack) Dim() int { return 2 }
+
+// Value implements mc.Metric.
+func (s *SeriesStack) Value(x []float64) float64 {
+	return math.Min(s.A-x[0], s.A-x[1])
+}
+
+// ExactPf returns 1 − Φ(A)².
+func (s *SeriesStack) ExactPf() float64 {
+	c := stat.NormCDF(s.A)
+	return 1 - c*c
+}

@@ -1,0 +1,122 @@
+// Package variation implements the paper's §II preprocessing: correlated
+// jointly-Normal process variations are transformed to the independent
+// standard Normal coordinates that every sampler in the library assumes,
+// via principal component analysis (eigendecomposition whitening).
+//
+// A Model holds x_raw ~ N(Mean, Cov); Whiten wraps a metric defined on
+// the raw physical variables into an mc.Metric over whitened coordinates
+// z ~ N(0, I), with x_raw = Mean + B·z and B = V·√Λ.
+package variation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/mc"
+)
+
+// Model is a correlated jointly-Normal variation model.
+type Model struct {
+	Mean []float64
+	Cov  *linalg.Matrix
+
+	basis *linalg.Matrix // B = V·√Λ, whitened-to-raw map
+	dim   int
+}
+
+// NewModel validates the covariance (symmetric positive semidefinite;
+// tiny negative eigenvalues from round-off are clamped) and precomputes
+// the PCA basis.
+func NewModel(mean []float64, cov *linalg.Matrix) (*Model, error) {
+	d := len(mean)
+	if cov.Rows != d || cov.Cols != d {
+		return nil, fmt.Errorf("variation: mean dim %d vs cov %dx%d", d, cov.Rows, cov.Cols)
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if math.Abs(cov.At(i, j)-cov.At(j, i)) > 1e-9*(1+math.Abs(cov.At(i, j))) {
+				return nil, errors.New("variation: covariance is not symmetric")
+			}
+		}
+	}
+	vals, vecs := linalg.SymEigen(cov)
+	basis := linalg.NewMatrix(d, d)
+	for j := 0; j < d; j++ {
+		ev := vals[j]
+		if ev < -1e-9*math.Abs(vals[0]) {
+			return nil, fmt.Errorf("variation: covariance has negative eigenvalue %v", ev)
+		}
+		if ev < 0 {
+			ev = 0
+		}
+		s := math.Sqrt(ev)
+		for i := 0; i < d; i++ {
+			basis.Set(i, j, vecs.At(i, j)*s)
+		}
+	}
+	return &Model{Mean: linalg.CopyVec(mean), Cov: cov.Clone(), basis: basis, dim: d}, nil
+}
+
+// Dim returns the number of variation coordinates.
+func (m *Model) Dim() int { return m.dim }
+
+// ToRaw maps whitened coordinates z ~ N(0, I) to the raw physical
+// variables x = Mean + B·z.
+func (m *Model) ToRaw(z []float64) []float64 {
+	if len(z) != m.dim {
+		panic("variation: wrong whitened dimensionality")
+	}
+	x := m.basis.MulVec(z)
+	for i := range x {
+		x[i] += m.Mean[i]
+	}
+	return x
+}
+
+// Whiten wraps a metric over the raw variables into an mc.Metric over
+// whitened standard Normal coordinates.
+func (m *Model) Whiten(raw func(x []float64) float64) mc.Metric {
+	return mc.MetricFunc{M: m.dim, F: func(z []float64) float64 {
+		return raw(m.ToRaw(z))
+	}}
+}
+
+// Equicorrelated returns the covariance σ²·((1−ρ)·I + ρ·J): a global
+// (fully correlated) process shift of weight ρ on top of independent
+// local mismatch — the standard global+local decomposition of threshold
+// variation. ρ must lie in [0, 1).
+func Equicorrelated(dim int, sigma, rho float64) (*linalg.Matrix, error) {
+	if rho < 0 || rho >= 1 {
+		return nil, errors.New("variation: rho must be in [0, 1)")
+	}
+	cov := linalg.NewMatrix(dim, dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			v := sigma * sigma * rho
+			if i == j {
+				v = sigma * sigma
+			}
+			cov.Set(i, j, v)
+		}
+	}
+	return cov, nil
+}
+
+// SpatialExponential returns the covariance of devices placed at the
+// given 1-D positions with an exponential correlation profile:
+// Cov(i,j) = σ²·exp(−|p_i − p_j|/length).
+func SpatialExponential(positions []float64, sigma, length float64) (*linalg.Matrix, error) {
+	if length <= 0 {
+		return nil, errors.New("variation: correlation length must be positive")
+	}
+	d := len(positions)
+	cov := linalg.NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			cov.Set(i, j, sigma*sigma*math.Exp(-math.Abs(positions[i]-positions[j])/length))
+		}
+	}
+	return cov, nil
+}

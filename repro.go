@@ -1,0 +1,352 @@
+// Package repro is the public API of the SRAM failure-rate prediction
+// library, a from-scratch reproduction of "Efficient SRAM Failure Rate
+// Prediction via Gibbs Sampling" (Dong & Li, DAC 2011; Sun, Feng, Dong &
+// Li, IEEE TCAD 2012).
+//
+// The library estimates the extremely small failure probabilities
+// (1e-8..1e-6) of SRAM cells under process variation with seven
+// estimators:
+//
+//   - MC: brute-force Monte Carlo (the golden reference)
+//   - MIS: mixture importance sampling (Kanj et al., DAC 2006)
+//   - MNIS: minimum-norm importance sampling (Qazi et al., DATE 2010)
+//   - G-C: the paper's Gibbs sampling in Cartesian coordinates
+//   - G-S: the paper's Gibbs sampling in spherical coordinates
+//   - Blockade: statistical blockade (Singhee & Rutenbar, DATE 2007)
+//   - Subset: subset simulation (the sequential-sampling family)
+//
+// A performance metric is any Metric: a function over the normalized
+// variation space (independent standard Normal coordinates) whose
+// negative values mean failure. Built-in metrics cover a transistor-level
+// simulated 6-T SRAM cell (read noise margin, write margin, read
+// current); custom metrics plug in the same way (see examples/customcell).
+//
+// Basic use:
+//
+//	res, err := repro.Estimate(repro.ReadCurrentWorkload(), repro.Options{
+//		Method: repro.GS, K: 1000, N: 10000, Seed: 1,
+//	})
+//	fmt.Println(res.Pf, res.RelErr99, res.TotalSims)
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/gibbs"
+	"repro/internal/mc"
+	"repro/internal/model"
+	"repro/internal/sram"
+)
+
+// Metric is the performance-margin abstraction shared by all estimators:
+// Value(x) < 0 means the sample at normalized variation point x fails.
+// Every Value call stands for one transistor-level simulation.
+type Metric = mc.Metric
+
+// MetricFunc adapts a plain function to Metric.
+type MetricFunc = mc.MetricFunc
+
+// TracePoint is a convergence snapshot (estimate and 99% relative error
+// after n second-stage simulations).
+type TracePoint = mc.TracePoint
+
+// Method selects the estimation algorithm.
+type Method string
+
+// Available estimation methods.
+const (
+	// MC is brute-force Monte Carlo sampling of f(x).
+	MC Method = "mc"
+	// MIS is mixture importance sampling [8].
+	MIS Method = "mis"
+	// MNIS is minimum-norm importance sampling [14].
+	MNIS Method = "mnis"
+	// GC is the proposed Gibbs sampling in Cartesian coordinates.
+	GC Method = "g-c"
+	// GS is the proposed Gibbs sampling in spherical coordinates.
+	GS Method = "g-s"
+	// Blockade is statistical blockade (Singhee & Rutenbar, the paper's
+	// reference [9]): a classifier filters a large Monte Carlo stream so
+	// only near-tail candidates are simulated.
+	Blockade Method = "blockade"
+	// Subset is subset simulation, the sequential-sampling family of the
+	// paper's reference [13]: a particle ladder of conditional
+	// probabilities over descending margin levels.
+	Subset Method = "subset"
+)
+
+// Methods lists every method in the paper's comparison order.
+func Methods() []Method { return []Method{MIS, MNIS, GC, GS} }
+
+// ParseMethod converts a string (as used on CLI flags) to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch Method(s) {
+	case MC, MIS, MNIS, GC, GS, Blockade, Subset:
+		return Method(s), nil
+	}
+	return "", fmt.Errorf("repro: unknown method %q (want mc, mis, mnis, g-c, g-s, blockade or subset)", s)
+}
+
+// Options configures Estimate.
+type Options struct {
+	// Method selects the estimator (default GS).
+	Method Method
+	// K is the first-stage budget: Gibbs samples for G-C/G-S,
+	// exploratory simulations for MIS, model-training simulations for
+	// MNIS. Defaults: 1000 (G-C/G-S), 5000 (MIS), 1000 (MNIS).
+	K int
+	// N is the second-stage sample count (or the full budget for MC).
+	// Default 10000.
+	N int
+	// Target, when positive, replaces the fixed N with a convergence
+	// target: the second stage stops once the 99% relative error drops
+	// below Target (N then acts as the cap).
+	Target float64
+	// Seed makes the run deterministic.
+	Seed int64
+	// TraceEvery records a convergence snapshot every so many
+	// second-stage samples (0 disables).
+	TraceEvery int
+	// StartPoint optionally pins the Gibbs starting point, skipping the
+	// Algorithm 4 model-based search (G-C/G-S only).
+	StartPoint []float64
+	// Quadratic selects a quadratic (instead of linear) response
+	// surface for the starting-point search (G-C/G-S/MNIS).
+	Quadratic bool
+	// Mixture, when ≥ 2, fits a Gaussian mixture with that many
+	// components as the second-stage distortion instead of a single
+	// Normal (G-C/G-S only; the paper's §IV-C extension). Multi-lobe
+	// failure regions need it; raise K when using it.
+	Mixture int
+	// Workers parallelizes MC (0 = GOMAXPROCS); ignored by the other
+	// methods.
+	Workers int
+}
+
+// Result is the outcome of an estimation run.
+type Result struct {
+	// Pf is the estimated failure probability.
+	Pf float64
+	// StdErr is its standard error, and RelErr99 the paper's accuracy
+	// metric: the 99% confidence half-width over the estimate.
+	StdErr, RelErr99 float64
+	// N is the number of second-stage samples consumed; Failures counts
+	// how many fell in the failure region.
+	N, Failures int
+	// WeightESS is the Kish effective sample size of the second-stage
+	// importance weights — a small value despite a tight CI flags a
+	// distortion that misses part of the failure region.
+	WeightESS float64
+	// Stage1Sims, Stage2Sims and TotalSims report the cost in
+	// transistor-level simulations, split the way the paper's tables
+	// split them.
+	Stage1Sims, Stage2Sims, TotalSims int64
+	// GibbsSamples holds the first-stage samples for G-C/G-S (nil for
+	// other methods) — the data behind the paper's scatter figures.
+	GibbsSamples [][]float64
+	// DistortionMean is the fitted mean of g^NOR (importance-sampling
+	// methods only).
+	DistortionMean []float64
+	// Trace holds convergence snapshots if TraceEvery was set.
+	Trace []TracePoint
+}
+
+func (o Options) withDefaults() Options {
+	if o.Method == "" {
+		o.Method = GS
+	}
+	if o.K <= 0 {
+		switch o.Method {
+		case MIS:
+			o.K = 5000
+		default:
+			o.K = 1000
+		}
+	}
+	if o.N <= 0 {
+		o.N = 10000
+	}
+	return o
+}
+
+// Estimate runs the selected estimator on the metric and reports the
+// failure probability with full cost accounting.
+func Estimate(metric Metric, opts Options) (*Result, error) {
+	if metric == nil {
+		return nil, errors.New("repro: nil metric")
+	}
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	counter := mc.NewCounter(metric)
+	trace := mc.TraceEvery(o.TraceEvery)
+
+	switch o.Method {
+	case MC:
+		if o.Workers != 1 && o.TraceEvery == 0 {
+			res, err := mc.ParallelMC(counter, o.N, o.Seed, o.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return fromMC(res, counter), nil
+		}
+		res, err := mc.PlainMC(counter, o.N, rng, trace)
+		if err != nil {
+			return nil, err
+		}
+		return fromMC(res, counter), nil
+
+	case MIS:
+		mo := baselines.MISOptions{Stage1: o.K, N: o.N, TraceEvery: trace}
+		var (
+			res *baselines.Result
+			err error
+		)
+		if o.Target > 0 {
+			res, err = baselines.MISUntil(counter, mo, o.Target, minStage2, o.N, rng)
+		} else {
+			res, err = baselines.MIS(counter, mo, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return fromBaseline(res), nil
+
+	case MNIS:
+		mo := baselines.MNISOptions{
+			Start: &model.StartOptions{TrainN: o.K, UseQuadratic: o.Quadratic},
+			N:     o.N, TraceEvery: trace,
+		}
+		var (
+			res *baselines.Result
+			err error
+		)
+		if o.Target > 0 {
+			res, err = baselines.MNISUntil(counter, mo, o.Target, minStage2, o.N, rng)
+		} else {
+			res, err = baselines.MNIS(counter, mo, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return fromBaseline(res), nil
+
+	case Blockade:
+		res, err := baselines.Blockade(counter, baselines.BlockadeOptions{
+			Train: o.K, N: o.N,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
+			N: res.N, Failures: res.Failures,
+			Stage1Sims: res.TrainSims, Stage2Sims: res.TailSims,
+			TotalSims: res.TrainSims + res.TailSims,
+		}, nil
+
+	case Subset:
+		res, err := baselines.Subset(counter, baselines.SubsetOptions{
+			Particles: o.K,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
+			N: res.N, Stage2Sims: res.Sims, TotalSims: res.Sims,
+		}, nil
+
+	case GC, GS:
+		coord := gibbs.Cartesian
+		if o.Method == GS {
+			coord = gibbs.Spherical
+		}
+		to := gibbs.TwoStageOptions{
+			Coord: coord, K: o.K, N: o.N,
+			Start:      &model.StartOptions{UseQuadratic: o.Quadratic},
+			StartPoint: o.StartPoint,
+			Mixture:    o.Mixture,
+			TraceEvery: trace,
+		}
+		var (
+			res *gibbs.TwoStageResult
+			err error
+		)
+		if o.Target > 0 {
+			res, err = gibbs.TwoStageUntil(counter, to, o.Target, minStage2, o.N, rng)
+		} else {
+			res, err = gibbs.TwoStage(counter, to, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return fromGibbs(res), nil
+
+	default:
+		return nil, fmt.Errorf("repro: unknown method %q", o.Method)
+	}
+}
+
+// minStage2 guards the until-target runs against declaring convergence
+// from the first handful of weights.
+const minStage2 = 500
+
+func fromMC(res mc.Result, counter *mc.Counter) *Result {
+	return &Result{
+		Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
+		N: res.N, Failures: res.Failures, WeightESS: res.WeightESS,
+		Stage2Sims: int64(res.N), TotalSims: counter.Count(),
+		Trace: res.Trace,
+	}
+}
+
+func fromBaseline(res *baselines.Result) *Result {
+	return &Result{
+		Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
+		N: res.N, Failures: res.Failures, WeightESS: res.WeightESS,
+		Stage1Sims: res.Stage1Sims, Stage2Sims: res.Stage2Sims,
+		TotalSims:      res.Stage1Sims + res.Stage2Sims,
+		DistortionMean: res.Mean,
+		Trace:          res.Trace,
+	}
+}
+
+func fromGibbs(res *gibbs.TwoStageResult) *Result {
+	return &Result{
+		Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
+		N: res.N, Failures: res.Failures, WeightESS: res.WeightESS,
+		Stage1Sims: res.Stage1Sims, Stage2Sims: res.Stage2Sims,
+		TotalSims:      res.Stage1Sims + res.Stage2Sims,
+		GibbsSamples:   res.Samples,
+		DistortionMean: res.GNor.Mean,
+		Trace:          res.Trace,
+	}
+}
+
+// RNMWorkload returns the paper's §V-A read-noise-margin metric: a 6-D
+// variation space over the transistor threshold mismatches of the
+// simulated 90 nm-class 6-T cell.
+func RNMWorkload() Metric { return sram.RNMWorkload() }
+
+// WNMWorkload returns the §V-A write-margin metric (6-D).
+func WNMWorkload() Metric { return sram.WNMWorkload() }
+
+// ReadCurrentWorkload returns the single-path read-current metric: a 2-D
+// variation space {ΔVth1, ΔVth3} on the read-marginal cell variant, whose
+// failure region is a mildly non-convex banana.
+func ReadCurrentWorkload() Metric { return sram.ReadCurrentWorkload() }
+
+// DualReadCurrentWorkload returns the headline §V-B metric: the
+// dual-sided read current min(I_read0, I_read1) over the access pair
+// {ΔVth3, ΔVth4}. Its strongly non-convex two-lobe failure region traps
+// mean-shift importance sampling and Cartesian Gibbs sampling while
+// spherical Gibbs sampling stays correct.
+func DualReadCurrentWorkload() Metric { return sram.DualReadCurrentWorkload() }
+
+// AccessTimeWorkload returns the dynamic (transient-simulation) metric:
+// bitline-discharge access time over the read-path pair {ΔVth1, ΔVth3},
+// failing when the cell is slower than the calibrated timing budget.
+func AccessTimeWorkload() Metric { return sram.AccessTimeWorkload() }

@@ -1,0 +1,171 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/surrogate"
+)
+
+// The facade must drive every method to the analytic answer on a linear
+// metric.
+func TestEstimateAllMethodsOnLinear(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6.5} // Pf ≈ 2.1e-6
+	exact := lin.ExactPf()
+	for _, m := range []Method{MIS, MNIS, GC, GS} {
+		opts := Options{Method: m, N: 40000, Seed: 7}
+		if m == MIS {
+			opts.K = 4000
+		}
+		res, err := Estimate(lin, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if math.Abs(res.Pf-exact)/exact > 0.25 {
+			t.Fatalf("%s: Pf %v, exact %v", m, res.Pf, exact)
+		}
+		if res.TotalSims != res.Stage1Sims+res.Stage2Sims {
+			t.Fatalf("%s: sim accounting inconsistent", m)
+		}
+		if res.Stage1Sims <= 0 || res.Stage2Sims <= 0 {
+			t.Fatalf("%s: stages not recorded: %d/%d", m, res.Stage1Sims, res.Stage2Sims)
+		}
+	}
+}
+
+func TestEstimateMC(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 0}, B: 2} // Pf ≈ 2.28e-2
+	res, err := Estimate(lin, Options{Method: MC, N: 200000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := lin.ExactPf()
+	if math.Abs(res.Pf-exact)/exact > 0.05 {
+		t.Fatalf("MC Pf %v, exact %v", res.Pf, exact)
+	}
+	if res.TotalSims != 200000 {
+		t.Fatalf("MC total sims %d", res.TotalSims)
+	}
+}
+
+func TestEstimateMCSequentialWithTrace(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 0}, B: 1.5}
+	res, err := Estimate(lin, Options{Method: MC, N: 5000, Seed: 4, TraceEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 5 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+}
+
+func TestEstimateTargetMode(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6}
+	res, err := Estimate(lin, Options{Method: GS, Target: 0.05, N: 500000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelErr99 > 0.05 {
+		t.Fatalf("target missed: %v", res.RelErr99)
+	}
+	exact := lin.ExactPf()
+	if math.Abs(res.Pf-exact)/exact > 0.15 {
+		t.Fatalf("Pf %v vs %v", res.Pf, exact)
+	}
+}
+
+func TestEstimateGibbsExtras(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 0}, B: 4}
+	res, err := Estimate(lin, Options{Method: GC, K: 200, N: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GibbsSamples) != 200 {
+		t.Fatalf("gibbs samples %d", len(res.GibbsSamples))
+	}
+	if len(res.DistortionMean) != 2 {
+		t.Fatalf("distortion mean %v", res.DistortionMean)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(nil, Options{}); err == nil {
+		t.Fatal("nil metric must error")
+	}
+	lin := &surrogate.Linear{W: []float64{1, 0}, B: 4}
+	if _, err := Estimate(lin, Options{Method: Method("bogus")}); err == nil {
+		t.Fatal("bogus method must error")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, s := range []string{"mc", "mis", "mnis", "g-c", "g-s"} {
+		if _, err := ParseMethod(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := ParseMethod("nope"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if len(Methods()) != 4 {
+		t.Fatal("Methods should list the four compared estimators")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 5}
+	a, err := Estimate(lin, Options{Method: GS, K: 150, N: 1500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(lin, Options{Method: GS, K: 150, N: 1500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pf != b.Pf || a.TotalSims != b.TotalSims {
+		t.Fatalf("same seed must reproduce: %v/%d vs %v/%d", a.Pf, a.TotalSims, b.Pf, b.TotalSims)
+	}
+	c, err := Estimate(lin, Options{Method: GS, K: 150, N: 1500, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pf == c.Pf {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	if RNMWorkload().Dim() != 6 || WNMWorkload().Dim() != 6 || ReadCurrentWorkload().Dim() != 2 {
+		t.Fatal("workload dims wrong")
+	}
+	if DualReadCurrentWorkload().Dim() != 2 || AccessTimeWorkload().Dim() != 2 {
+		t.Fatal("extended workload dims wrong")
+	}
+}
+
+func TestEstimateBlockade(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 0}, B: 3} // Pf ≈ 1.35e-3
+	res, err := Estimate(lin, Options{Method: Blockade, K: 500, N: 200000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := lin.ExactPf()
+	if math.Abs(res.Pf-exact)/exact > 0.2 {
+		t.Fatalf("blockade Pf %v vs %v", res.Pf, exact)
+	}
+	if res.TotalSims >= int64(res.N) {
+		t.Fatal("blockade should simulate fewer points than it streams")
+	}
+}
+
+func TestEstimateMixtureOption(t *testing.T) {
+	two := &surrogate.SeriesStack{A: 4.0}
+	res, err := Estimate(two, Options{Method: GS, K: 1000, N: 5000, Seed: 10, Mixture: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := two.ExactPf()
+	if math.Abs(res.Pf-exact)/exact > 0.3 {
+		t.Fatalf("mixture G-S Pf %v vs %v", res.Pf, exact)
+	}
+}
