@@ -139,7 +139,7 @@ func BenchmarkFig7(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mc.ImportanceSample(lin, g, 1000, rng, mc.TraceEvery(100)); err != nil {
+		if _, err := mc.ImportanceSample(mc.NewEvaluator(lin, 0), g, 1000, rng, mc.TraceEvery(100)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -248,7 +248,7 @@ func BenchmarkAblationCovariance(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			r, err := mc.ImportanceSample(counter, g, 3000, rng, 0)
+			r, err := mc.ImportanceSample(mc.NewEvaluator(counter, 0), g, 3000, rng, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -372,6 +372,71 @@ func BenchmarkAblationCoord(b *testing.B) {
 	for _, m := range []Method{GC, GS} {
 		b.Run(string(m), func(b *testing.B) {
 			benchMethod(b, metric, m, 1500, 3000)
+		})
+	}
+}
+
+// --- Evaluation-engine benches ---
+
+// BenchmarkStage2Workers measures stage-2 importance sampling on a
+// SPICE-backed metric across pool sizes. On a multicore machine the
+// workers=4 sub-bench should run at least ~2× faster than workers=1
+// (DC solves dominate and parallelize cleanly); the estimates are
+// bit-identical regardless, so the sweep doubles as a determinism
+// check under benchmark load.
+func BenchmarkStage2Workers(b *testing.B) {
+	metric := sram.ReadCurrentWorkload()
+	counter := mc.NewCounter(metric)
+	setup := rand.New(rand.NewSource(1))
+	fit, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
+		Coord: gibbs.Spherical, K: 200, N: 10,
+	}, setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := fit.GNor
+	var refPf float64
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := map[int]string{1: "workers1", 2: "workers2", 4: "workers4", 0: "workersAll"}[workers]
+		b.Run(name, func(b *testing.B) {
+			ev := mc.NewEvaluator(metric, workers)
+			var pf float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(7))
+				r, err := mc.ImportanceSample(ev, g, 2000, rng, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pf = r.Pf
+			}
+			if refPf == 0 {
+				refPf = pf
+			} else if pf != refPf {
+				b.Fatalf("workers=%d changed the estimate: %v vs %v", workers, pf, refPf)
+			}
+			b.ReportMetric(pf*1e7, "Pf_e-7")
+			b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "solves/sec")
+		})
+	}
+}
+
+// BenchmarkEvaluatorOverhead isolates the pool's scheduling cost on a
+// near-free analytic metric — the worst case for parallel dispatch.
+func BenchmarkEvaluatorOverhead(b *testing.B) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6}
+	g, err := stat.NewMVNormal([]float64{3, 3}, linalg.Identity(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+			ev := mc.NewEvaluator(lin, workers)
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				if _, err := mc.ImportanceSample(ev, g, 1000, rng, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -11,14 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 
+	"repro/internal/mc"
 	"repro/internal/sram"
 	"repro/internal/stat"
 )
 
 func main() {
 	grid := flag.Bool("grid", false, "run the 2-D grid quadratures (slower)")
+	workers := flag.Int("workers", 0, "evaluation-pool workers for the quadratures (0 = all cores)")
 	flag.Parse()
 
 	fmt.Println("== static noise margins (Default90nm, σVth = 30 mV) ==")
@@ -51,8 +54,8 @@ func main() {
 
 	if *grid {
 		fmt.Println("\n== 2-D grid quadratures ==")
-		quadrature("single-path read current", sram.ReadCurrentWorkload())
-		quadrature("dual read current", sram.DualReadCurrentWorkload())
+		quadrature("single-path read current", sram.ReadCurrentWorkload(), *workers)
+		quadrature("dual read current", sram.DualReadCurrentWorkload(), *workers)
 	}
 }
 
@@ -106,22 +109,31 @@ func calibrateStaticDir(name string, cell *sram.Cell, spec float64, failHigh boo
 }
 
 // quadrature integrates a 2-D workload's failure probability on a grid.
-func quadrature(name string, m interface {
-	Dim() int
-	Value(x []float64) float64
-}) {
+// Rows of the grid evaluate on the batch engine — one simulation per
+// cell is exactly the workload the Evaluator parallelizes — and the row
+// sums fold in index order, so the result does not depend on workers.
+func quadrature(name string, m mc.Metric, workers int) {
 	if m.Dim() != 2 {
 		fmt.Fprintf(os.Stderr, "calibrate: %s is not 2-D\n", name)
 		return
 	}
 	const step = 0.25
-	pf := 0.0
-	for x2 := -10.0; x2 <= 10; x2 += step {
-		for x1 := -6.0; x1 <= 12; x1 += step {
+	const x2lo, x2hi, x1lo, x1hi = -10.0, 10.0, -6.0, 12.0
+	rows := int((x2hi-x2lo)/step) + 1
+	ev := mc.NewEvaluator(m, workers)
+	partial := mc.Map(ev, 0, 0, rows, func(_ *rand.Rand, r int) float64 {
+		x2 := x2lo + float64(r)*step
+		row := 0.0
+		for x1 := x1lo; x1 <= x1hi; x1 += step {
 			if m.Value([]float64{x1, x2}) < 0 {
-				pf += stat.NormPDF(x1) * stat.NormPDF(x2) * step * step
+				row += stat.NormPDF(x1) * stat.NormPDF(x2) * step * step
 			}
 		}
+		return row
+	})
+	pf := 0.0
+	for _, p := range partial {
+		pf += p
 	}
 	fmt.Printf("  %s: Pf ≈ %.3g (grid step %.2fσ)\n", name, pf, step)
 }

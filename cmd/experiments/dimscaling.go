@@ -32,7 +32,7 @@ func runExtDimScaling(cfg config) error {
 		counter := mc.NewCounter(shell)
 		rng := rand.New(rand.NewSource(cfg.seed))
 		res, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
-			Coord: gibbs.Spherical, K: k, N: n,
+			Coord: gibbs.Spherical, K: k, N: n, Workers: cfg.workers,
 			// High-dimensional shells sit beyond the default 10σ
 			// starting-point search radius.
 			Start: &model.StartOptions{MaxRadius: r + 5},

@@ -29,7 +29,7 @@ func runExtMixture(cfg config) error {
 		counter := mc.NewCounter(metric)
 		rng := rand.New(rand.NewSource(cfg.seed))
 		res, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
-			Coord: gibbs.Spherical, K: k, N: n, Mixture: mixture,
+			Coord: gibbs.Spherical, K: k, N: n, Mixture: mixture, Workers: cfg.workers,
 		}, rng)
 		if err != nil {
 			return err
@@ -59,7 +59,7 @@ func runExtAccess(cfg config) error {
 		counter := mc.NewCounter(metric)
 		rng := rand.New(rand.NewSource(cfg.seed))
 		res, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
-			Coord: coord, K: k, N: n,
+			Coord: coord, K: k, N: n, Workers: cfg.workers,
 		}, rng)
 		if err != nil {
 			return err
@@ -88,7 +88,7 @@ func runExtBaselines(cfg config) error {
 	counter := mc.NewCounter(lin)
 	rng := rand.New(rand.NewSource(cfg.seed))
 	sub, err := baselines.Subset(counter, baselines.SubsetOptions{
-		Particles: c2(cfg.quick, 300, 1000),
+		Particles: c2(cfg.quick, 300, 1000), Workers: cfg.workers,
 	}, rng)
 	if err != nil {
 		return err
@@ -98,7 +98,7 @@ func runExtBaselines(cfg config) error {
 	counter = mc.NewCounter(lin)
 	rng = rand.New(rand.NewSource(cfg.seed))
 	bl, err := baselines.Blockade(counter, baselines.BlockadeOptions{
-		Train: 800, N: c2(cfg.quick, 300000, 3000000),
+		Train: 800, N: c2(cfg.quick, 300000, 3000000), Workers: cfg.workers,
 	}, rng)
 	if err != nil {
 		return err
@@ -109,6 +109,7 @@ func runExtBaselines(cfg config) error {
 	rng = rand.New(rand.NewSource(cfg.seed))
 	gs, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
 		Coord: gibbs.Spherical, K: c2(cfg.quick, 200, 800), N: c2(cfg.quick, 1000, 5000),
+		Workers: cfg.workers,
 	}, rng)
 	if err != nil {
 		return err

@@ -22,6 +22,8 @@
 //	-quick      scale budgets down ~10× for a fast smoke run
 //	-out DIR    write CSV series/scatter data under DIR (default "out")
 //	-golden N   brute-force golden sample count for table2 (default 8.7e6)
+//	-workers N  evaluation-pool workers, 0 = all cores (estimates are
+//	            identical for every worker count)
 //
 // Text tables go to stdout; figures are emitted as CSV files that plot
 // directly (the repository is stdlib-only, so no plotting code).
@@ -35,10 +37,11 @@ import (
 )
 
 type config struct {
-	seed   int64
-	quick  bool
-	outDir string
-	golden int
+	seed    int64
+	quick   bool
+	outDir  string
+	golden  int
+	workers int
 }
 
 func main() {
@@ -47,6 +50,7 @@ func main() {
 	flag.BoolVar(&cfg.quick, "quick", false, "scale budgets down for a fast smoke run")
 	flag.StringVar(&cfg.outDir, "out", "out", "directory for CSV outputs")
 	flag.IntVar(&cfg.golden, "golden", 8_700_000, "brute-force golden samples for table2")
+	flag.IntVar(&cfg.workers, "workers", 0, "evaluation-pool workers for every sampling stage (0 = all cores)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {

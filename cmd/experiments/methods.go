@@ -28,6 +28,7 @@ type budgets struct {
 	stage2Max  int // cap for until-target runs
 	traceEvery int // second-stage snapshot stride
 	gibbsKCap  int // upper bound on Gibbs sample count
+	workers    int // evaluation-pool size (0 = all cores)
 }
 
 func defaultBudgets(c config) budgets {
@@ -39,6 +40,7 @@ func defaultBudgets(c config) budgets {
 		stage2Max:  c.scale(100000, 4000),
 		traceEvery: c.scale(500, 100),
 		gibbsKCap:  1 << 20,
+		workers:    c.workers,
 	}
 }
 
@@ -62,7 +64,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 	switch name {
 	case "MIS":
 		r, err := baselines.MIS(counter, baselines.MISOptions{
-			Stage1: b.misStage1, N: n, TraceEvery: traceEvery,
+			Stage1: b.misStage1, N: n, TraceEvery: traceEvery, Workers: b.workers,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -73,7 +75,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 	case "MNIS":
 		r, err := baselines.MNIS(counter, baselines.MNISOptions{
 			Start: &model.StartOptions{TrainN: b.mnisTrainN},
-			N:     n, TraceEvery: traceEvery,
+			N:     n, TraceEvery: traceEvery, Workers: b.workers,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -88,7 +90,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 		}
 		r, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
 			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims,
-			N: n, TraceEvery: traceEvery,
+			N: n, TraceEvery: traceEvery, Workers: b.workers,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -112,7 +114,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 	const minN = 500
 	switch name {
 	case "MIS":
-		r, err := baselines.MISUntil(counter, baselines.MISOptions{Stage1: b.misStage1},
+		r, err := baselines.MISUntil(counter, baselines.MISOptions{Stage1: b.misStage1, Workers: b.workers},
 			target, minN, b.stage2Max, rng)
 		if err != nil {
 			return nil, err
@@ -122,7 +124,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 		out.distortion = r.GNor
 	case "MNIS":
 		r, err := baselines.MNISUntil(counter, baselines.MNISOptions{
-			Start: &model.StartOptions{TrainN: b.mnisTrainN},
+			Start: &model.StartOptions{TrainN: b.mnisTrainN}, Workers: b.workers,
 		}, target, minN, b.stage2Max, rng)
 		if err != nil {
 			return nil, err
@@ -136,7 +138,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 			coord = gibbs.Spherical
 		}
 		r, err := gibbs.TwoStageUntil(counter, gibbs.TwoStageOptions{
-			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims,
+			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims, Workers: b.workers,
 		}, target, minN, b.stage2Max, rng)
 		if err != nil {
 			return nil, err

@@ -101,7 +101,7 @@ func runTable2(cfg config) error {
 	if cfg.quick {
 		golden = 500000
 	}
-	gr, err := mc.ParallelMC(sram.DualReadCurrentWorkload(), golden, cfg.seed, 0)
+	gr, err := mc.ParallelMC(sram.DualReadCurrentWorkload(), golden, cfg.seed, cfg.workers)
 	if err != nil {
 		return err
 	}

@@ -27,7 +27,7 @@ func main() {
 		target     = flag.Float64("target", 0, "stop when the 99% relative error reaches this (0 = fixed N)")
 		seed       = flag.Int64("seed", 1, "RNG seed")
 		quadratic  = flag.Bool("quadratic", false, "use a quadratic response surface for the starting point")
-		workers    = flag.Int("workers", 0, "parallel workers for -method mc (0 = all cores)")
+		workers    = flag.Int("workers", 0, "evaluation-pool workers for every method (0 = all cores)")
 		mixture    = flag.Int("mixture", 0, "Gaussian-mixture components for the G-C/G-S distortion (0/1 = single Normal)")
 	)
 	flag.Parse()

@@ -54,6 +54,9 @@ type MISOptions struct {
 	// drawn from N(0, Spread²·I) ∪ U(−URange, URange) as a 50/50
 	// mixture (default Spread 3, URange 6).
 	Spread, URange float64
+	// Workers sizes the evaluation pool for both stages
+	// (0 = GOMAXPROCS); the estimate is identical for every pool size.
+	Workers int
 	// TraceEvery records second-stage convergence snapshots (0 off).
 	TraceEvery mc.TraceEvery
 }
@@ -81,7 +84,7 @@ func MIS(counter *mc.Counter, opts MISOptions, rng *rand.Rand) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSample(counter, res.GNor, o.N, rng, o.TraceEvery)
+	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, o.Workers), res.GNor, o.N, rng, o.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +101,9 @@ type MNISOptions struct {
 	N int
 	// TraceEvery records second-stage convergence snapshots (0 off).
 	TraceEvery mc.TraceEvery
+	// Workers sizes the second-stage evaluation pool (0 = GOMAXPROCS);
+	// the norm-minimization first stage is sequential.
+	Workers int
 }
 
 // MNIS runs minimum-norm importance sampling: find the minimum-norm
@@ -117,7 +123,7 @@ func MNIS(counter *mc.Counter, opts MNISOptions, rng *rand.Rand) (*Result, error
 		return nil, err
 	}
 	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSample(counter, gnor, opts.N, rng, opts.TraceEvery)
+	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, opts.Workers), gnor, opts.N, rng, opts.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +141,7 @@ func MISUntil(counter *mc.Counter, opts MISOptions, target float64, minN, maxN i
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSampleUntil(counter, res.GNor, target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, o.Workers), res.GNor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +160,7 @@ func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN
 		return nil, err
 	}
 	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSampleUntil(counter, gnor, target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, opts.Workers), gnor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -162,16 +168,18 @@ func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN
 	return res, nil
 }
 
-// misExplore factors the MIS first stage for reuse by MISUntil.
+// misExplore factors the MIS first stage for reuse by MISUntil. The
+// exploratory simulations run on the evaluation pool; the f-weighted
+// centroid is accumulated in sample-index order so it is bit-identical
+// for every worker count.
 func misExplore(counter *mc.Counter, o *MISOptions, rng *rand.Rand) (*Result, error) {
 	if o.Stage1 <= 0 {
 		return nil, errors.New("baselines: MIS stage sizes must be positive")
 	}
 	dim := counter.Dim()
-	mean := make([]float64, dim)
-	wsum := 0.0
-	x := make([]float64, dim)
-	for i := 0; i < o.Stage1; i++ {
+	ev := mc.NewEvaluator(counter, o.Workers)
+	batch := ev.Batch(rng.Int63(), 0, o.Stage1, func(rng *rand.Rand, _ int) []float64 {
+		x := make([]float64, dim)
 		if rng.Intn(2) == 0 {
 			for j := range x {
 				x[j] = o.Spread * rng.NormFloat64()
@@ -181,11 +189,16 @@ func misExplore(counter *mc.Counter, o *MISOptions, rng *rand.Rand) (*Result, er
 				x[j] = o.URange * (2*rng.Float64() - 1)
 			}
 		}
-		if counter.Value(x) < 0 {
-			w := stat.StdNormPDF(x)
+		return x
+	})
+	mean := make([]float64, dim)
+	wsum := 0.0
+	for _, s := range batch {
+		if s.Value < 0 {
+			w := stat.StdNormPDF(s.X)
 			wsum += w
-			for j := range x {
-				mean[j] += w * x[j]
+			for j, v := range s.X {
+				mean[j] += w * v
 			}
 		}
 	}

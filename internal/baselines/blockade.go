@@ -41,6 +41,10 @@ type BlockadeOptions struct {
 	// training cloud: the linear classifier's residual — and with it the
 	// guard band and the unblocked fraction — shrinks.
 	TrainScale float64
+	// Workers sizes the evaluation pool (0 = GOMAXPROCS) for the
+	// training batch and the candidate stream; the estimate is identical
+	// for every pool size.
+	Workers int
 }
 
 // BlockadeResult reports the estimate and its cost split.
@@ -74,16 +78,20 @@ func Blockade(counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*Block
 	dim := counter.Dim()
 
 	// Training set: widened Normal sampling so the tail side of the spec
-	// is represented.
-	xs := make([][]float64, train)
-	ys := make([]float64, train)
-	for i := range xs {
+	// is represented, evaluated sample-parallel.
+	ev := mc.NewEvaluator(counter, opts.Workers)
+	batch := ev.Batch(rng.Int63(), 0, train, func(rng *rand.Rand, _ int) []float64 {
 		x := make([]float64, dim)
 		for j := range x {
 			x[j] = scale * rng.NormFloat64()
 		}
-		xs[i] = x
-		ys[i] = counter.Value(x)
+		return x
+	})
+	xs := make([][]float64, train)
+	ys := make([]float64, train)
+	for i, s := range batch {
+		xs[i] = s.X
+		ys[i] = s.Value
 	}
 	lin, err := model.FitLinear(xs, ys)
 	if err != nil {
@@ -97,20 +105,26 @@ func Blockade(counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*Block
 	sigma := residSigma(&resid)
 	res := &BlockadeResult{TrainSims: counter.Count(), ResidualSigma: sigma}
 
+	// Candidate stream: classifier evaluations are free and happen for
+	// every candidate; only unblocked candidates cost a simulation. The
+	// stream runs on the pool — each candidate draws from its own
+	// indexed generator — and the tally folds in index order.
 	var tally stat.Running
 	failures := 0
-	x := make([]float64, dim)
-	for i := 0; i < opts.N; i++ {
+	band := guard * sigma
+	stream := mc.Map(ev, rng.Int63(), 0, opts.N, func(rng *rand.Rand, _ int) bool {
+		x := make([]float64, dim)
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
+		// Unblocked: needs a real simulation.
+		return lin.Eval(x) < band && counter.Value(x) < 0
+	})
+	for _, fail := range stream {
 		ind := 0.0
-		if lin.Eval(x) < guard*sigma {
-			// Unblocked: needs a real simulation.
-			if counter.Value(x) < 0 {
-				ind = 1
-				failures++
-			}
+		if fail {
+			ind = 1
+			failures++
 		}
 		tally.Push(ind)
 	}

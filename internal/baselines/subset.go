@@ -32,6 +32,10 @@ type SubsetOptions struct {
 	MaxStages int
 	// Step is the random-walk proposal σ (default 0.8).
 	Step float64
+	// Workers sizes the evaluation pool (0 = GOMAXPROCS): the stage-0
+	// population evaluates sample-parallel and each level's seed chains
+	// walk chain-parallel. Estimates are identical for every pool size.
+	Workers int
 }
 
 // SubsetResult reports the estimate and ladder diagnostics.
@@ -72,15 +76,15 @@ func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetRes
 		return nil, errors.New("baselines: subset needs p0·particles ≥ 2")
 	}
 
-	// Stage 0: plain Monte Carlo population.
-	pop := make([]particle, n)
-	for i := range pop {
+	// Stage 0: plain Monte Carlo population, evaluated sample-parallel.
+	ev := mc.NewEvaluator(counter, opts.Workers)
+	pop := mc.Map(ev, rng.Int63(), 0, n, func(rng *rand.Rand, _ int) particle {
 		x := make([]float64, dim)
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
-		pop[i] = particle{x: x, m: counter.Value(x)}
-	}
+		return particle{x: x, m: counter.Value(x)}
+	})
 
 	res := &SubsetResult{}
 	logPf := 0.0
@@ -104,13 +108,17 @@ func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetRes
 		// Seed the next population from the keepers by
 		// Metropolis-within-Gibbs conditioned on M < level: each of the
 		// keep seeds runs a chain of n/keep states (repeats on rejected
-		// moves, standard subset-simulation MCMC).
+		// moves, standard subset-simulation MCMC). Chains are mutually
+		// independent, so they walk on the pool in parallel — each with a
+		// generator seeded by its chain index, keeping the populations
+		// identical for every worker count.
 		seeds := pop[:keep]
 		chainLen := n / keep
-		next := make([]particle, 0, n)
-		for _, cur := range seeds {
+		chains := mc.Map(ev, rng.Int63(), 0, keep, func(rng *rand.Rand, c int) []particle {
+			cur := seeds[c]
 			walker := particle{x: append([]float64(nil), cur.x...), m: cur.m}
-			for s := 0; s < chainLen && len(next) < n; s++ {
+			states := make([]particle, 0, chainLen)
+			for s := 0; s < chainLen; s++ {
 				prop := append([]float64(nil), walker.x...)
 				// Component-wise Normal random walk with the standard
 				// Normal target: accept with min(1, φ(y)/φ(x)) and then
@@ -126,8 +134,13 @@ func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetRes
 				if m < level {
 					walker = particle{x: prop, m: m}
 				}
-				next = append(next, walker)
+				states = append(states, walker)
 			}
+			return states
+		})
+		next := make([]particle, 0, n)
+		for _, states := range chains {
+			next = append(next, states...)
 		}
 		// Round-off from n/keep: top up by continuing the last chain.
 		for len(next) < n {

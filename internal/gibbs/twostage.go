@@ -58,6 +58,11 @@ type TwoStageOptions struct {
 	// extension, useful on multi-lobe failure regions. 0 or 1 keeps the
 	// plain Algorithm 5 fit.
 	Mixture int
+	// Workers sizes the second-stage evaluation pool (0 = GOMAXPROCS).
+	// The first stage is inherently sequential (a Markov chain) and
+	// always runs on one goroutine; the estimate is identical for every
+	// worker count.
+	Workers int
 	// TraceEvery records a convergence snapshot every so many
 	// second-stage samples (0 disables).
 	TraceEvery mc.TraceEvery
@@ -170,7 +175,7 @@ func TwoStage(counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand) (*TwoSt
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSample(counter, res.distortion(), opts.N, rng, opts.TraceEvery)
+	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, opts.Workers), res.distortion(), opts.N, rng, opts.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +192,7 @@ func TwoStageUntil(counter *mc.Counter, opts TwoStageOptions, target float64, mi
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSampleUntil(counter, res.distortion(), target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, opts.Workers), res.distortion(), target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -105,39 +105,74 @@ func PlainMC(metric Metric, n int, rng *rand.Rand, traceEvery TraceEvery) (Resul
 
 // Distortion is a sampling distribution usable as the importance
 // distribution g(x): the Normal g^NOR of Algorithm 5, or richer families
-// such as the Gaussian mixture of the paper's §IV-C extension.
+// such as the Gaussian mixture of the paper's §IV-C extension. Sample and
+// LogPDF must be safe for concurrent use — the second stage evaluates
+// them from the Evaluator's worker pool.
 type Distortion interface {
 	Dim() int
 	LogPDF(x []float64) float64
 	Sample(rng *rand.Rand) []float64
 }
 
+// isWeight is one importance sample reduced to what the estimate needs.
+type isWeight struct {
+	w    float64
+	fail bool
+}
+
+// isJob builds the per-sample task of the importance-sampling stage:
+// draw from g, simulate, and weight failures by f(x)/g(x). The weight is
+// computed in log space: the ratio of a deep tail density to a shifted
+// density overflows naive division.
+func isJob(metric Metric, g Distortion) func(rng *rand.Rand, i int) isWeight {
+	return func(rng *rand.Rand, _ int) isWeight {
+		x := g.Sample(rng)
+		if metric.Value(x) < 0 {
+			return isWeight{w: math.Exp(stat.StdNormLogPDF(x) - g.LogPDF(x)), fail: true}
+		}
+		return isWeight{}
+	}
+}
+
+// pushWeights folds a batch of weights into the accumulator in index
+// order (so the floating-point reduction never depends on worker
+// scheduling), recording trace snapshots on the way.
+func pushWeights(run *stat.Running, batch []isWeight, failures *int, traceEvery TraceEvery, trace []TracePoint) []TracePoint {
+	for _, s := range batch {
+		if s.fail {
+			*failures++
+		}
+		run.Push(s.w)
+		if traceEvery > 0 && run.N()%int(traceEvery) == 0 {
+			trace = append(trace, TracePoint{N: run.N(), Estimate: run.Mean(), RelErr99: run.RelErr99()})
+		}
+	}
+	return trace
+}
+
 // ImportanceSample estimates Pf by sampling the distorted distribution g
 // and averaging the weights I(x)·f(x)/g(x) (paper eqs. 7 and 33); f is
-// the standard Normal of eq. (1).
-func ImportanceSample(metric Metric, g Distortion, n int, rng *rand.Rand, traceEvery TraceEvery) (Result, error) {
+// the standard Normal of eq. (1). The simulations run on ev's worker
+// pool; the estimate is identical for every worker count (the caller's
+// rng only contributes the batch seed).
+func ImportanceSample(ev *Evaluator, g Distortion, n int, rng *rand.Rand, traceEvery TraceEvery) (Result, error) {
+	if ev == nil {
+		return Result{}, errors.New("mc: nil evaluator")
+	}
 	if n <= 0 {
 		return Result{}, ErrBadSampleCount
 	}
-	if g.Dim() != metric.Dim() {
+	if g.Dim() != ev.Dim() {
 		return Result{}, errors.New("mc: distortion dimensionality does not match metric")
 	}
+	job := isJob(ev.Metric(), g)
+	seed := rng.Int63()
 	var run stat.Running
 	failures := 0
 	var trace []TracePoint
-	for i := 0; i < n; i++ {
-		x := g.Sample(rng)
-		w := 0.0
-		if metric.Value(x) < 0 {
-			failures++
-			// w = f(x)/g(x), computed in log space: the ratio of a deep
-			// tail density to a shifted density overflows naive division.
-			w = math.Exp(stat.StdNormLogPDF(x) - g.LogPDF(x))
-		}
-		run.Push(w)
-		if traceEvery > 0 && (i+1)%int(traceEvery) == 0 {
-			trace = append(trace, TracePoint{N: i + 1, Estimate: run.Mean(), RelErr99: run.RelErr99()})
-		}
+	for start := 0; start < n; start += ChunkSize {
+		count := min(ChunkSize, n-start)
+		trace = pushWeights(&run, Map(ev, seed, start, count, job), &failures, traceEvery, trace)
 	}
 	return resultFrom(&run, failures, trace), nil
 }
@@ -147,23 +182,27 @@ func ImportanceSample(metric Metric, g Distortion, n int, rng *rand.Rand, traceE
 // the paper's "number of simulations to reach 5% error" experiments
 // (Table I) without fixing N in advance. minN guards against spuriously
 // early convergence claims from the first few weights.
-func ImportanceSampleUntil(metric Metric, g Distortion, target float64, minN, maxN int, rng *rand.Rand) (Result, error) {
+//
+// Samples are dispatched to ev's pool in chunks of ChunkSize and the
+// convergence test runs between chunks, so the stopping point — and with
+// it Pf, N and Failures — is the same for every worker count.
+func ImportanceSampleUntil(ev *Evaluator, g Distortion, target float64, minN, maxN int, rng *rand.Rand) (Result, error) {
+	if ev == nil {
+		return Result{}, errors.New("mc: nil evaluator")
+	}
 	if maxN <= 0 || minN < 0 {
 		return Result{}, ErrBadSampleCount
 	}
-	if g.Dim() != metric.Dim() {
+	if g.Dim() != ev.Dim() {
 		return Result{}, errors.New("mc: distortion dimensionality does not match metric")
 	}
+	job := isJob(ev.Metric(), g)
+	seed := rng.Int63()
 	var run stat.Running
 	failures := 0
-	for i := 0; i < maxN; i++ {
-		x := g.Sample(rng)
-		w := 0.0
-		if metric.Value(x) < 0 {
-			failures++
-			w = math.Exp(stat.StdNormLogPDF(x) - g.LogPDF(x))
-		}
-		run.Push(w)
+	for start := 0; start < maxN; start += ChunkSize {
+		count := min(ChunkSize, maxN-start)
+		pushWeights(&run, Map(ev, seed, start, count, job), &failures, 0, nil)
 		if run.N() >= minN && run.RelErr99() <= target {
 			break
 		}

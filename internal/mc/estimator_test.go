@@ -88,7 +88,7 @@ func TestImportanceSampleExactOnLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(4))
-	res, err := ImportanceSample(lin, g, 100000, rng, 0)
+	res, err := ImportanceSample(NewEvaluator(lin, 0), g, 100000, rng, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,10 +105,10 @@ func TestImportanceSampleDimMismatch(t *testing.T) {
 	lin := &surrogate.Linear{W: []float64{1, 0}, B: 4}
 	g := stat.StandardMVNormal(3)
 	rng := rand.New(rand.NewSource(5))
-	if _, err := ImportanceSample(lin, g, 100, rng, 0); err == nil {
+	if _, err := ImportanceSample(NewEvaluator(lin, 0), g, 100, rng, 0); err == nil {
 		t.Fatal("expected dim mismatch error")
 	}
-	if _, err := ImportanceSample(lin, stat.StandardMVNormal(2), 0, rng, 0); err != ErrBadSampleCount {
+	if _, err := ImportanceSample(NewEvaluator(lin, 0), stat.StandardMVNormal(2), 0, rng, 0); err != ErrBadSampleCount {
 		t.Fatal("want ErrBadSampleCount")
 	}
 }
@@ -119,7 +119,7 @@ func TestImportanceSampleWithIdentityDistortion(t *testing.T) {
 	lin := &surrogate.Linear{W: []float64{1, 0}, B: 1} // Pf = Φ(−1)
 	g := stat.StandardMVNormal(2)
 	rng := rand.New(rand.NewSource(6))
-	res, err := ImportanceSample(lin, g, 100000, rng, 0)
+	res, err := ImportanceSample(NewEvaluator(lin, 0), g, 100000, rng, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestImportanceSampleUntil(t *testing.T) {
 	lin := &surrogate.Linear{W: []float64{1, 0}, B: 4}
 	g, _ := stat.NewMVNormal([]float64{4, 0}, linalg.Identity(2))
 	rng := rand.New(rand.NewSource(7))
-	res, err := ImportanceSampleUntil(lin, g, 0.05, 100, 1000000, rng)
+	res, err := ImportanceSampleUntil(NewEvaluator(lin, 0), g, 0.05, 100, 1000000, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,46 +158,12 @@ func TestImportanceSampleUntilRespectsMaxN(t *testing.T) {
 	lin := &surrogate.Linear{W: []float64{1, 0}, B: 6}
 	g := stat.StandardMVNormal(2) // plain MC on a 1e-9 event: never converges
 	rng := rand.New(rand.NewSource(8))
-	res, err := ImportanceSampleUntil(lin, g, 0.05, 10, 2000, rng)
+	res, err := ImportanceSampleUntil(NewEvaluator(lin, 0), g, 0.05, 10, 2000, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.N != 2000 {
 		t.Fatalf("should stop at maxN: %d", res.N)
-	}
-}
-
-func TestParallelMCMatchesSequential(t *testing.T) {
-	m := MetricFunc{M: 2, F: func(x []float64) float64 { return x[0] + x[1] + 1 }}
-	res, err := ParallelMC(m, 400000, 42, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Pf = P(x₀+x₁ < −1) = Φ(−1/√2) ≈ 0.2398.
-	want := stat.NormCDF(-1 / math.Sqrt(2))
-	if math.Abs(res.Pf-want) > 0.004 {
-		t.Fatalf("parallel Pf %v, want %v", res.Pf, want)
-	}
-	if res.N != 400000 {
-		t.Fatalf("N = %d", res.N)
-	}
-	if _, err := ParallelMC(m, 0, 1, 4); err != ErrBadSampleCount {
-		t.Fatal("want ErrBadSampleCount")
-	}
-}
-
-func TestParallelMCWorkerEdgeCases(t *testing.T) {
-	m := MetricFunc{M: 1, F: func(x []float64) float64 { return 1 }}
-	// More workers than samples must not break the partition.
-	res, err := ParallelMC(m, 3, 7, 16)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.N != 3 || res.Failures != 0 {
-		t.Fatalf("edge partition: %+v", res)
-	}
-	if !math.IsInf(res.RelErr99, 1) {
-		t.Fatal("zero-failure relerr should be +Inf")
 	}
 }
 
@@ -219,11 +185,11 @@ func TestWeightESSFlagsBadDistortion(t *testing.T) {
 	good, _ := stat.NewMVNormal([]float64{4.3, 0}, linalg.Identity(2))
 	bad, _ := stat.NewMVNormal([]float64{8, 0}, linalg.Identity(2)) // overshoots the boundary
 	rng := rand.New(rand.NewSource(10))
-	rGood, err := ImportanceSample(lin, good, 20000, rng, 0)
+	rGood, err := ImportanceSample(NewEvaluator(lin, 0), good, 20000, rng, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rBad, err := ImportanceSample(lin, bad, 20000, rng, 0)
+	rBad, err := ImportanceSample(NewEvaluator(lin, 0), bad, 20000, rng, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,150 @@
+package mc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Evaluator is the shared batch-evaluation engine: a worker pool over
+// Metric.Value with deterministic per-sample RNG streams. Every sample
+// index i gets its own generator seeded from (seed, i) — never from the
+// worker id — so an estimate computed through the Evaluator is
+// bit-identical for every worker count, including 1. All estimators in
+// the library run their simulation batches through this type; the worker
+// count is the single knob that maps simulator solves onto cores.
+//
+// Thread-safety contract: the wrapped Metric (and any Distortion sampled
+// inside a batch) must be safe for concurrent Value/Sample/LogPDF calls.
+// The library's metrics honor this by construction — sram.Metric and
+// sram.TranMetric build a fresh spice.Circuit per evaluation and only
+// read the shared Cell/MOSModel cards, and Counter counts atomically —
+// but a custom Metric that caches solver state must keep that state
+// per-call (or per-goroutine).
+type Evaluator struct {
+	metric  Metric
+	workers int
+}
+
+// NewEvaluator wraps metric with a pool of the given size; workers ≤ 0
+// selects GOMAXPROCS.
+func NewEvaluator(metric Metric, workers int) *Evaluator {
+	return &Evaluator{metric: metric, workers: workers}
+}
+
+// Metric returns the wrapped metric.
+func (e *Evaluator) Metric() Metric { return e.metric }
+
+// Dim returns the wrapped metric's dimensionality.
+func (e *Evaluator) Dim() int { return e.metric.Dim() }
+
+// Workers resolves the configured pool size (0 → GOMAXPROCS).
+func (e *Evaluator) Workers() int {
+	if e == nil || e.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.workers
+}
+
+// ChunkSize is the number of samples dispatched between convergence
+// checks in the until-target estimators. It is a fixed constant — not a
+// function of the worker count — because the early-stop decision points
+// must land on the same sample indices for every pool size to keep
+// estimates worker-count-independent.
+const ChunkSize = 256
+
+// sampleSeed derives the RNG seed of sample i from the batch seed by a
+// splitmix64-style finalizer. Distinct (seed, i) pairs land on
+// well-separated streams; the same pair always lands on the same stream,
+// which is the root of the engine's determinism guarantee.
+func sampleSeed(seed int64, i int) uint64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(int64(i)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sampleSource is a splitmix64 rand.Source64. Unlike the stdlib source
+// (whose Seed walks a 607-word table), reseeding is a single store, so a
+// worker can reuse one source — and one rand.Rand — across every sample
+// it evaluates.
+type sampleSource struct{ state uint64 }
+
+func (s *sampleSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *sampleSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *sampleSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Map evaluates fn for every sample index in [start, start+n) across the
+// pool and returns the results in index order. Each call receives a
+// generator deterministically seeded from (seed, index), so the output —
+// including every random draw fn makes — is identical for every worker
+// count. fn must be safe for concurrent invocation.
+func Map[T any](e *Evaluator, seed int64, start, n int, fn func(rng *rand.Rand, i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := e.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		src := &sampleSource{}
+		rng := rand.New(src)
+		for k := 0; k < n; k++ {
+			src.state = sampleSeed(seed, start+k)
+			out[k] = fn(rng, start+k)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			src := &sampleSource{}
+			rng := rand.New(src)
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				src.state = sampleSeed(seed, start+k)
+				out[k] = fn(rng, start+k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Eval is one evaluated sample: the variation point and its margin.
+type Eval struct {
+	X     []float64
+	Value float64
+}
+
+// Batch draws and evaluates samples [start, start+n): x_i = draw(rng_i)
+// and Value_i = Metric.Value(x_i), in index order, deterministic in the
+// worker count. draw must not retain or reuse the returned slice.
+func (e *Evaluator) Batch(seed int64, start, n int, draw func(rng *rand.Rand, i int) []float64) []Eval {
+	m := e.metric
+	return Map(e, seed, start, n, func(rng *rand.Rand, i int) Eval {
+		x := draw(rng, i)
+		return Eval{X: x, Value: m.Value(x)}
+	})
+}

@@ -1,0 +1,155 @@
+package mc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMapReturnsIndexOrder(t *testing.T) {
+	ev := NewEvaluator(MetricFunc{M: 1, F: func(x []float64) float64 { return 0 }}, 4)
+	out := Map(ev, 1, 10, 20, func(_ *rand.Rand, i int) int { return i })
+	if len(out) != 20 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for k, v := range out {
+		if v != 10+k {
+			t.Fatalf("out[%d] = %d, want %d", k, v, 10+k)
+		}
+	}
+	if Map(ev, 1, 0, 0, func(_ *rand.Rand, i int) int { return i }) != nil {
+		t.Fatal("n = 0 should return nil")
+	}
+	if Map(ev, 1, 0, -3, func(_ *rand.Rand, i int) int { return i }) != nil {
+		t.Fatal("n < 0 should return nil")
+	}
+}
+
+// The per-sample RNG stream must depend only on (seed, index): any
+// worker count, any chunking of the index range, same draws.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	ev1 := NewEvaluator(nil, 1)
+	draw := func(rng *rand.Rand, i int) [3]float64 {
+		return [3]float64{rng.NormFloat64(), rng.Float64(), float64(rng.Intn(1000))}
+	}
+	ref := Map(ev1, 99, 0, 500, draw)
+	for _, workers := range []int{2, 3, 7, runtime.GOMAXPROCS(0)} {
+		got := Map(NewEvaluator(nil, workers), 99, 0, 500, draw)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d sample %d diverged: %v vs %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+	// Splitting the range into chunks must not change the streams.
+	head := Map(ev1, 99, 0, 123, draw)
+	tail := Map(ev1, 99, 123, 500-123, draw)
+	for i, v := range append(head, tail...) {
+		if v != ref[i] {
+			t.Fatalf("chunked sample %d diverged", i)
+		}
+	}
+}
+
+func TestMapDistinctSeedsAndIndices(t *testing.T) {
+	ev := NewEvaluator(nil, 1)
+	draw := func(rng *rand.Rand, _ int) float64 { return rng.NormFloat64() }
+	a := Map(ev, 1, 0, 100, draw)
+	b := Map(ev, 2, 0, 100, draw)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collide on %d/100 samples", same)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] == a[0] {
+			t.Fatalf("samples 0 and %d drew the identical value", i)
+		}
+	}
+}
+
+func TestBatchEvaluatesMetric(t *testing.T) {
+	m := MetricFunc{M: 2, F: func(x []float64) float64 { return x[0] - x[1] }}
+	ev := NewEvaluator(m, 3)
+	batch := ev.Batch(5, 0, 64, func(rng *rand.Rand, i int) []float64 {
+		return []float64{float64(i), rng.Float64()}
+	})
+	if len(batch) != 64 {
+		t.Fatalf("len = %d", len(batch))
+	}
+	for i, s := range batch {
+		if s.X[0] != float64(i) {
+			t.Fatalf("batch out of order at %d", i)
+		}
+		if s.Value != s.X[0]-s.X[1] {
+			t.Fatalf("value not evaluated at %d", i)
+		}
+	}
+}
+
+func TestEvaluatorWorkersResolution(t *testing.T) {
+	if w := NewEvaluator(nil, 0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers(0) = %d", w)
+	}
+	if w := NewEvaluator(nil, 5).Workers(); w != 5 {
+		t.Fatalf("workers(5) = %d", w)
+	}
+	if w := (*Evaluator)(nil).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("nil evaluator workers = %d", w)
+	}
+}
+
+// The pool must actually run samples concurrently: with a metric that
+// blocks (simulating solver latency), 8 workers over 8 samples must beat
+// 8 serial evaluations by a wide margin. Sleeping does not hold the OS
+// thread, so this holds even on a single-core machine.
+func TestMapRunsConcurrently(t *testing.T) {
+	const blockFor = 30 * time.Millisecond
+	slow := MetricFunc{M: 1, F: func(x []float64) float64 {
+		time.Sleep(blockFor)
+		return x[0]
+	}}
+	job := func(rng *rand.Rand, _ int) float64 { return slow.Value([]float64{rng.NormFloat64()}) }
+
+	start := time.Now()
+	Map(NewEvaluator(slow, 8), 1, 0, 8, job)
+	parallel := time.Since(start)
+
+	if parallel > 4*blockFor {
+		t.Fatalf("8 workers over 8 blocking samples took %v; want ≈ %v (serial would be %v)",
+			parallel, blockFor, 8*blockFor)
+	}
+}
+
+// Counter must not lose increments under concurrent Value calls (run
+// with -race in CI to also catch unsynchronized access).
+func TestCounterConcurrentIncrements(t *testing.T) {
+	c := NewCounter(MetricFunc{M: 1, F: func(x []float64) float64 { return x[0] }})
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			x := []float64{1}
+			for i := 0; i < perG; i++ {
+				c.Value(x)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != goroutines*perG {
+		t.Fatalf("lost increments: %d, want %d", c.Count(), goroutines*perG)
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}

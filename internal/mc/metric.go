@@ -11,6 +11,14 @@ import "sync/atomic"
 // variation space x (independent standard Normal coordinates, paper
 // eq. 1): the sample fails exactly when Value(x) < 0. Each Value call
 // stands for one transistor-level simulation — the paper's unit of cost.
+//
+// Thread-safety contract: Value must be safe to call from multiple
+// goroutines at once. Every estimator in the library runs its simulation
+// batches through the Evaluator worker pool, so a Metric whose Value
+// mutates shared state (a cached solver, a shared circuit) must protect
+// or replicate that state per call. The built-in metrics comply by
+// constructing a fresh spice.Circuit per evaluation and treating the
+// Cell/MOSModel cards as read-only.
 type Metric interface {
 	// Dim returns the dimensionality M of the variation space.
 	Dim() int
@@ -23,7 +31,10 @@ func Fail(m Metric, x []float64) bool { return m.Value(x) < 0 }
 
 // Counter wraps a Metric and counts simulations. All estimators in the
 // library draw their cost reports from Counter, so "number of
-// transistor-level simulations" is measured, never assumed.
+// transistor-level simulations" is measured, never assumed. The count is
+// kept with sync/atomic: concurrent Value calls from the Evaluator pool
+// lose no increments, so stage-cost accounting stays exact under any
+// worker count.
 type Counter struct {
 	m Metric
 	n atomic.Int64

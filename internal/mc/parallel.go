@@ -3,73 +3,54 @@ package mc
 import (
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/stat"
 )
 
-// ParallelMC runs brute-force Monte Carlo across workers goroutines
-// (0 = GOMAXPROCS), merging the per-worker tallies. It powers the
-// Table II golden reference (the paper's 8.7-million-sample run), which
-// would otherwise dominate wall-clock time. The metric must be safe for
-// concurrent use; each worker gets an independent deterministic stream
-// seeded from seed.
+// mcChunk bounds the per-dispatch memory of the brute-force engine: the
+// golden reference runs millions of samples, so indicators are tallied
+// chunk by chunk instead of being held all at once.
+const mcChunk = 1 << 16
+
+// ParallelMC runs brute-force Monte Carlo on the batch-evaluation engine
+// (workers 0 = GOMAXPROCS). It powers the Table II golden reference (the
+// paper's 8.7-million-sample run), which would otherwise dominate
+// wall-clock time. The metric must be safe for concurrent use; each
+// sample gets an independent generator seeded from (seed, index), so the
+// tally is bit-identical for every worker count.
 func ParallelMC(metric Metric, n int, seed int64, workers int) (Result, error) {
 	if n <= 0 {
 		return Result{}, ErrBadSampleCount
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	type tally struct {
-		n, failures int
-	}
-	tallies := make([]tally, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		count := n / workers
-		if w < n%workers {
-			count++
+	ev := NewEvaluator(metric, workers)
+	dim := metric.Dim()
+	job := func(rng *rand.Rand, _ int) bool {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
 		}
-		wg.Add(1)
-		go func(w, count int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*1000003))
-			dim := metric.Dim()
-			x := make([]float64, dim)
-			failures := 0
-			for i := 0; i < count; i++ {
-				for j := range x {
-					x[j] = rng.NormFloat64()
-				}
-				if metric.Value(x) < 0 {
-					failures++
-				}
-			}
-			tallies[w] = tally{n: count, failures: failures}
-		}(w, count)
+		return metric.Value(x) < 0
 	}
-	wg.Wait()
-	total, failures := 0, 0
-	for _, t := range tallies {
-		total += t.n
-		failures += t.failures
+	failures := 0
+	for start := 0; start < n; start += mcChunk {
+		count := min(mcChunk, n-start)
+		for _, fail := range Map(ev, seed, start, count, job) {
+			if fail {
+				failures++
+			}
+		}
 	}
 	// Bernoulli tally: mean p, variance p(1−p)/n.
-	p := float64(failures) / float64(total)
+	p := float64(failures) / float64(n)
 	se := 0.0
-	if total > 1 {
-		se = sqrt(p * (1 - p) / float64(total))
+	if n > 1 {
+		se = sqrt(p * (1 - p) / float64(n))
 	}
 	rel := math.Inf(1)
 	if p > 0 {
 		rel = stat.Z99 * se / p
 	}
-	return Result{Pf: p, StdErr: se, RelErr99: rel, N: total, Failures: failures}, nil
+	return Result{Pf: p, StdErr: se, RelErr99: rel, N: n, Failures: failures, WeightESS: float64(failures)}, nil
 }
 
 func sqrt(v float64) float64 {

@@ -155,7 +155,7 @@ func parseModel(fields []string, models map[string]*MOSModel) error {
 	return nil
 }
 
-func parseMOSFET(c *Circuit, fields []string, models map[string]*MOSModel) error {
+func parseMOSFET(c *Circuit, fields []string, models map[string]*MOSModel) (err error) {
 	if len(fields) < 6 {
 		return fmt.Errorf("%s: want NAME ND NG NS NB MODEL [dvth=V]", fields[0])
 	}
@@ -163,6 +163,13 @@ func parseMOSFET(c *Circuit, fields []string, models map[string]*MOSModel) error
 	if !ok {
 		return fmt.Errorf("%s: unknown model %q", fields[0], fields[5])
 	}
+	defer func() {
+		// AddMOSFET panics on duplicate device names; surface that as a
+		// parse error like the two-terminal elements do.
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
 	m := c.AddMOSFET(strings.ToLower(fields[0]), fields[1], fields[2], fields[3], fields[4], model)
 	for _, kv := range fields[6:] {
 		parts := strings.SplitN(kv, "=", 2)

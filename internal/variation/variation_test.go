@@ -146,7 +146,7 @@ func TestWhitenedRegionMCAgreement(t *testing.T) {
 	// it is sane and reproducible against a second estimator: importance
 	// sampling with an identity distortion equals plain MC.
 	g := stat.StandardMVNormal(2)
-	res2, err := mc.ImportanceSample(metric, g, 400000, rng, 0)
+	res2, err := mc.ImportanceSample(mc.NewEvaluator(metric, 0), g, 400000, rng, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

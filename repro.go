@@ -121,8 +121,11 @@ type Options struct {
 	// Normal (G-C/G-S only; the paper's §IV-C extension). Multi-lobe
 	// failure regions need it; raise K when using it.
 	Mixture int
-	// Workers parallelizes MC (0 = GOMAXPROCS); ignored by the other
-	// methods.
+	// Workers sizes the batch-evaluation pool shared by every method
+	// (0 = GOMAXPROCS). Inherently sequential stages (the Gibbs chain,
+	// the model-based starting-point search) stay on one goroutine; all
+	// sampling stages fan out. Estimates are bit-identical for every
+	// worker count — Workers trades wall-clock time only.
 	Workers int
 }
 
@@ -199,7 +202,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 		return fromMC(res, counter), nil
 
 	case MIS:
-		mo := baselines.MISOptions{Stage1: o.K, N: o.N, TraceEvery: trace}
+		mo := baselines.MISOptions{Stage1: o.K, N: o.N, TraceEvery: trace, Workers: o.Workers}
 		var (
 			res *baselines.Result
 			err error
@@ -217,7 +220,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 	case MNIS:
 		mo := baselines.MNISOptions{
 			Start: &model.StartOptions{TrainN: o.K, UseQuadratic: o.Quadratic},
-			N:     o.N, TraceEvery: trace,
+			N:     o.N, TraceEvery: trace, Workers: o.Workers,
 		}
 		var (
 			res *baselines.Result
@@ -235,7 +238,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 
 	case Blockade:
 		res, err := baselines.Blockade(counter, baselines.BlockadeOptions{
-			Train: o.K, N: o.N,
+			Train: o.K, N: o.N, Workers: o.Workers,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -249,7 +252,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 
 	case Subset:
 		res, err := baselines.Subset(counter, baselines.SubsetOptions{
-			Particles: o.K,
+			Particles: o.K, Workers: o.Workers,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -270,6 +273,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 			StartPoint: o.StartPoint,
 			Mixture:    o.Mixture,
 			TraceEvery: trace,
+			Workers:    o.Workers,
 		}
 		var (
 			res *gibbs.TwoStageResult
