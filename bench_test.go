@@ -20,6 +20,7 @@ import (
 	"repro/internal/sram"
 	"repro/internal/stat"
 	"repro/internal/surrogate"
+	"repro/internal/telemetry"
 )
 
 // benchMethod runs one scaled method configuration and reports Pf and
@@ -438,6 +439,42 @@ func BenchmarkEvaluatorOverhead(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkTelemetryOverhead runs the same stage-2 importance sampling
+// bare and with a live registry attached, on a near-free analytic metric
+// so the atomic adds are the largest possible fraction of the work. The
+// "bare" vs "instrumented" sub-bench ratio is the cost of leaving
+// telemetry on; compare ns/op manually — CI only smoke-runs this
+// (-benchtime 1x) and asserts the estimates match bit for bit, which is
+// deterministic where a timing gate would be flaky.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6}
+	g, err := stat.NewMVNormal([]float64{3, 3}, linalg.Identity(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, reg *telemetry.Registry) float64 {
+		ev := mc.NewEvaluator(lin, 0).WithTelemetry(reg)
+		var pf float64
+		for i := 0; i < b.N; i++ {
+			// Fresh seed each iteration so the final Pf is independent of
+			// b.N and the bare/instrumented comparison below is exact.
+			rng := rand.New(rand.NewSource(7))
+			r, err := mc.ImportanceSample(ev, g, 1000, rng, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf = r.Pf
+		}
+		return pf
+	}
+	var barePf, instPf float64
+	b.Run("bare", func(b *testing.B) { barePf = run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { instPf = run(b, telemetry.New()) })
+	if barePf != instPf {
+		b.Fatalf("telemetry changed the estimate: %v vs %v", instPf, barePf)
 	}
 }
 

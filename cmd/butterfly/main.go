@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/sram"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,8 +27,15 @@ func main() {
 		dvthFlag   = flag.String("dvth", "", "comma-separated ΔVth for M1..M6 in volts")
 		csvPath    = flag.String("csv", "", "write the two transfer curves as CSV")
 		points     = flag.Int("points", 41, "sweep points per curve")
+		teleOut    = flag.String("telemetry", "", "write structured solver events (JSONL) to this file")
+		stats      = flag.Bool("stats", false, "print solver telemetry after the run")
 	)
 	flag.Parse()
+
+	cli, err := telemetry.StartCLI(*teleOut, "", *stats)
+	if err != nil {
+		fatal(err)
+	}
 
 	cell := sram.Default90nm()
 	if *cellName == "fastread" {
@@ -36,6 +44,7 @@ func main() {
 		fatal(fmt.Errorf("unknown cell %q", *cellName))
 	}
 	cell.Grid = *points
+	cell.Telemetry = cli.Registry
 
 	var cfg sram.BiasConfig
 	switch *configName {
@@ -108,6 +117,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("\nwrote", *csvPath)
+	}
+
+	if cli.Registry != nil {
+		fmt.Println()
+		cli.Registry.WriteTable(os.Stdout)
+	}
+	if err := cli.Close(); err != nil {
+		fatal(err)
 	}
 }
 

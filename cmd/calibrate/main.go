@@ -17,15 +17,26 @@ import (
 	"repro/internal/mc"
 	"repro/internal/sram"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	grid := flag.Bool("grid", false, "run the 2-D grid quadratures (slower)")
 	workers := flag.Int("workers", 0, "evaluation-pool workers for the quadratures (0 = all cores)")
+	teleOut := flag.String("telemetry", "", "write structured solver events (JSONL) to this file")
+	stats := flag.Bool("stats", false, "print solver telemetry after the run")
 	flag.Parse()
+
+	cli, err := telemetry.StartCLI(*teleOut, "", *stats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	reg = cli.Registry
 
 	fmt.Println("== static noise margins (Default90nm, σVth = 30 mV) ==")
 	cell := sram.Default90nm()
+	cell.Telemetry = reg
 	calibrateStatic("RNM", cell, sram.RNMSpec, func(d [sram.NumTransistors]float64) (float64, error) {
 		return cell.ReadSNM(d)
 	})
@@ -35,6 +46,7 @@ func main() {
 
 	fmt.Println("\n== read currents ==")
 	fast := sram.FastRead90nm()
+	fast.Telemetry = reg
 	calibrateStatic("single-path read current (FastRead90nm, µA)", fast,
 		sram.ReadCurrentSpec*1e6, func(d [sram.NumTransistors]float64) (float64, error) {
 			v, err := fast.ReadCurrent(d)
@@ -57,7 +69,20 @@ func main() {
 		quadrature("single-path read current", sram.ReadCurrentWorkload(), *workers)
 		quadrature("dual read current", sram.DualReadCurrentWorkload(), *workers)
 	}
+
+	if reg != nil {
+		fmt.Println()
+		reg.WriteTable(os.Stdout)
+	}
+	if err := cli.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
 }
+
+// reg is the optional run-telemetry registry shared by every solve and
+// quadrature in the command (nil when not requested).
+var reg *telemetry.Registry
 
 type rawMetric func(d [sram.NumTransistors]float64) (float64, error)
 
@@ -117,10 +142,13 @@ func quadrature(name string, m mc.Metric, workers int) {
 		fmt.Fprintf(os.Stderr, "calibrate: %s is not 2-D\n", name)
 		return
 	}
+	if tm, ok := m.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+		tm.SetTelemetry(reg)
+	}
 	const step = 0.25
 	const x2lo, x2hi, x1lo, x1hi = -10.0, 10.0, -6.0, 12.0
 	rows := int((x2hi-x2lo)/step) + 1
-	ev := mc.NewEvaluator(m, workers)
+	ev := mc.NewEvaluator(m, workers).WithTelemetry(reg)
 	partial := mc.Map(ev, 0, 0, rows, func(_ *rand.Rand, r int) float64 {
 		x2 := x2lo + float64(r)*step
 		row := 0.0

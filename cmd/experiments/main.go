@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 type config struct {
@@ -42,16 +44,31 @@ type config struct {
 	outDir  string
 	golden  int
 	workers int
+	tele    *telemetry.Registry
 }
 
 func main() {
 	cfg := config{}
+	var (
+		teleOut   string
+		debugAddr string
+		stats     bool
+	)
 	flag.Int64Var(&cfg.seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.quick, "quick", false, "scale budgets down for a fast smoke run")
 	flag.StringVar(&cfg.outDir, "out", "out", "directory for CSV outputs")
 	flag.IntVar(&cfg.golden, "golden", 8_700_000, "brute-force golden samples for table2")
 	flag.IntVar(&cfg.workers, "workers", 0, "evaluation-pool workers for every sampling stage (0 = all cores)")
+	flag.StringVar(&teleOut, "telemetry", "", "write structured run events (JSONL) to this file")
+	flag.StringVar(&debugAddr, "debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while running")
+	flag.BoolVar(&stats, "stats", false, "print the run-telemetry metric table at the end")
 	flag.Parse()
+
+	cli, err := telemetry.StartCLI(teleOut, debugAddr, stats)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.tele = cli.Registry
 
 	if flag.NArg() != 1 {
 		usage()
@@ -96,6 +113,13 @@ func main() {
 		}
 	}
 	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	if cfg.tele != nil {
+		fmt.Println()
+		cfg.tele.WriteTable(os.Stdout)
+	}
+	if err := cli.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func usage() {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/model"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // methodNames is the paper's comparison order.
@@ -29,6 +30,7 @@ type budgets struct {
 	traceEvery int // second-stage snapshot stride
 	gibbsKCap  int // upper bound on Gibbs sample count
 	workers    int // evaluation-pool size (0 = all cores)
+	tele       *telemetry.Registry
 }
 
 func defaultBudgets(c config) budgets {
@@ -41,6 +43,7 @@ func defaultBudgets(c config) budgets {
 		traceEvery: c.scale(500, 100),
 		gibbsKCap:  1 << 20,
 		workers:    c.workers,
+		tele:       c.tele,
 	}
 }
 
@@ -54,6 +57,37 @@ type methodRun struct {
 	trace      []mc.TracePoint
 	distortion *stat.MVNormal
 	gibbs      [][]float64
+	mix        *mixing // chain mixing quality (G-C/G-S only)
+}
+
+// mixing summarizes the quality of one Gibbs chain: effective sample
+// size, worst per-coordinate integrated autocorrelation time, and the
+// fraction of coordinate updates that actually resampled (drew from a
+// failure interval).
+type mixing struct {
+	ess, tau, acceptance float64
+}
+
+// chainCounterValues snapshots the gibbs-scope interval-search counters;
+// taking before/after deltas isolates one run on a shared registry.
+func chainCounterValues(reg *telemetry.Registry) (updates, resampled int64) {
+	s := reg.Scope("gibbs")
+	return s.Counter("updates_total").Value(), s.Counter("resampled_total").Value()
+}
+
+// newMixing derives the mixing row from the chain's counter deltas and
+// sample stream.
+func newMixing(reg *telemetry.Registry, updates0, resampled0 int64, samples [][]float64) *mixing {
+	m := &mixing{}
+	u1, r1 := chainCounterValues(reg)
+	if du := u1 - updates0; du > 0 {
+		m.acceptance = float64(r1-resampled0) / float64(du)
+	}
+	if ess, err := gibbs.EffectiveSampleSize(samples); err == nil {
+		m.ess = ess
+		m.tau = float64(len(samples)) / ess
+	}
+	return m
 }
 
 // runMethod executes one method with fixed second-stage size n.
@@ -65,6 +99,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 	case "MIS":
 		r, err := baselines.MIS(counter, baselines.MISOptions{
 			Stage1: b.misStage1, N: n, TraceEvery: traceEvery, Workers: b.workers,
+			Telemetry: b.tele,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -76,6 +111,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 		r, err := baselines.MNIS(counter, baselines.MNISOptions{
 			Start: &model.StartOptions{TrainN: b.mnisTrainN},
 			N:     n, TraceEvery: traceEvery, Workers: b.workers,
+			Telemetry: b.tele,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -88,9 +124,18 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 		if name == "G-S" {
 			coord = gibbs.Spherical
 		}
+		// Mixing diagnostics always run off a registry: the shared one
+		// when telemetry is on, a private one otherwise (runs are
+		// sequential, so counter deltas isolate this run either way).
+		reg := b.tele
+		if reg == nil {
+			reg = telemetry.New()
+		}
+		u0, r0 := chainCounterValues(reg)
 		r, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
 			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims,
 			N: n, TraceEvery: traceEvery, Workers: b.workers,
+			Telemetry: reg,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -99,6 +144,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
 		out.trace, out.distortion = r.Trace, r.GNor
 		out.gibbs = r.Samples
+		out.mix = newMixing(reg, u0, r0, r.Samples)
 	default:
 		return nil, fmt.Errorf("unknown method %q", name)
 	}
@@ -114,7 +160,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 	const minN = 500
 	switch name {
 	case "MIS":
-		r, err := baselines.MISUntil(counter, baselines.MISOptions{Stage1: b.misStage1, Workers: b.workers},
+		r, err := baselines.MISUntil(counter, baselines.MISOptions{Stage1: b.misStage1, Workers: b.workers, Telemetry: b.tele},
 			target, minN, b.stage2Max, rng)
 		if err != nil {
 			return nil, err
@@ -125,6 +171,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 	case "MNIS":
 		r, err := baselines.MNISUntil(counter, baselines.MNISOptions{
 			Start: &model.StartOptions{TrainN: b.mnisTrainN}, Workers: b.workers,
+			Telemetry: b.tele,
 		}, target, minN, b.stage2Max, rng)
 		if err != nil {
 			return nil, err
@@ -137,8 +184,14 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 		if name == "G-S" {
 			coord = gibbs.Spherical
 		}
+		reg := b.tele
+		if reg == nil {
+			reg = telemetry.New()
+		}
+		u0, r0 := chainCounterValues(reg)
 		r, err := gibbs.TwoStageUntil(counter, gibbs.TwoStageOptions{
 			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims, Workers: b.workers,
+			Telemetry: reg,
 		}, target, minN, b.stage2Max, rng)
 		if err != nil {
 			return nil, err
@@ -147,6 +200,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
 		out.distortion = r.GNor
 		out.gibbs = r.Samples
+		out.mix = newMixing(reg, u0, r0, r.Samples)
 	default:
 		return nil, fmt.Errorf("unknown method %q", name)
 	}

@@ -20,6 +20,7 @@ func runTable1(cfg config) error {
 	type row struct {
 		stage1      int64
 		second, tot map[string]int64
+		mix         map[string]*mixing
 	}
 	rows := map[string]*row{}
 	metrics := map[string]mc.Metric{
@@ -27,7 +28,7 @@ func runTable1(cfg config) error {
 		"WNM": sram.WNMWorkload(),
 	}
 	for _, name := range methodNames {
-		rows[name] = &row{second: map[string]int64{}, tot: map[string]int64{}}
+		rows[name] = &row{second: map[string]int64{}, tot: map[string]int64{}, mix: map[string]*mixing{}}
 		for _, mname := range []string{"RNM", "WNM"} {
 			r, err := runMethodUntil(name, metrics[mname], b, target, cfg.seed)
 			if err != nil {
@@ -36,6 +37,7 @@ func runTable1(cfg config) error {
 			rows[name].stage1 = r.stage1
 			rows[name].second[mname] = r.stage2
 			rows[name].tot[mname] = r.stage1 + r.stage2
+			rows[name].mix[mname] = r.mix
 			fmt.Printf("  %-5s %-3s Pf=%.3g relerr=%.1f%% stage1=%d stage2=%d\n",
 				name, mname, r.pf, 100*r.relErr, r.stage1, r.stage2)
 		}
@@ -48,11 +50,34 @@ func runTable1(cfg config) error {
 		r := rows[name]
 		fmt.Printf("%-16s %12d %12d %12d %12d %12d\n",
 			label(name), r.stage1, r.second["RNM"], r.second["WNM"], r.tot["RNM"], r.tot["WNM"])
-		csvRows = append(csvRows, []string{
+		csvRow := []string{
 			name, fmt.Sprint(r.stage1),
 			fmt.Sprint(r.second["RNM"]), fmt.Sprint(r.second["WNM"]),
 			fmt.Sprint(r.tot["RNM"]), fmt.Sprint(r.tot["WNM"]),
-		})
+		}
+		for _, mname := range []string{"RNM", "WNM"} {
+			if m := r.mix[mname]; m != nil {
+				csvRow = append(csvRow, f64(m.ess), f64(m.tau), f64(m.acceptance))
+			} else {
+				csvRow = append(csvRow, "", "", "")
+			}
+		}
+		csvRows = append(csvRows, csvRow)
+	}
+
+	// Stage-1 mixing quality of the proposed chains: effective sample
+	// size, worst integrated autocorrelation time, and the fraction of
+	// coordinate updates that resampled from a failure interval.
+	fmt.Printf("\nchain mixing (stage 1):\n")
+	fmt.Printf("%-16s %18s %18s %18s\n", "", "ESS (RNM/WNM)", "tau (RNM/WNM)", "accept (RNM/WNM)")
+	for _, name := range methodNames {
+		r := rows[name]
+		mr, mw := r.mix["RNM"], r.mix["WNM"]
+		if mr == nil || mw == nil {
+			continue
+		}
+		fmt.Printf("%-16s %8.0f / %7.0f %8.1f / %7.1f %7.0f%% / %5.0f%%\n",
+			label(name), mr.ess, mw.ess, mr.tau, mw.tau, 100*mr.acceptance, 100*mw.acceptance)
 	}
 	// Speedup band over the traditional methods (the paper's 1.4–4.9×).
 	minTrad, maxRatio := math.Inf(1), 0.0
@@ -72,7 +97,8 @@ func runTable1(cfg config) error {
 	fmt.Printf("\nspeedup of proposed over traditional: %.1f–%.1fx (paper: 1.4–4.9x)\n",
 		minTrad, maxRatio)
 	return writeCSV(cfg, "table1.csv",
-		[]string{"method", "stage1", "stage2_rnm", "stage2_wnm", "total_rnm", "total_wnm"},
+		[]string{"method", "stage1", "stage2_rnm", "stage2_wnm", "total_rnm", "total_wnm",
+			"ess_rnm", "tau_rnm", "accept_rnm", "ess_wnm", "tau_wnm", "accept_wnm"},
 		csvRows)
 }
 
@@ -101,7 +127,7 @@ func runTable2(cfg config) error {
 	if cfg.quick {
 		golden = 500000
 	}
-	gr, err := mc.ParallelMC(sram.DualReadCurrentWorkload(), golden, cfg.seed, cfg.workers)
+	gr, err := mc.ParallelMCTelemetry(sram.DualReadCurrentWorkload(), golden, cfg.seed, cfg.workers, cfg.tele)
 	if err != nil {
 		return err
 	}

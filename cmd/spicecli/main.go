@@ -18,14 +18,17 @@ import (
 	"strings"
 
 	"repro/internal/spice"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		doOP  = flag.Bool("op", false, "print the DC operating point")
-		sweep = flag.String("sweep", "", "DC sweep: SOURCE:START:STOP:STEPS")
-		tran  = flag.String("tran", "", "transient: STOP:STEP (seconds, suffixes ok)")
-		probe = flag.String("probe", "", "comma-separated nodes to print (default: all)")
+		doOP    = flag.Bool("op", false, "print the DC operating point")
+		sweep   = flag.String("sweep", "", "DC sweep: SOURCE:START:STOP:STEPS")
+		tran    = flag.String("tran", "", "transient: STOP:STEP (seconds, suffixes ok)")
+		probe   = flag.String("probe", "", "comma-separated nodes to print (default: all)")
+		teleOut = flag.String("telemetry", "", "write structured solver events (JSONL) to this file")
+		stats   = flag.Bool("stats", false, "print solver telemetry (iterations, strategies, latencies) after the run")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -43,10 +46,16 @@ func main() {
 	}
 	nodes := probeList(*probe, ckt)
 
+	cli, err := telemetry.StartCLI(*teleOut, "", *stats)
+	if err != nil {
+		fatal(err)
+	}
+	dc := &spice.DCOptions{Telemetry: cli.Registry}
+
 	ran := false
 	if *doOP || (*sweep == "" && *tran == "") {
 		ran = true
-		op, err := ckt.SolveDC(nil)
+		op, err := ckt.SolveDC(dc)
 		if err != nil {
 			fatal(err)
 		}
@@ -54,6 +63,8 @@ func main() {
 		for _, n := range nodes {
 			fmt.Printf("  V(%s) = %.6g V\n", n, op.Voltage(n))
 		}
+		fmt.Printf("  converged via %s in %d Newton iterations (residual %.3g)\n",
+			op.Strategy(), op.NewtonIterations(), op.Residual())
 	}
 	if *sweep != "" {
 		ran = true
@@ -72,7 +83,7 @@ func main() {
 			fmt.Printf(" %12s", "V("+n+")")
 		}
 		fmt.Println()
-		err = ckt.Sweep(parts[0], start, stop, steps, nil, func(v float64, op *spice.OperatingPoint) bool {
+		err = ckt.Sweep(parts[0], start, stop, steps, dc, func(v float64, op *spice.OperatingPoint) bool {
 			fmt.Printf("%12.5g", v)
 			for _, n := range nodes {
 				fmt.Printf(" %12.5g", op.Voltage(n))
@@ -100,7 +111,7 @@ func main() {
 			fmt.Printf(" %12s", "V("+n+")")
 		}
 		fmt.Println()
-		err = ckt.SolveTran(spice.TranOptions{Stop: stop, Step: step, Method: spice.Trapezoidal},
+		err = ckt.SolveTran(spice.TranOptions{Stop: stop, Step: step, Method: spice.Trapezoidal, DC: dc},
 			func(p spice.TranPoint) bool {
 				fmt.Printf("%12.5g", p.T)
 				for _, n := range nodes {
@@ -114,6 +125,13 @@ func main() {
 		}
 	}
 	_ = ran
+	if cli.Registry != nil {
+		fmt.Println()
+		cli.Registry.WriteTable(os.Stdout)
+	}
+	if err := cli.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func probeList(probe string, ckt *spice.Circuit) []string {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +30,9 @@ func main() {
 		quadratic  = flag.Bool("quadratic", false, "use a quadratic response surface for the starting point")
 		workers    = flag.Int("workers", 0, "evaluation-pool workers for every method (0 = all cores)")
 		mixture    = flag.Int("mixture", 0, "Gaussian-mixture components for the G-C/G-S distortion (0/1 = single Normal)")
+		teleOut    = flag.String("telemetry", "", "write structured run events (JSONL) to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run")
+		stats      = flag.Bool("stats", false, "print the run-telemetry metric table after the run")
 	)
 	flag.Parse()
 
@@ -41,13 +45,19 @@ func main() {
 		fatal(err)
 	}
 
+	cli, err := telemetry.StartCLI(*teleOut, *debugAddr, *stats)
+	if err != nil {
+		fatal(err)
+	}
+
 	start := time.Now()
 	res, err := repro.Estimate(metric, repro.Options{
 		Method: method, K: *k, N: *n, Target: *target,
 		Seed: *seed, Quadratic: *quadratic, Workers: *workers,
-		Mixture: *mixture,
+		Mixture: *mixture, Telemetry: cli.Registry,
 	})
 	if err != nil {
+		cli.Close()
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -64,6 +74,17 @@ func main() {
 	fmt.Printf("simulations       stage1 %d + stage2 %d = %d\n",
 		res.Stage1Sims, res.Stage2Sims, res.TotalSims)
 	fmt.Printf("wall time         %v\n", elapsed.Round(time.Millisecond))
+	if secs := elapsed.Seconds(); secs > 0 {
+		fmt.Printf("solve throughput  %.0f sims/s\n", float64(res.TotalSims)/secs)
+	}
+
+	if cli.Registry != nil {
+		fmt.Println()
+		cli.Registry.WriteTable(os.Stdout)
+	}
+	if err := cli.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func metricByName(name string) (repro.Metric, error) {

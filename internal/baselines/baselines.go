@@ -25,6 +25,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/model"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // ErrNoFailures is returned when the MIS exploration stage finds no
@@ -59,6 +60,9 @@ type MISOptions struct {
 	Workers int
 	// TraceEvery records second-stage convergence snapshots (0 off).
 	TraceEvery mc.TraceEvery
+	// Telemetry, when non-nil, observes both stages (throughput counters,
+	// chunk latencies, estimator progress); estimates are unchanged.
+	Telemetry *telemetry.Registry
 }
 
 func (o *MISOptions) defaults() MISOptions {
@@ -84,7 +88,7 @@ func MIS(counter *mc.Counter, opts MISOptions, rng *rand.Rand) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, o.Workers), res.GNor, o.N, rng, o.TraceEvery)
+	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, o.N, rng, o.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +108,9 @@ type MNISOptions struct {
 	// Workers sizes the second-stage evaluation pool (0 = GOMAXPROCS);
 	// the norm-minimization first stage is sequential.
 	Workers int
+	// Telemetry, when non-nil, observes the second stage; estimates are
+	// unchanged.
+	Telemetry *telemetry.Registry
 }
 
 // MNIS runs minimum-norm importance sampling: find the minimum-norm
@@ -123,7 +130,7 @@ func MNIS(counter *mc.Counter, opts MNISOptions, rng *rand.Rand) (*Result, error
 		return nil, err
 	}
 	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, opts.Workers), gnor, opts.N, rng, opts.TraceEvery)
+	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, opts.N, rng, opts.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +148,7 @@ func MISUntil(counter *mc.Counter, opts MISOptions, target float64, minN, maxN i
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, o.Workers), res.GNor, target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +167,7 @@ func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN
 		return nil, err
 	}
 	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, opts.Workers), gnor, target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +184,7 @@ func misExplore(counter *mc.Counter, o *MISOptions, rng *rand.Rand) (*Result, er
 		return nil, errors.New("baselines: MIS stage sizes must be positive")
 	}
 	dim := counter.Dim()
-	ev := mc.NewEvaluator(counter, o.Workers)
+	ev := mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry)
 	batch := ev.Batch(rng.Int63(), 0, o.Stage1, func(rng *rand.Rand, _ int) []float64 {
 		x := make([]float64, dim)
 		if rng.Intn(2) == 0 {

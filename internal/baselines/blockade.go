@@ -8,6 +8,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/model"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // Statistical blockade (Singhee & Rutenbar, DATE 2007 — the paper's
@@ -45,6 +46,9 @@ type BlockadeOptions struct {
 	// training batch and the candidate stream; the estimate is identical
 	// for every pool size.
 	Workers int
+	// Telemetry, when non-nil, observes the evaluation pool; estimates
+	// are unchanged.
+	Telemetry *telemetry.Registry
 }
 
 // BlockadeResult reports the estimate and its cost split.
@@ -79,7 +83,7 @@ func Blockade(counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*Block
 
 	// Training set: widened Normal sampling so the tail side of the spec
 	// is represented, evaluated sample-parallel.
-	ev := mc.NewEvaluator(counter, opts.Workers)
+	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
 	batch := ev.Batch(rng.Int63(), 0, train, func(rng *rand.Rand, _ int) []float64 {
 		x := make([]float64, dim)
 		for j := range x {

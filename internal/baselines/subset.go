@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/mc"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // Subset simulation — the sequential-sampling family the paper cites as
@@ -36,6 +37,9 @@ type SubsetOptions struct {
 	// population evaluates sample-parallel and each level's seed chains
 	// walk chain-parallel. Estimates are identical for every pool size.
 	Workers int
+	// Telemetry, when non-nil, observes the evaluation pool; estimates
+	// are unchanged.
+	Telemetry *telemetry.Registry
 }
 
 // SubsetResult reports the estimate and ladder diagnostics.
@@ -77,7 +81,7 @@ func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetRes
 	}
 
 	// Stage 0: plain Monte Carlo population, evaluated sample-parallel.
-	ev := mc.NewEvaluator(counter, opts.Workers)
+	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
 	pop := mc.Map(ev, rng.Int63(), 0, n, func(rng *rand.Rand, _ int) particle {
 		x := make([]float64, dim)
 		for j := range x {

@@ -38,27 +38,33 @@ func CartesianChain(metric mc.Metric, start []float64, k int, opts *Options, rng
 	if !mc.Fail(metric, x) {
 		return nil, ErrStartNotFailing
 	}
+	ct := newChainTelemetry(o.Telemetry, cartesianCoordNames(dim))
 	samples := make([][]float64, 0, k)
 	m := 0
 	for len(samples) < k {
 		if o.Stop != nil && o.Stop() && len(samples) >= 2 {
 			break
 		}
+		probes := 0
 		probe := func(t float64) bool {
+			probes++
 			old := x[m]
 			x[m] = t
 			fail := mc.Fail(metric, x)
 			x[m] = old
 			return fail
 		}
-		if u, v, ok := failureInterval(probe, x[m], -o.Zeta, o.Zeta, &o); ok {
+		u, v, st := failureIntervalStat(probe, x[m], -o.Zeta, o.Zeta, &o)
+		if st != intervalNone {
 			x[m] = stat.TruncNormSample(u, v, uniform01(rng))
 		}
+		ct.update(m, st, probes)
 		// Paper Algorithm 1 line 5: each coordinate draw creates a new
 		// sampling point (even when the recovery scan found nothing and
 		// the coordinate kept its value).
 		samples = append(samples, linalg.CopyVec(x))
 		m = (m + 1) % dim
 	}
+	ct.done(Cartesian, samples)
 	return samples, nil
 }

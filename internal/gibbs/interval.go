@@ -16,12 +16,36 @@ package gibbs
 // boundary (the paper's "bound the high-probability failure region by
 // constraining x_m within [−ζ, ζ]").
 func failureInterval(probe func(float64) bool, t0, lo, hi float64, o *Options) (u, v float64, ok bool) {
+	u, v, st := failureIntervalStat(probe, t0, lo, hi, o)
+	return u, v, st != intervalNone
+}
+
+// intervalStatus classifies one interval search, the chain-telemetry
+// distinction between a healthy update and one that needed rescuing.
+type intervalStatus int
+
+const (
+	// intervalNone: no failing segment found; the caller keeps the
+	// current coordinate value.
+	intervalNone intervalStatus = iota
+	// intervalAtCurrent: the current value still fails; the interval was
+	// bracketed directly from it.
+	intervalAtCurrent
+	// intervalRecovered: the current value passes and the coarse scan
+	// recovered a failing segment elsewhere.
+	intervalRecovered
+)
+
+// failureIntervalStat is failureInterval with the search outcome
+// classified for telemetry.
+func failureIntervalStat(probe func(float64) bool, t0, lo, hi float64, o *Options) (u, v float64, st intervalStatus) {
 	if t0 < lo {
 		t0 = lo
 	}
 	if t0 > hi {
 		t0 = hi
 	}
+	st = intervalAtCurrent
 	if !probe(t0) {
 		best, found := 0.0, false
 		bestDist := hi - lo + 1
@@ -38,13 +62,14 @@ func failureInterval(probe func(float64) bool, t0, lo, hi float64, o *Options) (
 			}
 		}
 		if !found {
-			return 0, 0, false
+			return 0, 0, intervalNone
 		}
 		t0 = best
+		st = intervalRecovered
 	}
 	v = expand(probe, t0, hi, +o.ExpandStep, o.Bisections)
 	u = expand(probe, t0, lo, -o.ExpandStep, o.Bisections)
-	return u, v, true
+	return u, v, st
 }
 
 // expand walks from the failing point t0 toward bound in geometrically

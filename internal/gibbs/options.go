@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // Options tunes the Gibbs chain. The zero value (or nil) selects the
@@ -43,6 +44,10 @@ type Options struct {
 	// the paper sizes its comparisons (e.g., 5000 stage-1 simulations in
 	// Table I).
 	Stop func() bool
+	// Telemetry, when non-nil, receives per-coordinate interval-search
+	// counters, mixing gauges and a "gibbs.chain" event per chain. It
+	// only observes — the chain's draws are identical with it on or off.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) defaults() Options {

@@ -75,6 +75,7 @@ func SphericalChain(metric mc.Metric, start []float64, k int, opts *Options, rng
 		return x
 	}
 
+	ct := newChainTelemetry(o.Telemetry, sphericalCoordNames(dim))
 	samples := make([][]float64, 0, k)
 	record := func() { samples = append(samples, cur()) }
 
@@ -83,20 +84,25 @@ func SphericalChain(metric mc.Metric, start []float64, k int, opts *Options, rng
 		if o.Stop != nil && o.Stop() && len(samples) >= 2 {
 			break
 		}
+		probes := 0
 		if coord == -1 {
 			probe := func(t float64) bool {
+				probes++
 				x, err := CartesianFromSpherical(t, alpha)
 				if err != nil {
 					return false
 				}
 				return mc.Fail(metric, x)
 			}
-			if u, v, ok := failureInterval(probe, r, 0, rmax, &o); ok {
+			u, v, st := failureIntervalStat(probe, r, 0, rmax, &o)
+			if st != intervalNone {
 				r = stat.TruncChiSample(dim, u, v, uniform01(rng))
 			}
+			ct.update(0, st, probes)
 		} else {
 			m := coord
 			probe := func(t float64) bool {
+				probes++
 				old := alpha[m]
 				alpha[m] = t
 				x, err := CartesianFromSpherical(r, alpha)
@@ -106,9 +112,11 @@ func SphericalChain(metric mc.Metric, start []float64, k int, opts *Options, rng
 				}
 				return mc.Fail(metric, x)
 			}
-			if u, v, ok := failureInterval(probe, alpha[m], -o.Zeta, o.Zeta, &o); ok {
+			u, v, st := failureIntervalStat(probe, alpha[m], -o.Zeta, o.Zeta, &o)
+			if st != intervalNone {
 				alpha[m] = stat.TruncNormSample(u, v, uniform01(rng))
 			}
+			ct.update(m+1, st, probes)
 		}
 		record()
 		coord++
@@ -116,5 +124,6 @@ func SphericalChain(metric mc.Metric, start []float64, k int, opts *Options, rng
 			coord = -1
 		}
 	}
+	ct.done(Spherical, samples)
 	return samples, nil
 }

@@ -1,0 +1,137 @@
+package gibbs
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Chain telemetry lives in the "gibbs" scope:
+//
+//	updates_total                  coordinate updates attempted
+//	resampled_total                updates that drew from a failure interval
+//	recovered_total                resampled updates that needed the
+//	                               coarse recovery scan (chain drifted out)
+//	kept_total                     updates where no interval was found
+//	coord_<name>_resampled_total   per-coordinate resample counts
+//	probes_per_update              simulations per interval search
+//	chain_ess / chain_acceptance   gauges refreshed at chain end
+//
+// plus one "gibbs.chain" event per finished chain carrying the mixing
+// diagnostics (ESS, worst integrated autocorrelation time, acceptance,
+// per-coordinate resample counts).
+
+var probeBuckets = telemetry.ExpBuckets(1, 2, 8) // 1 .. 128 sims/update
+
+// chainTelemetry accumulates one chain's interval-search statistics.
+// The live counters feed /metrics; the plain-int tallies (the chain is
+// single-goroutine) feed the end-of-chain event. A nil *chainTelemetry
+// is fully inert.
+type chainTelemetry struct {
+	reg        *telemetry.Registry
+	coordNames []string
+
+	updates, resampled, recovered, kept *telemetry.Counter
+	perCoord                            []*telemetry.Counter
+	probes                              *telemetry.Histogram
+
+	nUpdates, nResampled, nRecovered, nKept int
+	byCoord                                 []int64
+}
+
+// cartesianCoordNames labels Algorithm 1's coordinates x0..x{M-1};
+// sphericalCoordNames labels Algorithm 2's redundant set r, a0..a{M-1}.
+func cartesianCoordNames(dim int) []string {
+	names := make([]string, dim)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	return names
+}
+
+func sphericalCoordNames(dim int) []string {
+	names := make([]string, dim+1)
+	names[0] = "r"
+	for i := 0; i < dim; i++ {
+		names[i+1] = fmt.Sprintf("a%d", i)
+	}
+	return names
+}
+
+func newChainTelemetry(reg *telemetry.Registry, coordNames []string) *chainTelemetry {
+	if reg == nil {
+		return nil
+	}
+	s := reg.Scope("gibbs")
+	ct := &chainTelemetry{
+		reg:        reg,
+		coordNames: coordNames,
+		updates:    s.Counter("updates_total"),
+		resampled:  s.Counter("resampled_total"),
+		recovered:  s.Counter("recovered_total"),
+		kept:       s.Counter("kept_total"),
+		probes:     s.Histogram("probes_per_update", probeBuckets),
+		byCoord:    make([]int64, len(coordNames)),
+	}
+	for _, n := range coordNames {
+		ct.perCoord = append(ct.perCoord, s.Counter("coord_"+n+"_resampled_total"))
+	}
+	return ct
+}
+
+// update records one coordinate update: which coordinate, how the
+// interval search ended, and how many simulations it probed.
+func (t *chainTelemetry) update(coord int, st intervalStatus, probes int) {
+	if t == nil {
+		return
+	}
+	t.nUpdates++
+	t.updates.Inc()
+	t.probes.Observe(float64(probes))
+	switch st {
+	case intervalNone:
+		t.nKept++
+		t.kept.Inc()
+	default:
+		t.nResampled++
+		t.resampled.Inc()
+		t.perCoord[coord].Inc()
+		t.byCoord[coord]++
+		if st == intervalRecovered {
+			t.nRecovered++
+			t.recovered.Inc()
+		}
+	}
+}
+
+// done computes the mixing diagnostics of the finished chain and emits
+// the "gibbs.chain" event (also refreshing the chain_ess and
+// chain_acceptance gauges).
+func (t *chainTelemetry) done(coord Coord, samples [][]float64) {
+	if t == nil {
+		return
+	}
+	acceptance := 0.0
+	if t.nUpdates > 0 {
+		acceptance = float64(t.nResampled) / float64(t.nUpdates)
+	}
+	fields := map[string]any{
+		"coord":              coord.String(),
+		"k":                  len(samples),
+		"updates":            t.nUpdates,
+		"resampled":          t.nResampled,
+		"recovered":          t.nRecovered,
+		"kept":               t.nKept,
+		"acceptance":         acceptance,
+		"coords":             t.coordNames,
+		"resampled_by_coord": t.byCoord,
+	}
+	s := t.reg.Scope("gibbs")
+	s.Gauge("chain_acceptance").Set(acceptance)
+	if ess, err := EffectiveSampleSize(samples); err == nil {
+		fields["ess"] = ess
+		fields["tau_max"] = float64(len(samples)) / ess
+		s.Gauge("chain_ess").Set(ess)
+	}
+	t.reg.Emit("gibbs.chain", fields)
+}

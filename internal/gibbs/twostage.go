@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/linalg"
 	"repro/internal/mc"
 	"repro/internal/model"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // Coord selects the Gibbs chain's coordinate system.
@@ -66,6 +68,12 @@ type TwoStageOptions struct {
 	// TraceEvery records a convergence snapshot every so many
 	// second-stage samples (0 disables).
 	TraceEvery mc.TraceEvery
+	// Telemetry, when non-nil, observes the whole flow: chain counters
+	// and mixing gauges from stage 1, evaluator throughput and running
+	// Pf/error-bar gauges from stage 2, plus stage1.*/stage2.* events.
+	// It never touches the random draws — estimates are bit-identical
+	// with telemetry on or off.
+	Telemetry *telemetry.Registry
 }
 
 // TwoStageResult reports the estimate with the paper's cost accounting.
@@ -96,6 +104,9 @@ func firstStage(counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*Tw
 	}
 	res := &TwoStageResult{}
 
+	opts.Telemetry.Emit("stage1.start", map[string]any{
+		"coord": opts.Coord.String(), "k": opts.K, "budget": opts.Stage1Budget,
+	})
 	start := opts.StartPoint
 	if start == nil {
 		var err error
@@ -105,15 +116,23 @@ func firstStage(counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*Tw
 		}
 	}
 	res.Start = start
+	opts.Telemetry.Emit("stage1.start_point", map[string]any{
+		"sims": counter.Count(), "norm": linalg.Norm2(start),
+	})
 
 	chainOpts := opts.Chain
-	if opts.Stage1Budget > 0 {
+	if opts.Stage1Budget > 0 || (opts.Telemetry != nil && (chainOpts == nil || chainOpts.Telemetry == nil)) {
 		var co Options
 		if chainOpts != nil {
 			co = *chainOpts
 		}
-		budget := opts.Stage1Budget
-		co.Stop = func() bool { return counter.Count() >= budget }
+		if opts.Stage1Budget > 0 {
+			budget := opts.Stage1Budget
+			co.Stop = func() bool { return counter.Count() >= budget }
+		}
+		if co.Telemetry == nil {
+			co.Telemetry = opts.Telemetry
+		}
 		chainOpts = &co
 	}
 	var (
@@ -133,6 +152,9 @@ func firstStage(counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*Tw
 	}
 	res.Samples = samples
 	res.Stage1Sims = counter.Count()
+	opts.Telemetry.Emit("stage1.done", map[string]any{
+		"sims": res.Stage1Sims, "samples": len(samples),
+	})
 
 	res.GNor, err = FitDistortion(samples)
 	if err != nil {
@@ -175,7 +197,11 @@ func TwoStage(counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand) (*TwoSt
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, opts.Workers), res.distortion(), opts.N, rng, opts.TraceEvery)
+	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
+	opts.Telemetry.Emit("stage2.start", map[string]any{
+		"n": opts.N, "workers": ev.Workers(), "mixture": opts.Mixture,
+	})
+	res.Result, err = mc.ImportanceSample(ev, res.distortion(), opts.N, rng, opts.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +218,11 @@ func TwoStageUntil(counter *mc.Counter, opts TwoStageOptions, target float64, mi
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, opts.Workers), res.distortion(), target, minN, maxN, rng)
+	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
+	opts.Telemetry.Emit("stage2.start", map[string]any{
+		"target": target, "min_n": minN, "max_n": maxN, "workers": ev.Workers(), "mixture": opts.Mixture,
+	})
+	res.Result, err = mc.ImportanceSampleUntil(ev, res.distortion(), target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}

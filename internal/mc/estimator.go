@@ -150,6 +150,36 @@ func pushWeights(run *stat.Running, batch []isWeight, failures *int, traceEvery 
 	return trace
 }
 
+// estimatorProgress publishes the running estimate between chunks: the
+// stage2_* gauges (for live /metrics scrapes) and an
+// "estimator.progress" event. It runs outside the hot sample loop and
+// only when telemetry is attached to the evaluator.
+func estimatorProgress(ev *Evaluator, run *stat.Running, failures int) {
+	reg := ev.Telemetry()
+	if reg == nil {
+		return
+	}
+	s := reg.Scope("mc")
+	s.Gauge("stage2_n").Set(float64(run.N()))
+	s.Gauge("stage2_pf").Set(run.Mean())
+	s.Gauge("stage2_relerr99").Set(run.RelErr99())
+	reg.Emit("estimator.progress", map[string]any{
+		"n": run.N(), "pf": run.Mean(), "relerr99": run.RelErr99(), "failures": failures,
+	})
+}
+
+// estimatorDone emits the closing event of an estimation stage.
+func estimatorDone(ev *Evaluator, res *Result) {
+	reg := ev.Telemetry()
+	if reg == nil {
+		return
+	}
+	reg.Emit("estimator.done", map[string]any{
+		"n": res.N, "pf": res.Pf, "relerr99": res.RelErr99,
+		"failures": res.Failures, "weight_ess": res.WeightESS,
+	})
+}
+
 // ImportanceSample estimates Pf by sampling the distorted distribution g
 // and averaging the weights I(x)·f(x)/g(x) (paper eqs. 7 and 33); f is
 // the standard Normal of eq. (1). The simulations run on ev's worker
@@ -173,8 +203,11 @@ func ImportanceSample(ev *Evaluator, g Distortion, n int, rng *rand.Rand, traceE
 	for start := 0; start < n; start += ChunkSize {
 		count := min(ChunkSize, n-start)
 		trace = pushWeights(&run, Map(ev, seed, start, count, job), &failures, traceEvery, trace)
+		estimatorProgress(ev, &run, failures)
 	}
-	return resultFrom(&run, failures, trace), nil
+	res := resultFrom(&run, failures, trace)
+	estimatorDone(ev, &res)
+	return res, nil
 }
 
 // ImportanceSampleUntil draws samples from g until the 99% relative error
@@ -203,9 +236,12 @@ func ImportanceSampleUntil(ev *Evaluator, g Distortion, target float64, minN, ma
 	for start := 0; start < maxN; start += ChunkSize {
 		count := min(ChunkSize, maxN-start)
 		pushWeights(&run, Map(ev, seed, start, count, job), &failures, 0, nil)
+		estimatorProgress(ev, &run, failures)
 		if run.N() >= minN && run.RelErr99() <= target {
 			break
 		}
 	}
-	return resultFrom(&run, failures, nil), nil
+	res := resultFrom(&run, failures, nil)
+	estimatorDone(ev, &res)
+	return res, nil
 }

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Evaluator is the shared batch-evaluation engine: a worker pool over
@@ -25,12 +27,56 @@ import (
 type Evaluator struct {
 	metric  Metric
 	workers int
+	tele    *evalTelemetry
 }
 
 // NewEvaluator wraps metric with a pool of the given size; workers ≤ 0
 // selects GOMAXPROCS.
 func NewEvaluator(metric Metric, workers int) *Evaluator {
 	return &Evaluator{metric: metric, workers: workers}
+}
+
+// evalTelemetry holds the engine's metric handles in the "mc" scope:
+// samples_total / chunks_total counters and the chunk-latency histogram,
+// plus the running estimator gauges the estimators update between
+// chunks. Handles are resolved once at WithTelemetry, so the dispatch
+// path pays one nil check when disabled and plain atomic ops when
+// enabled.
+type evalTelemetry struct {
+	reg          *telemetry.Registry
+	samples      *telemetry.Counter
+	chunks       *telemetry.Counter
+	chunkSeconds *telemetry.Histogram
+}
+
+var chunkSecondsBuckets = telemetry.ExpBuckets(1e-6, 10, 8) // 1µs .. 10s
+
+// WithTelemetry attaches a telemetry registry to the evaluator and
+// returns it (nil-safe on both sides, so callers can chain it
+// unconditionally). Telemetry only observes: throughput counters, the
+// chunk-latency histogram and estimator-progress events never touch the
+// samples, so estimates are bit-identical with telemetry on or off.
+func (e *Evaluator) WithTelemetry(reg *telemetry.Registry) *Evaluator {
+	if e == nil || reg == nil {
+		return e
+	}
+	s := reg.Scope("mc")
+	e.tele = &evalTelemetry{
+		reg:          reg,
+		samples:      s.Counter("samples_total"),
+		chunks:       s.Counter("chunks_total"),
+		chunkSeconds: s.Histogram("chunk_seconds", chunkSecondsBuckets),
+	}
+	s.Gauge("workers").Set(float64(e.Workers()))
+	return e
+}
+
+// Telemetry returns the attached registry (nil when disabled).
+func (e *Evaluator) Telemetry() *telemetry.Registry {
+	if e == nil || e.tele == nil {
+		return nil
+	}
+	return e.tele.reg
 }
 
 // Metric returns the wrapped metric.
@@ -95,6 +141,14 @@ func (s *sampleSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 func Map[T any](e *Evaluator, seed int64, start, n int, fn func(rng *rand.Rand, i int) T) []T {
 	if n <= 0 {
 		return nil
+	}
+	if e != nil && e.tele != nil {
+		sw := e.tele.chunkSeconds.Start()
+		defer func() {
+			sw.Stop()
+			e.tele.samples.Add(int64(n))
+			e.tele.chunks.Inc()
+		}()
 	}
 	out := make([]T, n)
 	workers := e.Workers()

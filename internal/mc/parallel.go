@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // mcChunk bounds the per-dispatch memory of the brute-force engine: the
@@ -19,10 +20,17 @@ const mcChunk = 1 << 16
 // sample gets an independent generator seeded from (seed, index), so the
 // tally is bit-identical for every worker count.
 func ParallelMC(metric Metric, n int, seed int64, workers int) (Result, error) {
+	return ParallelMCTelemetry(metric, n, seed, workers, nil)
+}
+
+// ParallelMCTelemetry is ParallelMC with a telemetry registry attached
+// to the evaluation pool: throughput counters, chunk latencies and
+// running-tally progress events, with the tally itself untouched.
+func ParallelMCTelemetry(metric Metric, n int, seed int64, workers int, reg *telemetry.Registry) (Result, error) {
 	if n <= 0 {
 		return Result{}, ErrBadSampleCount
 	}
-	ev := NewEvaluator(metric, workers)
+	ev := NewEvaluator(metric, workers).WithTelemetry(reg)
 	dim := metric.Dim()
 	job := func(rng *rand.Rand, _ int) bool {
 		x := make([]float64, dim)
@@ -32,12 +40,19 @@ func ParallelMC(metric Metric, n int, seed int64, workers int) (Result, error) {
 		return metric.Value(x) < 0
 	}
 	failures := 0
+	done := 0
 	for start := 0; start < n; start += mcChunk {
 		count := min(mcChunk, n-start)
 		for _, fail := range Map(ev, seed, start, count, job) {
 			if fail {
 				failures++
 			}
+		}
+		done += count
+		if reg != nil {
+			reg.Emit("estimator.progress", map[string]any{
+				"n": done, "pf": float64(failures) / float64(done), "failures": failures,
+			})
 		}
 	}
 	// Bernoulli tally: mean p, variance p(1−p)/n.

@@ -6,17 +6,65 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/telemetry"
 )
 
 // ErrNoConvergence is returned when the operating-point solve exhausts
 // Newton iterations, gmin stepping and source stepping.
 var ErrNoConvergence = errors.New("spice: DC operating point did not converge")
 
+// Strategy identifies which convergence aid (if any) rescued a DC solve.
+// Production flows care about the difference: a clean Newton solve and a
+// source-stepped one land on the same operating point, but the latter
+// flags a bias point near a bifurcation where the model is working hard.
+type Strategy int
+
+// Solve strategies, in escalation order.
+const (
+	// StrategyNewton: plain damped Newton from the initial guess.
+	StrategyNewton Strategy = iota
+	// StrategyGmin: rescued by gmin stepping (heavy shunt, relaxed).
+	StrategyGmin
+	// StrategySource: rescued by source stepping (supplies ramped from 0).
+	StrategySource
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNewton:
+		return "newton"
+	case StrategyGmin:
+		return "gmin-stepping"
+	case StrategySource:
+		return "source-stepping"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
 // OperatingPoint is a solved DC solution.
 type OperatingPoint struct {
 	circuit *Circuit
 	x       []float64
+	// strategy records which convergence aid produced the solution;
+	// iters counts the Newton iterations consumed across every attempt
+	// of the solve, and residual is the max-|KCL| residual at the final
+	// converged iterate.
+	strategy Strategy
+	iters    int
+	residual float64
 }
+
+// Strategy reports which solve strategy converged: plain Newton, gmin
+// stepping or source stepping.
+func (op *OperatingPoint) Strategy() Strategy { return op.strategy }
+
+// NewtonIterations returns the total Newton iterations the solve
+// consumed, including failed attempts before a fallback succeeded.
+func (op *OperatingPoint) NewtonIterations() int { return op.iters }
+
+// Residual returns the maximum absolute KCL residual at convergence.
+func (op *OperatingPoint) Residual() float64 { return op.residual }
 
 // Voltage returns the solved voltage of a named node (0 for ground);
 // asking for an unknown node is a netlist bug and panics.
@@ -30,7 +78,9 @@ func (op *OperatingPoint) Voltage(node string) float64 {
 
 // Clone deep-copies the operating point (for use as a later initial guess).
 func (op *OperatingPoint) Clone() *OperatingPoint {
-	return &OperatingPoint{circuit: op.circuit, x: linalg.CopyVec(op.x)}
+	c := *op
+	c.x = linalg.CopyVec(op.x)
+	return &c
 }
 
 // DCOptions tunes the Newton solve. The zero value picks robust defaults.
@@ -54,6 +104,11 @@ type DCOptions struct {
 	// solution of the same circuit (used by sweeps); it overrides
 	// InitialGuess.
 	Warm *OperatingPoint
+	// Telemetry, when non-nil, records per-solve metrics (strategy
+	// fallbacks, Newton iterations, residuals, wall time) into the
+	// "spice" scope and emits fallback warning events. Nil is a no-op:
+	// the solve path pays only a nil check.
+	Telemetry *telemetry.Registry
 }
 
 func (o *DCOptions) defaults() DCOptions {
@@ -82,9 +137,42 @@ func (o *DCOptions) defaults() DCOptions {
 
 // SolveDC computes the DC operating point. It first tries plain damped
 // Newton from the initial guess; on failure it falls back to gmin stepping
-// and then source stepping, mirroring production SPICE practice.
+// and then source stepping, mirroring production SPICE practice. The
+// returned operating point records which strategy converged (Strategy),
+// the Newton iterations consumed and the residual at convergence.
 func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 	o := opts.defaults()
+	tel := newDCTelemetry(o.Telemetry)
+	sw := tel.solveSeconds.Start()
+	op, err := c.solveDC(&o)
+	sw.Stop()
+	if err != nil {
+		tel.unconverged.Inc()
+		if o.Telemetry.Enabled() {
+			o.Telemetry.Emit("spice.unconverged", map[string]any{"error": err.Error()})
+		}
+		return nil, err
+	}
+	tel.solves.Inc()
+	tel.newtonIters.Observe(float64(op.iters))
+	tel.residual.Observe(op.residual)
+	switch op.strategy {
+	case StrategyGmin:
+		tel.gminFalls.Inc()
+	case StrategySource:
+		tel.sourceFalls.Inc()
+	}
+	if op.strategy != StrategyNewton && o.Telemetry.Enabled() {
+		o.Telemetry.Emit("spice.fallback", map[string]any{
+			"strategy": op.strategy.String(), "newton_iterations": op.iters,
+		})
+	}
+	return op, nil
+}
+
+// solveDC runs the strategy escalation; o must already have defaults
+// applied.
+func (c *Circuit) solveDC(o *DCOptions) (*OperatingPoint, error) {
 	c.indexBranches()
 	n := c.NumUnknowns()
 	x := make([]float64, n)
@@ -105,22 +193,31 @@ func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 		}
 	}
 
-	if err := c.newton(x, &o, o.Gmin, 1.0); err == nil {
-		return &OperatingPoint{circuit: c, x: x}, nil
+	totalIters := 0
+	if st, err := c.newton(x, o, o.Gmin, 1.0); err == nil {
+		return &OperatingPoint{circuit: c, x: x, strategy: StrategyNewton,
+			iters: st.iters, residual: st.residual}, nil
+	} else {
+		totalIters += st.iters
 	}
 
 	// Gmin stepping: solve with a heavy shunt, then relax it.
 	xg := linalg.CopyVec(x)
 	ok := true
 	for gmin := 1e-2; gmin >= o.Gmin; gmin /= 10 {
-		if err := c.newton(xg, &o, gmin, 1.0); err != nil {
+		st, err := c.newton(xg, o, gmin, 1.0)
+		totalIters += st.iters
+		if err != nil {
 			ok = false
 			break
 		}
 	}
 	if ok {
-		if err := c.newton(xg, &o, o.Gmin, 1.0); err == nil {
-			return &OperatingPoint{circuit: c, x: xg}, nil
+		st, err := c.newton(xg, o, o.Gmin, 1.0)
+		totalIters += st.iters
+		if err == nil {
+			return &OperatingPoint{circuit: c, x: xg, strategy: StrategyGmin,
+				iters: totalIters, residual: st.residual}, nil
 		}
 	}
 
@@ -129,11 +226,14 @@ func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 	// are approached gradually.
 	xs := make([]float64, n)
 	frac, step := 0.0, 0.1
+	residual := 0.0
 	trial := make([]float64, n)
 	for frac < 1.0 {
 		next := math.Min(frac+step, 1.0)
 		copy(trial, xs)
-		if err := c.newton(trial, &o, o.Gmin, next); err != nil {
+		st, err := c.newton(trial, o, o.Gmin, next)
+		totalIters += st.iters
+		if err != nil {
 			step /= 2
 			if step < 1e-4 {
 				return nil, fmt.Errorf("%w (source stepping stalled at %.1f%%)", ErrNoConvergence, 100*frac)
@@ -142,16 +242,25 @@ func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 		}
 		copy(xs, trial)
 		frac = next
+		residual = st.residual
 		if step < 0.2 {
 			step *= 1.5
 		}
 	}
-	return &OperatingPoint{circuit: c, x: xs}, nil
+	return &OperatingPoint{circuit: c, x: xs, strategy: StrategySource,
+		iters: totalIters, residual: residual}, nil
+}
+
+// newtonStats reports one Newton attempt: the iterations consumed and
+// the max-|KCL| residual at the last iterate (meaningful on success).
+type newtonStats struct {
+	iters    int
+	residual float64
 }
 
 // newton runs damped Newton iteration in place on x with the given gmin
 // shunt and source scale factor.
-func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) error {
+func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) (newtonStats, error) {
 	n := c.NumUnknowns()
 	nn := c.NumNodes()
 	f := make([]float64, n)
@@ -194,7 +303,7 @@ func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) erro
 
 		lu, err := linalg.FactorLU(j)
 		if err != nil {
-			return fmt.Errorf("spice: singular Jacobian at iteration %d: %w", iter, err)
+			return newtonStats{iters: iter + 1}, fmt.Errorf("spice: singular Jacobian at iteration %d: %w", iter, err)
 		}
 		neg := make([]float64, n)
 		for i := range f {
@@ -217,15 +326,15 @@ func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) erro
 			x[i] += scale * dx[i]
 		}
 		if maxDx*scale < o.VTol && maxRes < o.ITol {
-			return nil
+			return newtonStats{iters: iter + 1, residual: maxRes}, nil
 		}
 		for i := range x {
 			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-				return fmt.Errorf("spice: iterate diverged at iteration %d", iter)
+				return newtonStats{iters: iter + 1}, fmt.Errorf("spice: iterate diverged at iteration %d", iter)
 			}
 		}
 	}
-	return ErrNoConvergence
+	return newtonStats{iters: o.MaxIter}, ErrNoConvergence
 }
 
 // Sweep solves the circuit repeatedly while stepping the named voltage

@@ -1,0 +1,48 @@
+package spice
+
+import "repro/internal/telemetry"
+
+// Telemetry metric names live in the "spice" scope:
+//
+//	solves_total              converged DC solves
+//	unconverged_total         solves that exhausted every strategy
+//	fallback_gmin_total       solves rescued by gmin stepping
+//	fallback_source_total     solves rescued by source stepping
+//	solve_seconds             wall time per solve (histogram)
+//	newton_iterations         Newton iterations per solve, all attempts
+//	residual                  max-|KCL| residual at convergence
+//
+// plus the rare events "spice.fallback" and "spice.unconverged".
+
+// Bucket layouts, precomputed so the per-solve path never allocates.
+var (
+	solveSecondsBuckets = telemetry.ExpBuckets(1e-6, 10, 7)  // 1µs .. 1s
+	newtonIterBuckets   = telemetry.ExpBuckets(1, 2, 10)     // 1 .. 512
+	residualBuckets     = telemetry.ExpBuckets(1e-15, 10, 9) // 1e-15 .. 1e-7
+)
+
+// dcTelemetry holds the per-solve metric handles; the zero value (from a
+// nil registry) is fully inert.
+type dcTelemetry struct {
+	solves, unconverged    *telemetry.Counter
+	gminFalls, sourceFalls *telemetry.Counter
+	solveSeconds           *telemetry.Histogram
+	newtonIters            *telemetry.Histogram
+	residual               *telemetry.Histogram
+}
+
+func newDCTelemetry(reg *telemetry.Registry) dcTelemetry {
+	if reg == nil {
+		return dcTelemetry{}
+	}
+	s := reg.Scope("spice")
+	return dcTelemetry{
+		solves:       s.Counter("solves_total"),
+		unconverged:  s.Counter("unconverged_total"),
+		gminFalls:    s.Counter("fallback_gmin_total"),
+		sourceFalls:  s.Counter("fallback_source_total"),
+		solveSeconds: s.Histogram("solve_seconds", solveSecondsBuckets),
+		newtonIters:  s.Histogram("newton_iterations", newtonIterBuckets),
+		residual:     s.Histogram("residual", residualBuckets),
+	}
+}

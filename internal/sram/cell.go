@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/spice"
+	"repro/internal/telemetry"
 )
 
 // Transistor indices into mismatch vectors.
@@ -50,6 +51,10 @@ type Cell struct {
 	// Grid is the number of points per transfer-curve sweep used in
 	// noise-margin extraction (default 41).
 	Grid int
+	// Telemetry, when non-nil, is threaded into every DC/transient solve
+	// the cell performs (per-solve Newton iterations, fallback counts,
+	// solve latencies in the "spice" scope). Purely observational.
+	Telemetry *telemetry.Registry
 }
 
 // Default90nm returns the cell used throughout the experiments: a
@@ -157,7 +162,7 @@ func (c *Cell) transferCurve(cfg BiasConfig, dvth [NumTransistors]float64, force
 	ys := make([]float64, 0, n)
 	// Seed the measured node opposite to the forced node's start so the
 	// first solve lands on the inverter's natural output.
-	opts := &spice.DCOptions{InitialGuess: map[string]float64{measured: c.VDD}}
+	opts := &spice.DCOptions{InitialGuess: map[string]float64{measured: c.VDD}, Telemetry: c.Telemetry}
 	err := ckt.Sweep("vforce", 0, c.VDD, n, opts, func(v float64, op *spice.OperatingPoint) bool {
 		xs = append(xs, v)
 		ys = append(ys, op.Voltage(measured))
@@ -191,6 +196,7 @@ func (c *Cell) WriteTrip(dvth [NumTransistors]float64) (float64, error) {
 		vbl.E = bl
 		op, err := ckt.SolveDC(&spice.DCOptions{
 			InitialGuess: map[string]float64{"q": c.VDD, "qb": 0},
+			Telemetry:    c.Telemetry,
 		})
 		if err != nil {
 			return false, fmt.Errorf("sram: write-trip solve at BL=%.3f: %w", bl, err)
@@ -236,6 +242,7 @@ func (c *Cell) ReadCurrent(dvth [NumTransistors]float64) (float64, error) {
 	ckt, ms := c.build(ReadConfig, dvth)
 	op, err := ckt.SolveDC(&spice.DCOptions{
 		InitialGuess: map[string]float64{"q": 0.05, "qb": c.VDD},
+		Telemetry:    c.Telemetry,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("sram: read-current operating point: %w", err)
@@ -263,6 +270,7 @@ func (c *Cell) RetentionVoltage(dvth [NumTransistors]float64) (float64, error) {
 		vdd.E = supply
 		op, err := ckt.SolveDC(&spice.DCOptions{
 			InitialGuess: map[string]float64{"q": 0, "qb": supply},
+			Telemetry:    c.Telemetry,
 		})
 		if err != nil {
 			return false, err
@@ -338,6 +346,7 @@ func (c *Cell) StaticNodeVoltages(cfg BiasConfig, dvth [NumTransistors]float64) 
 	ckt, _ := c.build(cfg, dvth)
 	op, err := ckt.SolveDC(&spice.DCOptions{
 		InitialGuess: map[string]float64{"q": 0, "qb": c.VDD},
+		Telemetry:    c.Telemetry,
 	})
 	if err != nil {
 		return 0, 0, err

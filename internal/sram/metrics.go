@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mc"
+	"repro/internal/telemetry"
 )
 
 // MetricKind selects which cell performance the Metric evaluates.
@@ -142,5 +143,14 @@ func (m *Metric) raw(dvth [NumTransistors]float64) (float64, error) {
 		return 0, fmt.Errorf("sram: unknown metric kind %v", m.Kind)
 	}
 }
+
+// SetTelemetry threads a telemetry registry into the cell's SPICE solves
+// (solver iteration counts, fallback strategies, solve latencies). The
+// top-level flow calls it when run telemetry is enabled; it is purely
+// observational.
+func (m *Metric) SetTelemetry(reg *telemetry.Registry) { m.Cell.Telemetry = reg }
+
+// SetTelemetry is the TranMetric counterpart of Metric.SetTelemetry.
+func (m *TranMetric) SetTelemetry(reg *telemetry.Registry) { m.Cell.Telemetry = reg }
 
 var _ mc.Metric = (*Metric)(nil)

@@ -97,6 +97,7 @@ func (c *Cell) AccessTime(spec *TranSpec, dvth [NumTransistors]float64) (float64
 	prevT, prevD := 0.0, 0.0
 	err := ckt.SolveTran(spice.TranOptions{
 		Stop: s.Stop, Step: s.Step, Method: spice.BackwardEuler,
+		DC: &spice.DCOptions{Telemetry: c.Telemetry},
 		InitialConditions: map[string]float64{
 			"bl": c.VDD, "blb": c.VDD, "q": 0, "qb": c.VDD,
 		},
@@ -136,6 +137,7 @@ func (c *Cell) WriteDelay(spec *TranSpec, dvth [NumTransistors]float64) (float64
 	prevT, prevQ := 0.0, c.VDD
 	err := ckt.SolveTran(spice.TranOptions{
 		Stop: s.Stop, Step: s.Step, Method: spice.BackwardEuler,
+		DC: &spice.DCOptions{Telemetry: c.Telemetry},
 		InitialConditions: map[string]float64{
 			"q": c.VDD, "qb": 0, "bl": 0, "blb": c.VDD,
 		},

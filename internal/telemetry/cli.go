@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// CLI bundles the run-telemetry surface every command shares: the
+// registry to thread into the library, plus the JSONL file sink and
+// debug HTTP listener behind the -telemetry and -debug-addr flags.
+type CLI struct {
+	// Registry is nil when telemetry was not requested; it is safe to
+	// pass onward unconditionally (the whole package is nil-safe).
+	Registry *Registry
+
+	file *os.File
+	buf  *bufio.Writer
+	sink *EventSink
+	dbg  *DebugServer
+}
+
+// StartCLI wires up CLI telemetry: when jsonlPath, debugAddr or force is
+// set it creates a Registry, attaching a JSONL event sink at jsonlPath
+// (when non-empty) and a debug listener at debugAddr (when non-empty).
+// With all three unset it returns an inert CLI with a nil Registry.
+// Close flushes and releases everything.
+func StartCLI(jsonlPath, debugAddr string, force bool) (*CLI, error) {
+	c := &CLI{}
+	if jsonlPath == "" && debugAddr == "" && !force {
+		return c, nil
+	}
+	c.Registry = New()
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: creating event log: %w", err)
+		}
+		c.file = f
+		c.buf = bufio.NewWriter(f)
+		c.sink = NewEventSink(c.buf)
+		c.Registry.SetSink(c.sink)
+	}
+	if debugAddr != "" {
+		dbg, err := ServeDebug(debugAddr, c.Registry)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.dbg = dbg
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/pprof on http://%s\n", dbg.Addr())
+	}
+	return c, nil
+}
+
+// Close flushes the event log and stops the debug listener, reporting
+// the first error (including any sticky sink write error).
+func (c *CLI) Close() error {
+	if c == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.dbg != nil {
+		keep(c.dbg.Close())
+		c.dbg = nil
+	}
+	if c.sink != nil {
+		keep(c.sink.Err())
+		c.sink = nil
+	}
+	if c.buf != nil {
+		keep(c.buf.Flush())
+		c.buf = nil
+	}
+	if c.file != nil {
+		keep(c.file.Close())
+		c.file = nil
+	}
+	return first
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestServeDebug boots the debug listener on an ephemeral port and
+// checks the live surface: /metrics serves the Prometheus exposition of
+// the current registry state, and the pprof index answers.
+func TestServeDebug(t *testing.T) {
+	r := New()
+	r.Scope("spice").Counter("solves_total").Add(3)
+
+	d, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "repro_spice_solves_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	// Live updates must show on the next scrape.
+	r.Scope("spice").Counter("solves_total").Add(2)
+	if m := get("/metrics"); !strings.Contains(m, "repro_spice_solves_total 5") {
+		t.Fatalf("/metrics not live:\n%s", m)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Fatalf("pprof index unexpected:\n%s", idx)
+	}
+	if root := get("/"); !strings.Contains(root, "/metrics") {
+		t.Fatalf("index page unexpected:\n%s", root)
+	}
+}
+
+// TestStartCLI checks the flag-level bundle: no flags → inert nil
+// registry; a JSONL path → events land in the file after Close.
+func TestStartCLI(t *testing.T) {
+	c, err := StartCLI("", "", false)
+	if err != nil {
+		t.Fatalf("inert StartCLI: %v", err)
+	}
+	if c.Registry != nil {
+		t.Fatal("inert CLI created a registry")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("inert Close: %v", err)
+	}
+
+	path := t.TempDir() + "/events.jsonl"
+	c, err = StartCLI(path, "", false)
+	if err != nil {
+		t.Fatalf("StartCLI(%s): %v", path, err)
+	}
+	if c.Registry == nil {
+		t.Fatal("JSONL StartCLI returned nil registry")
+	}
+	c.Registry.Emit("cli.test", map[string]any{"k": 1})
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if !strings.Contains(string(data), `"event":"cli.test"`) {
+		t.Fatalf("event log missing event:\n%s", data)
+	}
+}

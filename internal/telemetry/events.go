@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// EventSink serializes structured run events as JSON Lines: one JSON
+// object per line, written atomically under a mutex so lines never
+// interleave and the "seq" field gives a total order matching file
+// order. Keys inside an event are emitted in sorted order (encoding/json
+// map behavior), so the byte stream for a deterministic run is
+// reproducible up to timestamps.
+//
+// Every event carries the envelope fields
+//
+//	seq    monotonically increasing sequence number (0-based)
+//	t_ms   wall milliseconds since the sink was created
+//	event  the event name, dot-namespaced by layer ("spice.fallback",
+//	       "gibbs.chain", "estimator.progress", "run.done", …)
+//
+// merged with the caller's fields. Non-finite float64 values (the
+// relative error is +Inf until the first failure lands) are replaced by
+// their string spelling, because JSON has no encoding for them.
+type EventSink struct {
+	start time.Time
+
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+	err error
+}
+
+// NewEventSink wraps w. The caller keeps ownership of w (closing a
+// backing file after the run is the caller's job).
+func NewEventSink(w io.Writer) *EventSink {
+	return &EventSink{start: time.Now(), w: w}
+}
+
+// Emit writes one event line. Errors are sticky and reported by Err —
+// telemetry must never fail a run.
+func (s *EventSink) Emit(event string, fields map[string]any) {
+	if s == nil {
+		return
+	}
+	obj := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		obj[k] = sanitizeJSON(v)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj["seq"] = s.seq
+	obj["t_ms"] = time.Since(s.start).Milliseconds()
+	obj["event"] = event
+	b, err := json.Marshal(obj)
+	if err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("telemetry: marshaling event %q: %w", event, err)
+		}
+		return
+	}
+	s.seq++
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil && s.err == nil {
+		s.err = fmt.Errorf("telemetry: writing event %q: %w", event, err)
+	}
+}
+
+// Err returns the first write or marshal error, if any.
+func (s *EventSink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// sanitizeJSON maps values JSON cannot carry (NaN, ±Inf — in both bare
+// float64 fields and []float64 series) to their string spelling.
+func sanitizeJSON(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Sprint(x)
+		}
+		return x
+	case []float64:
+		out := make([]any, len(x))
+		for i, f := range x {
+			out[i] = sanitizeJSON(f)
+		}
+		return out
+	default:
+		return v
+	}
+}

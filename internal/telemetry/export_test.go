@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the text exposition format byte for byte:
+// TYPE lines, cumulative le buckets, _sum/_count, name sanitization and
+// scope-then-name ordering. Scrapers parse this; accidental format
+// drift is a break, not a cosmetic change.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	s := r.Scope("spice")
+	s.Counter("solves_total").Add(42)
+	s.Gauge("vdd-volts").Set(1.0)
+	h := s.Histogram("solve_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // le 0.001
+	h.Observe(0.05)   // le 0.1
+	h.Observe(3)      // +Inf overflow
+	r.Scope("mc").Counter("samples_total").Add(7)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# TYPE repro_mc_samples_total counter
+repro_mc_samples_total 7
+# TYPE repro_spice_solve_seconds histogram
+repro_spice_solve_seconds_bucket{le="0.001"} 1
+repro_spice_solve_seconds_bucket{le="0.01"} 1
+repro_spice_solve_seconds_bucket{le="0.1"} 2
+repro_spice_solve_seconds_bucket{le="+Inf"} 3
+repro_spice_solve_seconds_sum 3.0505
+repro_spice_solve_seconds_count 3
+# TYPE repro_spice_solves_total counter
+repro_spice_solves_total 42
+# TYPE repro_spice_vdd_volts gauge
+repro_spice_vdd_volts 1
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("Prometheus exposition drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotSorted checks the table/export ordering contract.
+func TestSnapshotSorted(t *testing.T) {
+	r := New()
+	r.Scope("z").Counter("a").Inc()
+	r.Scope("a").Counter("z").Inc()
+	r.Scope("a").Counter("b").Inc()
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d points, want 3", len(snap))
+	}
+	order := []string{"a/b", "a/z", "z/a"}
+	for i, m := range snap {
+		if got := m.Scope + "/" + m.Name; got != order[i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, got, order[i])
+		}
+	}
+}
+
+// TestWriteTable sanity-checks the human-readable dump the CLIs print.
+func TestWriteTable(t *testing.T) {
+	r := New()
+	r.Scope("mc").Counter("samples_total").Add(100)
+	h := r.Scope("mc").Histogram("chunk_seconds", ExpBuckets(1e-3, 10, 3))
+	h.Observe(0.002)
+	h.Observe(0.004)
+	var buf strings.Builder
+	r.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"SCOPE", "samples_total", "100", "chunk_seconds", "n=2", "mean=0.003"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramStats checks bucketing against hand-computed values,
+// including boundary inclusivity (le semantics: v ≤ bound).
+func TestHistogramStats(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1.0, 5, 10.0, 11} {
+		h.Observe(v)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(bs))
+	}
+	// le=1 holds {0.5, 1.0}; le=10 holds {5, 10.0}; +Inf holds {11}.
+	for i, want := range []int64{2, 2, 1} {
+		if bs[i].Count != want {
+			t.Fatalf("bucket %d count %d, want %d", i, bs[i].Count, want)
+		}
+	}
+	if h.Count() != 5 || h.Min() != 0.5 || h.Max() != 11 {
+		t.Fatalf("stats: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+	if got, want := h.Sum(), 0.5+1+5+10+11; got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+}

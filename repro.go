@@ -39,7 +39,20 @@ import (
 	"repro/internal/mc"
 	"repro/internal/model"
 	"repro/internal/sram"
+	"repro/internal/telemetry"
 )
+
+// Telemetry is the run-telemetry registry: counters, gauges and latency
+// histograms from every layer (SPICE solver, evaluation pool, Gibbs
+// chain), a structured JSONL event stream, and Prometheus text export.
+// Attach one via Options.Telemetry; nil (the default) disables all
+// instrumentation and estimators pay nothing. Telemetry only observes —
+// estimates are bit-identical with it on or off.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry creates an empty registry to pass in Options.Telemetry.
+// Inspect it afterwards with Snapshot, WriteTable or WritePrometheus.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Metric is the performance-margin abstraction shared by all estimators:
 // Value(x) < 0 means the sample at normalized variation point x fails.
@@ -127,6 +140,11 @@ type Options struct {
 	// sampling stages fan out. Estimates are bit-identical for every
 	// worker count — Workers trades wall-clock time only.
 	Workers int
+	// Telemetry, when non-nil, receives metrics and structured events
+	// from every stage of the run (see Telemetry). When the metric
+	// exposes SetTelemetry (the built-in SRAM workloads do), the registry
+	// is threaded down into the transistor-level solver as well.
+	Telemetry *Telemetry
 }
 
 // Result is the outcome of an estimation run.
@@ -182,6 +200,34 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 		return nil, errors.New("repro: nil metric")
 	}
 	o := opts.withDefaults()
+	if o.Telemetry != nil {
+		if tm, ok := metric.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+			tm.SetTelemetry(o.Telemetry)
+		}
+		o.Telemetry.Emit("run.start", map[string]any{
+			"method": string(o.Method), "k": o.K, "n": o.N, "target": o.Target,
+			"seed": o.Seed, "workers": o.Workers, "dim": metric.Dim(),
+		})
+	}
+	res, err := estimate(metric, o)
+	if o.Telemetry != nil {
+		if err != nil {
+			o.Telemetry.Emit("run.done", map[string]any{
+				"method": string(o.Method), "error": err.Error(),
+			})
+		} else {
+			o.Telemetry.Emit("run.done", map[string]any{
+				"method": string(o.Method), "pf": res.Pf, "relerr99": res.RelErr99,
+				"n": res.N, "stage1_sims": res.Stage1Sims, "stage2_sims": res.Stage2Sims,
+				"total_sims": res.TotalSims, "uptime_seconds": o.Telemetry.Uptime().Seconds(),
+			})
+		}
+	}
+	return res, err
+}
+
+// estimate dispatches to the selected method with o fully defaulted.
+func estimate(metric Metric, o Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	counter := mc.NewCounter(metric)
 	trace := mc.TraceEvery(o.TraceEvery)
@@ -189,7 +235,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 	switch o.Method {
 	case MC:
 		if o.Workers != 1 && o.TraceEvery == 0 {
-			res, err := mc.ParallelMC(counter, o.N, o.Seed, o.Workers)
+			res, err := mc.ParallelMCTelemetry(counter, o.N, o.Seed, o.Workers, o.Telemetry)
 			if err != nil {
 				return nil, err
 			}
@@ -202,7 +248,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 		return fromMC(res, counter), nil
 
 	case MIS:
-		mo := baselines.MISOptions{Stage1: o.K, N: o.N, TraceEvery: trace, Workers: o.Workers}
+		mo := baselines.MISOptions{Stage1: o.K, N: o.N, TraceEvery: trace, Workers: o.Workers, Telemetry: o.Telemetry}
 		var (
 			res *baselines.Result
 			err error
@@ -220,7 +266,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 	case MNIS:
 		mo := baselines.MNISOptions{
 			Start: &model.StartOptions{TrainN: o.K, UseQuadratic: o.Quadratic},
-			N:     o.N, TraceEvery: trace, Workers: o.Workers,
+			N:     o.N, TraceEvery: trace, Workers: o.Workers, Telemetry: o.Telemetry,
 		}
 		var (
 			res *baselines.Result
@@ -238,7 +284,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 
 	case Blockade:
 		res, err := baselines.Blockade(counter, baselines.BlockadeOptions{
-			Train: o.K, N: o.N, Workers: o.Workers,
+			Train: o.K, N: o.N, Workers: o.Workers, Telemetry: o.Telemetry,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -252,7 +298,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 
 	case Subset:
 		res, err := baselines.Subset(counter, baselines.SubsetOptions{
-			Particles: o.K, Workers: o.Workers,
+			Particles: o.K, Workers: o.Workers, Telemetry: o.Telemetry,
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -274,6 +320,7 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 			Mixture:    o.Mixture,
 			TraceEvery: trace,
 			Workers:    o.Workers,
+			Telemetry:  o.Telemetry,
 		}
 		var (
 			res *gibbs.TwoStageResult

@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/surrogate"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbEstimates is the observability contract at
+// the top of the stack: attaching a registry (with a live event sink)
+// must not change a single bit of the statistical output, at any worker
+// count. Telemetry observes the run; it never touches RNG streams or
+// sample ordering.
+func TestTelemetryDoesNotPerturbEstimates(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6.5}
+	base := Options{Method: GS, K: 200, N: 4000, Seed: 11}
+
+	bare, err := Estimate(lin, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		opts := base
+		opts.Workers = workers
+		opts.Telemetry = NewTelemetry()
+		var buf strings.Builder
+		opts.Telemetry.SetSink(telemetry.NewEventSink(&buf))
+		got, err := Estimate(lin, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Pf != bare.Pf || got.StdErr != bare.StdErr || got.RelErr99 != bare.RelErr99 {
+			t.Fatalf("workers=%d: telemetry changed the estimate: Pf %v vs %v, StdErr %v vs %v",
+				workers, got.Pf, bare.Pf, got.StdErr, bare.StdErr)
+		}
+		if got.N != bare.N || got.Failures != bare.Failures || got.TotalSims != bare.TotalSims {
+			t.Fatalf("workers=%d: telemetry changed accounting: N %d vs %d, sims %d vs %d",
+				workers, got.N, bare.N, got.TotalSims, bare.TotalSims)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("workers=%d: instrumented run emitted no events", workers)
+		}
+	}
+}
+
+// TestRunEventLogCoversBothStages runs an instrumented two-stage
+// estimate and checks the JSONL stream line by line: every line parses,
+// seq matches file order, and the log covers the full lifecycle — run
+// start, stage 1, stage 2 and the final result.
+func TestRunEventLogCoversBothStages(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6.5}
+	reg := NewTelemetry()
+	var buf strings.Builder
+	reg.SetSink(telemetry.NewEventSink(&buf))
+	res, err := Estimate(lin, Options{Method: GS, K: 200, N: 4000, Seed: 11, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	seen := map[string]int{}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if seq := int(obj["seq"].(float64)); seq != i {
+			t.Fatalf("line %d has seq %d", i, seq)
+		}
+		name, _ := obj["event"].(string)
+		seen[name]++
+	}
+	for _, want := range []string{
+		"run.start", "stage1.start", "stage1.start_point", "gibbs.chain",
+		"stage1.done", "stage2.start", "estimator.done", "run.done",
+	} {
+		if seen[want] == 0 {
+			t.Fatalf("event log missing %q; saw %v", want, seen)
+		}
+	}
+
+	// The final run.done event must agree with the returned result.
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["event"] != "run.done" {
+		t.Fatalf("last event is %v, want run.done", last["event"])
+	}
+	if pf := last["pf"].(float64); pf != res.Pf {
+		t.Fatalf("run.done pf %v != result %v", pf, res.Pf)
+	}
+
+	// A surrogate metric never reaches the spice layer, so the registry
+	// should hold gibbs- and mc-scope metrics here (spice joins in for
+	// transistor-level runs; see the CLI smoke coverage).
+	snap := reg.Snapshot()
+	scopes := map[string]bool{}
+	for _, m := range snap {
+		scopes[m.Scope] = true
+	}
+	for _, s := range []string{"gibbs", "mc"} {
+		if !scopes[s] {
+			t.Fatalf("no %q-scope metrics recorded; scopes: %v", s, scopes)
+		}
+	}
+}
