@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -36,6 +38,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Ctrl-C flushes telemetry and exits instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+		cli.Close()
+		fmt.Fprintln(os.Stderr, "butterfly: interrupted")
+		os.Exit(130)
+	}()
 
 	cell := sram.Default90nm()
 	if *cellName == "fastread" {

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"repro/internal/mc"
 	"repro/internal/sram"
@@ -32,6 +34,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
+
+	// Ctrl-C flushes telemetry and exits instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+		cli.Close()
+		fmt.Fprintln(os.Stderr, "calibrate: interrupted")
+		os.Exit(130)
+	}()
 	reg = cli.Registry
 
 	fmt.Println("== static noise margins (Default90nm, σVth = 30 mV) ==")

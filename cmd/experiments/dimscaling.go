@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,7 +17,7 @@ import (
 // region with exact P_f held fixed across dimensions, it measures the
 // G-S first-stage cost per Gibbs sample and the estimate quality at a
 // fixed sample budget as M grows.
-func runExtDimScaling(cfg config) error {
+func runExtDimScaling(ctx context.Context, cfg config) error {
 	k := c2(cfg.quick, 200, 800)
 	n := c2(cfg.quick, 1000, 4000)
 	fmt.Printf("G-S dimensionality scaling on shell regions with Pf ≈ 1e-6 (K=%d, N=%d):\n\n", k, n)
@@ -31,7 +32,7 @@ func runExtDimScaling(cfg config) error {
 		exact := shell.ExactPf()
 		counter := mc.NewCounter(shell)
 		rng := rand.New(rand.NewSource(cfg.seed))
-		res, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
+		res, err := gibbs.TwoStageContext(ctx, counter, gibbs.TwoStageOptions{
 			Coord: gibbs.Spherical, K: k, N: n, Workers: cfg.workers,
 			// High-dimensional shells sit beyond the default 10σ
 			// starting-point search radius.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -18,7 +19,7 @@ import (
 
 // runExtMixture contrasts the single-Normal Algorithm 5 fit with the
 // Gaussian-mixture extension on the dual read-current workload.
-func runExtMixture(cfg config) error {
+func runExtMixture(ctx context.Context, cfg config) error {
 	metric := sram.DualReadCurrentWorkload()
 	k := c2(cfg.quick, 400, 2000)
 	n := c2(cfg.quick, 2000, 10000)
@@ -28,7 +29,7 @@ func runExtMixture(cfg config) error {
 	for _, mixture := range []int{0, 2} {
 		counter := mc.NewCounter(metric)
 		rng := rand.New(rand.NewSource(cfg.seed))
-		res, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
+		res, err := gibbs.TwoStageContext(ctx, counter, gibbs.TwoStageOptions{
 			Coord: gibbs.Spherical, K: k, N: n, Mixture: mixture, Workers: cfg.workers,
 		}, rng)
 		if err != nil {
@@ -48,7 +49,7 @@ func runExtMixture(cfg config) error {
 
 // runExtAccess runs the dynamic access-time workload (transient bitline
 // discharge) through G-C and G-S.
-func runExtAccess(cfg config) error {
+func runExtAccess(ctx context.Context, cfg config) error {
 	metric := sram.AccessTimeWorkload()
 	k := c2(cfg.quick, 150, 600)
 	n := c2(cfg.quick, 500, 3000)
@@ -58,7 +59,7 @@ func runExtAccess(cfg config) error {
 	for _, coord := range []gibbs.Coord{gibbs.Cartesian, gibbs.Spherical} {
 		counter := mc.NewCounter(metric)
 		rng := rand.New(rand.NewSource(cfg.seed))
-		res, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
+		res, err := gibbs.TwoStageContext(ctx, counter, gibbs.TwoStageOptions{
 			Coord: coord, K: k, N: n, Workers: cfg.workers,
 		}, rng)
 		if err != nil {
@@ -74,7 +75,7 @@ func runExtAccess(cfg config) error {
 // runExtBaselines compares the extra rare-event baselines (blockade,
 // subset simulation) with G-S and the closed form on an analytic metric,
 // so their behaviour is auditable independent of the circuit.
-func runExtBaselines(cfg config) error {
+func runExtBaselines(ctx context.Context, cfg config) error {
 	lin := &surrogate.Linear{W: []float64{1, 1, 1}, B: 8} // Pf = Φ(−8/√3) ≈ 1.93e-6
 	exact := lin.ExactPf()
 	fmt.Printf("extra baselines on a linear metric (exact Pf = %.3g):\n\n", exact)
@@ -87,7 +88,7 @@ func runExtBaselines(cfg config) error {
 
 	counter := mc.NewCounter(lin)
 	rng := rand.New(rand.NewSource(cfg.seed))
-	sub, err := baselines.Subset(counter, baselines.SubsetOptions{
+	sub, err := baselines.SubsetContext(ctx, counter, baselines.SubsetOptions{
 		Particles: c2(cfg.quick, 300, 1000), Workers: cfg.workers,
 	}, rng)
 	if err != nil {
@@ -97,7 +98,7 @@ func runExtBaselines(cfg config) error {
 
 	counter = mc.NewCounter(lin)
 	rng = rand.New(rand.NewSource(cfg.seed))
-	bl, err := baselines.Blockade(counter, baselines.BlockadeOptions{
+	bl, err := baselines.BlockadeContext(ctx, counter, baselines.BlockadeOptions{
 		Train: 800, N: c2(cfg.quick, 300000, 3000000), Workers: cfg.workers,
 	}, rng)
 	if err != nil {
@@ -107,7 +108,7 @@ func runExtBaselines(cfg config) error {
 
 	counter = mc.NewCounter(lin)
 	rng = rand.New(rand.NewSource(cfg.seed))
-	gs, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
+	gs, err := gibbs.TwoStageContext(ctx, counter, gibbs.TwoStageOptions{
 		Coord: gibbs.Spherical, K: c2(cfg.quick, 200, 800), N: c2(cfg.quick, 1000, 5000),
 		Workers: cfg.workers,
 	}, rng)

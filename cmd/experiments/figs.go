@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,7 +19,7 @@ import (
 // [0, ζ], so the samples spread along an arc whose length shrinks as α₂
 // grows — the mechanism that lets the spherical chain slide along
 // probability contours.
-func runFig3(cfg config) error {
+func runFig3(ctx context.Context, cfg config) error {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	const n = 100
 	const zeta = 8.0
@@ -49,10 +50,10 @@ func runFig3(cfg config) error {
 // traceFig runs the four methods with convergence tracing on a metric and
 // writes one CSV per method plus a printed summary; shared by Figs 6, 7
 // and 12 (the same run yields both the estimate and the error series).
-func traceFig(cfg config, metric mc.Metric, tag string, n int) error {
+func traceFig(ctx context.Context, cfg config, metric mc.Metric, tag string, n int) error {
 	b := defaultBudgets(cfg)
 	for _, name := range methodNames {
-		r, err := runMethod(name, metric, b, n, mc.TraceEvery(b.traceEvery), cfg.seed)
+		r, err := runMethod(ctx, name, metric, b, n, mc.TraceEvery(b.traceEvery), cfg.seed)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -76,35 +77,35 @@ func traceFig(cfg config, metric mc.Metric, tag string, n int) error {
 
 // runFig6 regenerates Fig. 6: estimated failure probability vs the number
 // of second-stage simulations for RNM (a) and WNM (b).
-func runFig6(cfg config) error {
+func runFig6(ctx context.Context, cfg config) error {
 	n := c2(cfg.quick, 2000, 20000)
 	fmt.Println("Fig. 6(a) RNM:")
-	if err := traceFig(cfg, sram.RNMWorkload(), "fig6a_rnm", n); err != nil {
+	if err := traceFig(ctx, cfg, sram.RNMWorkload(), "fig6a_rnm", n); err != nil {
 		return err
 	}
 	fmt.Println("Fig. 6(b) WNM:")
-	return traceFig(cfg, sram.WNMWorkload(), "fig6b_wnm", n)
+	return traceFig(ctx, cfg, sram.WNMWorkload(), "fig6b_wnm", n)
 }
 
 // runFig7 regenerates Fig. 7: the 99%-CI relative error vs second-stage
 // simulations. The series are produced by the same runs as Fig. 6 (the
 // CSV files contain both columns); this entry point re-runs them under
 // the fig7 name for users who only want the error series.
-func runFig7(cfg config) error {
+func runFig7(ctx context.Context, cfg config) error {
 	n := c2(cfg.quick, 2000, 20000)
 	fmt.Println("Fig. 7(a) RNM:")
-	if err := traceFig(cfg, sram.RNMWorkload(), "fig7a_rnm", n); err != nil {
+	if err := traceFig(ctx, cfg, sram.RNMWorkload(), "fig7a_rnm", n); err != nil {
 		return err
 	}
 	fmt.Println("Fig. 7(b) WNM:")
-	return traceFig(cfg, sram.WNMWorkload(), "fig7b_wnm", n)
+	return traceFig(ctx, cfg, sram.WNMWorkload(), "fig7b_wnm", n)
 }
 
 // runFig8to11 regenerates Figs. 8–11: second-stage sample scatter for
 // each method, projected on the metric's critical mismatch pair and
 // labeled pass/fail. RNM projects on (ΔVth1, ΔVth3); WNM on
 // (ΔVth3, ΔVth5).
-func runFig8to11(cfg config) error {
+func runFig8to11(ctx context.Context, cfg config) error {
 	b := defaultBudgets(cfg)
 	nScatter := c2(cfg.quick, 150, 500)
 	figOfMethod := map[string]int{"MIS": 8, "MNIS": 9, "G-C": 10, "G-S": 11}
@@ -123,7 +124,7 @@ func runFig8to11(cfg config) error {
 			// Build the method's distortion with a minimal second stage,
 			// then draw a fresh labeled scatter from it (distributionally
 			// identical to the stage-2 stream).
-			r, err := runMethod(name, p.metric, b, 10, 0, cfg.seed)
+			r, err := runMethod(ctx, name, p.metric, b, 10, 0, cfg.seed)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", name, mname, err)
 			}
@@ -157,10 +158,10 @@ func runFig8to11(cfg config) error {
 // runFig12 regenerates Fig. 12: estimated dual read-current failure
 // probability vs second-stage simulations — the experiment where the
 // methods visibly diverge.
-func runFig12(cfg config) error {
+func runFig12(ctx context.Context, cfg config) error {
 	n := c2(cfg.quick, 2000, 10000)
 	fmt.Println("Fig. 12 dual read current:")
-	if err := traceFig(cfg, sram.DualReadCurrentWorkload(), "fig12_dualread", n); err != nil {
+	if err := traceFig(ctx, cfg, sram.DualReadCurrentWorkload(), "fig12_dualread", n); err != nil {
 		return err
 	}
 	fmt.Println("expected shape (paper Fig. 12): G-S converges to the brute-force value;")
@@ -171,7 +172,7 @@ func runFig12(cfg config) error {
 // runFig13 regenerates Fig. 13: the 2-D failure-region map of the dual
 // read-current workload (uniform region scan) plus each method's
 // second-stage failure points.
-func runFig13(cfg config) error {
+func runFig13(ctx context.Context, cfg config) error {
 	metric := sram.DualReadCurrentWorkload()
 	// Region map: uniform grid scan (the paper's green squares are
 	// uniform samples of the failure region; a grid is the deterministic
@@ -195,7 +196,7 @@ func runFig13(cfg config) error {
 	b := defaultBudgets(cfg)
 	nScatter := c2(cfg.quick, 200, 1000)
 	for _, name := range methodNames {
-		r, err := runMethod(name, metric, b, 10, 0, cfg.seed)
+		r, err := runMethod(ctx, name, metric, b, 10, 0, cfg.seed)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -232,7 +233,7 @@ func runFig13(cfg config) error {
 // G-S from the same starting point on the dual read-current workload,
 // illustrating why the spherical chain escapes along probability contours
 // while the Cartesian chain stays near its lobe's boundary.
-func runFig14(cfg config) error {
+func runFig14(ctx context.Context, cfg config) error {
 	metric := sram.DualReadCurrentWorkload()
 	// A deterministic start inside one lobe, as Algorithm 4 would find.
 	start := []float64{0.3, 5.2}

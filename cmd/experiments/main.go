@@ -30,9 +30,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/telemetry"
@@ -73,7 +76,11 @@ func main() {
 	if flag.NArg() != 1 {
 		usage()
 	}
-	runners := map[string]func(config) error{
+	// Ctrl-C cancels the current experiment at the next evaluation
+	// chunk; a second ctrl-C kills the process outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	runners := map[string]func(context.Context, config) error{
 		"table1":         runTable1,
 		"table2":         runTable2,
 		"fig3":           runFig3,
@@ -99,7 +106,11 @@ func main() {
 	if name == "all" {
 		for _, n := range order {
 			fmt.Printf("\n================= %s =================\n", n)
-			if err := runners[n](cfg); err != nil {
+			if err := runners[n](ctx, cfg); err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Fprintln(os.Stderr, "experiments: interrupted")
+					os.Exit(130)
+				}
 				fatal(fmt.Errorf("%s: %w", n, err))
 			}
 		}
@@ -108,7 +119,11 @@ func main() {
 		if !ok {
 			usage()
 		}
-		if err := run(cfg); err != nil {
+		if err := run(ctx, cfg); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 	}

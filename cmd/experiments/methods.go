@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"math/rand"
@@ -91,13 +92,13 @@ func newMixing(reg *telemetry.Registry, updates0, resampled0 int64, samples [][]
 }
 
 // runMethod executes one method with fixed second-stage size n.
-func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.TraceEvery, seed int64) (*methodRun, error) {
+func runMethod(ctx context.Context, name string, metric mc.Metric, b budgets, n int, traceEvery mc.TraceEvery, seed int64) (*methodRun, error) {
 	counter := mc.NewCounter(metric)
 	rng := rand.New(rand.NewSource(seed))
 	out := &methodRun{name: name}
 	switch name {
 	case "MIS":
-		r, err := baselines.MIS(counter, baselines.MISOptions{
+		r, err := baselines.MISContext(ctx, counter, baselines.MISOptions{
 			Stage1: b.misStage1, N: n, TraceEvery: traceEvery, Workers: b.workers,
 			Telemetry: b.tele,
 		}, rng)
@@ -108,7 +109,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
 		out.trace, out.distortion = r.Trace, r.GNor
 	case "MNIS":
-		r, err := baselines.MNIS(counter, baselines.MNISOptions{
+		r, err := baselines.MNISContext(ctx, counter, baselines.MNISOptions{
 			Start: &model.StartOptions{TrainN: b.mnisTrainN},
 			N:     n, TraceEvery: traceEvery, Workers: b.workers,
 			Telemetry: b.tele,
@@ -132,7 +133,7 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 			reg = telemetry.New()
 		}
 		u0, r0 := chainCounterValues(reg)
-		r, err := gibbs.TwoStage(counter, gibbs.TwoStageOptions{
+		r, err := gibbs.TwoStageContext(ctx, counter, gibbs.TwoStageOptions{
 			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims,
 			N: n, TraceEvery: traceEvery, Workers: b.workers,
 			Telemetry: reg,
@@ -153,14 +154,14 @@ func runMethod(name string, metric mc.Metric, b budgets, n int, traceEvery mc.Tr
 
 // runMethodUntil executes one method with a convergence-target second
 // stage (Table I style).
-func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, seed int64) (*methodRun, error) {
+func runMethodUntil(ctx context.Context, name string, metric mc.Metric, b budgets, target float64, seed int64) (*methodRun, error) {
 	counter := mc.NewCounter(metric)
 	rng := rand.New(rand.NewSource(seed))
 	out := &methodRun{name: name}
 	const minN = 500
 	switch name {
 	case "MIS":
-		r, err := baselines.MISUntil(counter, baselines.MISOptions{Stage1: b.misStage1, Workers: b.workers, Telemetry: b.tele},
+		r, err := baselines.MISUntilContext(ctx, counter, baselines.MISOptions{Stage1: b.misStage1, Workers: b.workers, Telemetry: b.tele},
 			target, minN, b.stage2Max, rng)
 		if err != nil {
 			return nil, err
@@ -169,7 +170,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 		out.stage1, out.stage2 = r.Stage1Sims, r.Stage2Sims
 		out.distortion = r.GNor
 	case "MNIS":
-		r, err := baselines.MNISUntil(counter, baselines.MNISOptions{
+		r, err := baselines.MNISUntilContext(ctx, counter, baselines.MNISOptions{
 			Start: &model.StartOptions{TrainN: b.mnisTrainN}, Workers: b.workers,
 			Telemetry: b.tele,
 		}, target, minN, b.stage2Max, rng)
@@ -189,7 +190,7 @@ func runMethodUntil(name string, metric mc.Metric, b budgets, target float64, se
 			reg = telemetry.New()
 		}
 		u0, r0 := chainCounterValues(reg)
-		r, err := gibbs.TwoStageUntil(counter, gibbs.TwoStageOptions{
+		r, err := gibbs.TwoStageUntilContext(ctx, counter, gibbs.TwoStageOptions{
 			Coord: coord, K: b.gibbsKCap, Stage1Budget: b.gibbsSims, Workers: b.workers,
 			Telemetry: reg,
 		}, target, minN, b.stage2Max, rng)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,7 +12,7 @@ import (
 // runTable1 regenerates the paper's Table I: the number of simulations
 // each method needs in both stages to reach 5% relative error (99% CI) on
 // the RNM and WNM workloads.
-func runTable1(cfg config) error {
+func runTable1(ctx context.Context, cfg config) error {
 	b := defaultBudgets(cfg)
 	target := 0.05
 	if cfg.quick {
@@ -30,7 +31,7 @@ func runTable1(cfg config) error {
 	for _, name := range methodNames {
 		rows[name] = &row{second: map[string]int64{}, tot: map[string]int64{}, mix: map[string]*mixing{}}
 		for _, mname := range []string{"RNM", "WNM"} {
-			r, err := runMethodUntil(name, metrics[mname], b, target, cfg.seed)
+			r, err := runMethodUntil(ctx, name, metrics[mname], b, target, cfg.seed)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", name, mname, err)
 			}
@@ -105,7 +106,7 @@ func runTable1(cfg config) error {
 // runTable2 regenerates the paper's Table II on the dual read-current
 // workload: each method's estimate at fixed budgets, against a
 // brute-force golden reference.
-func runTable2(cfg config) error {
+func runTable2(ctx context.Context, cfg config) error {
 	b := defaultBudgets(cfg)
 	n := c2(cfg.quick, 2000, 10000)
 	fmt.Printf("Table II: dual read-current failure probability (Ith = %.2f µA)\n\n",
@@ -114,7 +115,7 @@ func runTable2(cfg config) error {
 		"", "First Stage", "Second Stage", "Failure Rate", "Rel. Error")
 	var csvRows [][]string
 	for _, name := range methodNames {
-		r, err := runMethod(name, sram.DualReadCurrentWorkload(), b, n, 0, cfg.seed)
+		r, err := runMethod(ctx, name, sram.DualReadCurrentWorkload(), b, n, 0, cfg.seed)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -127,7 +128,7 @@ func runTable2(cfg config) error {
 	if cfg.quick {
 		golden = 500000
 	}
-	gr, err := mc.ParallelMCTelemetry(sram.DualReadCurrentWorkload(), golden, cfg.seed, cfg.workers, cfg.tele)
+	gr, err := mc.ParallelMCContext(ctx, sram.DualReadCurrentWorkload(), golden, cfg.seed, cfg.workers, cfg.tele)
 	if err != nil {
 		return err
 	}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +52,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Ctrl-C flushes telemetry and exits instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+		cli.Close()
+		fmt.Fprintln(os.Stderr, "spicecli: interrupted")
+		os.Exit(130)
+	}()
 	dc := &spice.DCOptions{Telemetry: cli.Registry}
 
 	ran := false

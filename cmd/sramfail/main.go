@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro"
@@ -21,7 +25,7 @@ import (
 
 func main() {
 	var (
-		metricName = flag.String("metric", "rnm", "metric: rnm, wnm, readcurrent, dualread or access")
+		metricName = flag.String("metric", "rnm", "metric: "+strings.Join(repro.WorkloadNames(), ", "))
 		methodName = flag.String("method", "g-s", "estimator: mc, mis, mnis, g-c, g-s or blockade")
 		k          = flag.Int("k", 0, "first-stage budget (0 = method default)")
 		n          = flag.Int("n", 10000, "second-stage samples (cap when -target is set)")
@@ -36,7 +40,7 @@ func main() {
 	)
 	flag.Parse()
 
-	metric, err := metricByName(*metricName)
+	metric, err := repro.WorkloadByName(*metricName)
 	if err != nil {
 		fatal(err)
 	}
@@ -50,12 +54,23 @@ func main() {
 		fatal(err)
 	}
 
+	// Ctrl-C cancels the run at the next evaluation chunk; a second
+	// ctrl-C kills the process outright (NotifyContext stops catching
+	// once cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	res, err := repro.Estimate(metric, repro.Options{
+	res, err := repro.EstimateContext(ctx, metric, repro.Options{
 		Method: method, K: *k, N: *n, Target: *target,
 		Seed: *seed, Quadratic: *quadratic, Workers: *workers,
 		Mixture: *mixture, Telemetry: cli.Registry,
 	})
+	if errors.Is(err, context.Canceled) {
+		cli.Close()
+		fmt.Fprintf(os.Stderr, "sramfail: interrupted after %d simulations\n", res.TotalSims)
+		os.Exit(130)
+	}
 	if err != nil {
 		cli.Close()
 		fatal(err)
@@ -84,23 +99,6 @@ func main() {
 	}
 	if err := cli.Close(); err != nil {
 		fatal(err)
-	}
-}
-
-func metricByName(name string) (repro.Metric, error) {
-	switch name {
-	case "rnm":
-		return repro.RNMWorkload(), nil
-	case "wnm":
-		return repro.WNMWorkload(), nil
-	case "readcurrent":
-		return repro.ReadCurrentWorkload(), nil
-	case "dualread":
-		return repro.DualReadCurrentWorkload(), nil
-	case "access":
-		return repro.AccessTimeWorkload(), nil
-	default:
-		return nil, fmt.Errorf("unknown metric %q (want rnm, wnm, readcurrent, dualread or access)", name)
 	}
 }
 

@@ -1,0 +1,103 @@
+// Command sramserverd serves SRAM failure-rate estimation as a
+// long-running HTTP/JSON service: jobs are submitted to a bounded queue,
+// run by a fixed executor pool with per-job cancellation and deadlines,
+// and observed live (running Pf, 99% relative error, simulations
+// consumed) while they run.
+//
+//	sramserverd -addr :8080 -queue 64 -executors 2
+//
+//	curl -s localhost:8080/v1/workloads
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"workload":"readcurrent","method":"g-s","seed":1}'
+//	curl -s localhost:8080/v1/jobs/j000001            # live progress
+//	curl -s -X DELETE localhost:8080/v1/jobs/j000001  # cancel
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are rejected with
+// 503, running jobs get -drain-timeout to finish, then are cancelled
+// (their partial simulation cost is preserved in the final snapshot).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	queue := flag.Int("queue", 64, "bounded job-queue capacity")
+	executors := flag.Int("executors", 1, "jobs run concurrently (each already fans out across -workers)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none; jobs may override)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *queue, *executors, *jobTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sramserverd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Duration) error {
+	reg := telemetry.New()
+	mgr := jobs.NewManager(jobs.Config{
+		QueueSize:  queue,
+		Executors:  executors,
+		JobTimeout: jobTimeout,
+		Registry:   reg,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", jobs.Handler(mgr))
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("sramserverd: serving %d workloads, %d methods on http://%s\n",
+		len(repro.Workloads()), len(repro.AllMethods()), ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	fmt.Fprintf(os.Stderr, "sramserverd: draining (up to %s)\n", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first so in-flight requests finish, then let
+	// the manager run the queue down (or cancel at the deadline).
+	shutdownErr := srv.Shutdown(drainCtx)
+	if err := mgr.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sramserverd: drain deadline hit, running jobs cancelled")
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	fmt.Fprintln(os.Stderr, "sramserverd: drained, bye")
+	return nil
+}

@@ -17,6 +17,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -80,15 +81,23 @@ func (o *MISOptions) defaults() MISOptions {
 // centroid of the failing samples as the distortion mean, and run the
 // second importance-sampling stage with unit covariance.
 func MIS(counter *mc.Counter, opts MISOptions, rng *rand.Rand) (*Result, error) {
+	return MISContext(context.Background(), counter, opts, rng)
+}
+
+// MISContext is MIS with cancellation: ctx is polled once per evaluation
+// chunk in both the exploration and the importance-sampling stage, so a
+// cancel aborts within one chunk while an uncancelled run stays
+// bit-identical to MIS for every worker count.
+func MISContext(ctx context.Context, counter *mc.Counter, opts MISOptions, rng *rand.Rand) (*Result, error) {
 	o := opts.defaults()
 	if o.N <= 0 {
 		return nil, errors.New("baselines: MIS sample count must be positive")
 	}
-	res, err := misExplore(counter, &o, rng)
+	res, err := misExplore(ctx, counter, &o, rng)
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, o.N, rng, o.TraceEvery)
+	res.Result, err = mc.ImportanceSampleContext(ctx, mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, o.N, rng, o.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -118,11 +127,21 @@ type MNISOptions struct {
 // ray refinement), then run the mean-shifted unit-covariance second
 // stage.
 func MNIS(counter *mc.Counter, opts MNISOptions, rng *rand.Rand) (*Result, error) {
+	return MNISContext(context.Background(), counter, opts, rng)
+}
+
+// MNISContext is MNIS with cancellation: ctx is polled between
+// norm-minimization training simulations and once per second-stage
+// evaluation chunk. Uncancelled runs are bit-identical to MNIS.
+func MNISContext(ctx context.Context, counter *mc.Counter, opts MNISOptions, rng *rand.Rand) (*Result, error) {
 	if opts.N <= 0 {
 		return nil, errors.New("baselines: MNIS sample count must be positive")
 	}
-	mean, err := model.FindFailurePoint(counter, opts.Start, rng)
+	mean, err := model.FindFailurePointContext(ctx, counter, opts.Start, rng)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("baselines: MNIS norm minimization: %w", err)
 	}
 	gnor, err := stat.NewMVNormal(mean, linalg.Identity(len(mean)))
@@ -130,7 +149,7 @@ func MNIS(counter *mc.Counter, opts MNISOptions, rng *rand.Rand) (*Result, error
 		return nil, err
 	}
 	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSample(mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, opts.N, rng, opts.TraceEvery)
+	res.Result, err = mc.ImportanceSampleContext(ctx, mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, opts.N, rng, opts.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -140,15 +159,21 @@ func MNIS(counter *mc.Counter, opts MNISOptions, rng *rand.Rand) (*Result, error
 
 // MISUntil is MIS with a convergence-target second stage (Table I).
 func MISUntil(counter *mc.Counter, opts MISOptions, target float64, minN, maxN int, rng *rand.Rand) (*Result, error) {
+	return MISUntilContext(context.Background(), counter, opts, target, minN, maxN, rng)
+}
+
+// MISUntilContext is MISUntil with cancellation, checked at the same
+// chunk boundaries as MISContext.
+func MISUntilContext(ctx context.Context, counter *mc.Counter, opts MISOptions, target float64, minN, maxN int, rng *rand.Rand) (*Result, error) {
 	o := opts.defaults()
 	o.N = 1
 	// Run the exploration exactly as MIS does, then substitute the
 	// until-target second stage.
-	res, err := misExplore(counter, &o, rng)
+	res, err := misExplore(ctx, counter, &o, rng)
 	if err != nil {
 		return nil, err
 	}
-	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntilContext(ctx, mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +183,17 @@ func MISUntil(counter *mc.Counter, opts MISOptions, target float64, minN, maxN i
 
 // MNISUntil is MNIS with a convergence-target second stage (Table I).
 func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN int, rng *rand.Rand) (*Result, error) {
-	mean, err := model.FindFailurePoint(counter, opts.Start, rng)
+	return MNISUntilContext(context.Background(), counter, opts, target, minN, maxN, rng)
+}
+
+// MNISUntilContext is MNISUntil with cancellation, checked at the same
+// boundaries as MNISContext.
+func MNISUntilContext(ctx context.Context, counter *mc.Counter, opts MNISOptions, target float64, minN, maxN int, rng *rand.Rand) (*Result, error) {
+	mean, err := model.FindFailurePointContext(ctx, counter, opts.Start, rng)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("baselines: MNIS norm minimization: %w", err)
 	}
 	gnor, err := stat.NewMVNormal(mean, linalg.Identity(len(mean)))
@@ -167,7 +201,7 @@ func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN
 		return nil, err
 	}
 	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSampleUntil(mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntilContext(ctx, mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -176,16 +210,17 @@ func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN
 }
 
 // misExplore factors the MIS first stage for reuse by MISUntil. The
-// exploratory simulations run on the evaluation pool; the f-weighted
-// centroid is accumulated in sample-index order so it is bit-identical
-// for every worker count.
-func misExplore(counter *mc.Counter, o *MISOptions, rng *rand.Rand) (*Result, error) {
+// exploratory simulations run on the evaluation pool in ChunkSize
+// dispatches — ctx is polled between chunks, never inside — and the
+// f-weighted centroid is accumulated in sample-index order, so it is
+// bit-identical for every worker count and for any chunking.
+func misExplore(ctx context.Context, counter *mc.Counter, o *MISOptions, rng *rand.Rand) (*Result, error) {
 	if o.Stage1 <= 0 {
 		return nil, errors.New("baselines: MIS stage sizes must be positive")
 	}
 	dim := counter.Dim()
 	ev := mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry)
-	batch := ev.Batch(rng.Int63(), 0, o.Stage1, func(rng *rand.Rand, _ int) []float64 {
+	draw := func(rng *rand.Rand, _ int) []float64 {
 		x := make([]float64, dim)
 		if rng.Intn(2) == 0 {
 			for j := range x {
@@ -197,15 +232,22 @@ func misExplore(counter *mc.Counter, o *MISOptions, rng *rand.Rand) (*Result, er
 			}
 		}
 		return x
-	})
+	}
+	seed := rng.Int63()
 	mean := make([]float64, dim)
 	wsum := 0.0
-	for _, s := range batch {
-		if s.Value < 0 {
-			w := stat.StdNormPDF(s.X)
-			wsum += w
-			for j, v := range s.X {
-				mean[j] += w * v
+	for start := 0; start < o.Stage1; start += mc.ChunkSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		count := min(mc.ChunkSize, o.Stage1-start)
+		for _, s := range ev.Batch(seed, start, count, draw) {
+			if s.Value < 0 {
+				w := stat.StdNormPDF(s.X)
+				wsum += w
+				for j, v := range s.X {
+					mean[j] += w * v
+				}
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -64,6 +65,19 @@ type BlockadeResult struct {
 
 // Blockade runs the method against a metric.
 func Blockade(counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*BlockadeResult, error) {
+	return BlockadeContext(context.Background(), counter, opts, rng)
+}
+
+// blockadeChunk bounds one candidate-stream dispatch: the stream runs
+// millions of classifier-filtered candidates, so it is tallied chunk by
+// chunk with a cancellation check between chunks.
+const blockadeChunk = 1 << 16
+
+// BlockadeContext is Blockade with cancellation: ctx is polled between
+// training chunks and between candidate-stream chunks, so a cancel
+// aborts within one chunk while an uncancelled run stays bit-identical
+// to Blockade for every worker count.
+func BlockadeContext(ctx context.Context, counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*BlockadeResult, error) {
 	train := opts.Train
 	if train <= 0 {
 		train = 1000
@@ -82,20 +96,27 @@ func Blockade(counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*Block
 	dim := counter.Dim()
 
 	// Training set: widened Normal sampling so the tail side of the spec
-	// is represented, evaluated sample-parallel.
+	// is represented, evaluated sample-parallel in chunks.
 	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
-	batch := ev.Batch(rng.Int63(), 0, train, func(rng *rand.Rand, _ int) []float64 {
+	trainDraw := func(rng *rand.Rand, _ int) []float64 {
 		x := make([]float64, dim)
 		for j := range x {
 			x[j] = scale * rng.NormFloat64()
 		}
 		return x
-	})
-	xs := make([][]float64, train)
-	ys := make([]float64, train)
-	for i, s := range batch {
-		xs[i] = s.X
-		ys[i] = s.Value
+	}
+	trainSeed := rng.Int63()
+	xs := make([][]float64, 0, train)
+	ys := make([]float64, 0, train)
+	for start := 0; start < train; start += mc.ChunkSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		count := min(mc.ChunkSize, train-start)
+		for _, s := range ev.Batch(trainSeed, start, count, trainDraw) {
+			xs = append(xs, s.X)
+			ys = append(ys, s.Value)
+		}
 	}
 	lin, err := model.FitLinear(xs, ys)
 	if err != nil {
@@ -111,26 +132,34 @@ func Blockade(counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*Block
 
 	// Candidate stream: classifier evaluations are free and happen for
 	// every candidate; only unblocked candidates cost a simulation. The
-	// stream runs on the pool — each candidate draws from its own
-	// indexed generator — and the tally folds in index order.
+	// stream runs on the pool in blockadeChunk dispatches — each
+	// candidate draws from its own indexed generator — and the tally
+	// folds in index order, so chunking never changes the estimate.
 	var tally stat.Running
 	failures := 0
 	band := guard * sigma
-	stream := mc.Map(ev, rng.Int63(), 0, opts.N, func(rng *rand.Rand, _ int) bool {
+	streamSeed := rng.Int63()
+	candidate := func(rng *rand.Rand, _ int) bool {
 		x := make([]float64, dim)
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
 		// Unblocked: needs a real simulation.
 		return lin.Eval(x) < band && counter.Value(x) < 0
-	})
-	for _, fail := range stream {
-		ind := 0.0
-		if fail {
-			ind = 1
-			failures++
+	}
+	for start := 0; start < opts.N; start += blockadeChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		tally.Push(ind)
+		count := min(blockadeChunk, opts.N-start)
+		for _, fail := range mc.Map(ev, streamSeed, start, count, candidate) {
+			ind := 0.0
+			if fail {
+				ind = 1
+				failures++
+			}
+			tally.Push(ind)
+		}
 	}
 	res.TailSims = counter.Count() - res.TrainSims
 	res.Result = mc.Result{

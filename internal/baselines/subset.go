@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -58,6 +59,21 @@ type particle struct {
 
 // Subset runs subset simulation on the metric.
 func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetResult, error) {
+	return SubsetContext(context.Background(), counter, opts, rng)
+}
+
+// subsetChunk bounds one population dispatch: the stage-0 population
+// and each level's chain fan-out run chunk by chunk with a cancellation
+// check between chunks. Chunking never changes the populations because
+// every particle/chain draws from a generator seeded by its absolute
+// index.
+const subsetChunk = 1 << 12
+
+// SubsetContext is Subset with cancellation: ctx is polled between
+// population chunks and between chain-dispatch chunks, so a cancel
+// aborts within one chunk while an uncancelled ladder stays
+// bit-identical to Subset for every worker count.
+func SubsetContext(ctx context.Context, counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetResult, error) {
 	n := opts.Particles
 	if n <= 0 {
 		n = 500
@@ -80,19 +96,31 @@ func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetRes
 		return nil, errors.New("baselines: subset needs p0·particles ≥ 2")
 	}
 
-	// Stage 0: plain Monte Carlo population, evaluated sample-parallel.
+	// Stage 0: plain Monte Carlo population, evaluated sample-parallel
+	// in subsetChunk dispatches.
 	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
-	pop := mc.Map(ev, rng.Int63(), 0, n, func(rng *rand.Rand, _ int) particle {
-		x := make([]float64, dim)
-		for j := range x {
-			x[j] = rng.NormFloat64()
+	popSeed := rng.Int63()
+	pop := make([]particle, 0, n)
+	for start := 0; start < n; start += subsetChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		return particle{x: x, m: counter.Value(x)}
-	})
+		count := min(subsetChunk, n-start)
+		pop = append(pop, mc.Map(ev, popSeed, start, count, func(rng *rand.Rand, _ int) particle {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			return particle{x: x, m: counter.Value(x)}
+		})...)
+	}
 
 	res := &SubsetResult{}
 	logPf := 0.0
 	for stage := 0; stage < maxStages; stage++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sort.Slice(pop, func(i, j int) bool { return pop[i].m < pop[j].m })
 		// Count how many particles already fail outright.
 		nFail := sort.Search(len(pop), func(i int) bool { return pop[i].m >= 0 })
@@ -118,7 +146,7 @@ func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetRes
 		// identical for every worker count.
 		seeds := pop[:keep]
 		chainLen := n / keep
-		chains := mc.Map(ev, rng.Int63(), 0, keep, func(rng *rand.Rand, c int) []particle {
+		walk := func(rng *rand.Rand, c int) []particle {
 			cur := seeds[c]
 			walker := particle{x: append([]float64(nil), cur.x...), m: cur.m}
 			states := make([]particle, 0, chainLen)
@@ -141,10 +169,17 @@ func Subset(counter *mc.Counter, opts SubsetOptions, rng *rand.Rand) (*SubsetRes
 				states = append(states, walker)
 			}
 			return states
-		})
+		}
+		chainSeed := rng.Int63()
 		next := make([]particle, 0, n)
-		for _, states := range chains {
-			next = append(next, states...)
+		for start := 0; start < keep; start += subsetChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			count := min(subsetChunk, keep-start)
+			for _, states := range mc.Map(ev, chainSeed, start, count, walk) {
+				next = append(next, states...)
+			}
 		}
 		// Round-off from n/keep: top up by continuing the last chain.
 		for len(next) < n {

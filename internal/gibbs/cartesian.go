@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -23,6 +24,15 @@ var ErrStartNotFailing = errors.New("gibbs: starting point is not in the failure
 // returned slice has exactly k samples (k simulations ≫ k because each
 // update performs a bracketing/bisection search).
 func CartesianChain(metric mc.Metric, start []float64, k int, opts *Options, rng *rand.Rand) ([][]float64, error) {
+	return CartesianChainContext(context.Background(), metric, start, k, opts, rng)
+}
+
+// CartesianChainContext is CartesianChain with cancellation: ctx is
+// polled before each coordinate update (one update is a handful of
+// bracketing/bisection simulations — the chain's natural chunk), so a
+// cancel aborts promptly with the context's error while an uncancelled
+// chain is bit-identical to CartesianChain.
+func CartesianChainContext(ctx context.Context, metric mc.Metric, start []float64, k int, opts *Options, rng *rand.Rand) ([][]float64, error) {
 	o := opts.defaults()
 	dim := metric.Dim()
 	if len(start) != dim {
@@ -42,6 +52,9 @@ func CartesianChain(metric mc.Metric, start []float64, k int, opts *Options, rng
 	samples := make([][]float64, 0, k)
 	m := 0
 	for len(samples) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if o.Stop != nil && o.Stop() && len(samples) >= 2 {
 			break
 		}

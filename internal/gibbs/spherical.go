@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -45,6 +46,15 @@ func CartesianFromSpherical(r float64, alpha []float64) ([]float64, error) {
 // chain (§V-B). Every coordinate update appends one sample (in Cartesian
 // coordinates, ready for the Algorithm 5 fit).
 func SphericalChain(metric mc.Metric, start []float64, k int, opts *Options, rng *rand.Rand) ([][]float64, error) {
+	return SphericalChainContext(context.Background(), metric, start, k, opts, rng)
+}
+
+// SphericalChainContext is SphericalChain with cancellation: ctx is
+// polled before each coordinate update (radius or orientation — a
+// handful of simulations each), so a cancel aborts promptly with the
+// context's error while an uncancelled chain is bit-identical to
+// SphericalChain.
+func SphericalChainContext(ctx context.Context, metric mc.Metric, start []float64, k int, opts *Options, rng *rand.Rand) ([][]float64, error) {
 	o := opts.defaults()
 	dim := metric.Dim()
 	if len(start) != dim {
@@ -81,6 +91,9 @@ func SphericalChain(metric mc.Metric, start []float64, k int, opts *Options, rng
 
 	coord := -1 // -1 = radius, 0..M-1 = α index, cycled in Algorithm 2 order
 	for len(samples) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if o.Stop != nil && o.Stop() && len(samples) >= 2 {
 			break
 		}

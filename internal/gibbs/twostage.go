@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -98,7 +99,7 @@ type TwoStageResult struct {
 
 // firstStage runs Algorithm 4 (unless a start point is given), the chosen
 // Gibbs chain, and the g^NOR fit, recording stage-1 cost in res.
-func firstStage(counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*TwoStageResult, error) {
+func firstStage(ctx context.Context, counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*TwoStageResult, error) {
 	if opts.K <= 0 {
 		return nil, errors.New("gibbs: K must be positive")
 	}
@@ -110,8 +111,11 @@ func firstStage(counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*Tw
 	start := opts.StartPoint
 	if start == nil {
 		var err error
-		start, err = model.FindFailurePoint(counter, opts.Start, rng)
+		start, err = model.FindFailurePointContext(ctx, counter, opts.Start, rng)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("gibbs: starting-point selection: %w", err)
 		}
 	}
@@ -141,9 +145,9 @@ func firstStage(counter *mc.Counter, opts *TwoStageOptions, rng *rand.Rand) (*Tw
 	)
 	switch opts.Coord {
 	case Cartesian:
-		samples, err = CartesianChain(counter, start, opts.K, chainOpts, rng)
+		samples, err = CartesianChainContext(ctx, counter, start, opts.K, chainOpts, rng)
 	case Spherical:
-		samples, err = SphericalChain(counter, start, opts.K, chainOpts, rng)
+		samples, err = SphericalChainContext(ctx, counter, start, opts.K, chainOpts, rng)
 	default:
 		return nil, fmt.Errorf("gibbs: unknown coordinate system %v", opts.Coord)
 	}
@@ -190,10 +194,19 @@ func (r *TwoStageResult) distortion() mc.Distortion {
 // The metric must be wrapped in a Counter so the stage costs can be
 // reported the way the paper reports them (Tables I and II).
 func TwoStage(counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand) (*TwoStageResult, error) {
+	return TwoStageContext(context.Background(), counter, opts, rng)
+}
+
+// TwoStageContext is TwoStage with cancellation threaded through every
+// stage: the Algorithm 4 starting-point search, the Gibbs chain (checked
+// per coordinate update) and the second-stage sampling loop (checked per
+// evaluation chunk). A cancel returns the context's error; an
+// uncancelled run is bit-identical to TwoStage for every worker count.
+func TwoStageContext(ctx context.Context, counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand) (*TwoStageResult, error) {
 	if opts.N <= 0 {
 		return nil, errors.New("gibbs: N must be positive")
 	}
-	res, err := firstStage(counter, &opts, rng)
+	res, err := firstStage(ctx, counter, &opts, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +214,7 @@ func TwoStage(counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand) (*TwoSt
 	opts.Telemetry.Emit("stage2.start", map[string]any{
 		"n": opts.N, "workers": ev.Workers(), "mixture": opts.Mixture,
 	})
-	res.Result, err = mc.ImportanceSample(ev, res.distortion(), opts.N, rng, opts.TraceEvery)
+	res.Result, err = mc.ImportanceSampleContext(ctx, ev, res.distortion(), opts.N, rng, opts.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +227,13 @@ func TwoStage(counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand) (*TwoSt
 // error reaches target (or maxN simulations). This regenerates the
 // paper's Table I ("number of simulations to achieve 5% error").
 func TwoStageUntil(counter *mc.Counter, opts TwoStageOptions, target float64, minN, maxN int, rng *rand.Rand) (*TwoStageResult, error) {
-	res, err := firstStage(counter, &opts, rng)
+	return TwoStageUntilContext(context.Background(), counter, opts, target, minN, maxN, rng)
+}
+
+// TwoStageUntilContext is TwoStageUntil with cancellation threaded
+// through both stages the same way as TwoStageContext.
+func TwoStageUntilContext(ctx context.Context, counter *mc.Counter, opts TwoStageOptions, target float64, minN, maxN int, rng *rand.Rand) (*TwoStageResult, error) {
+	res, err := firstStage(ctx, counter, &opts, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +241,7 @@ func TwoStageUntil(counter *mc.Counter, opts TwoStageOptions, target float64, mi
 	opts.Telemetry.Emit("stage2.start", map[string]any{
 		"target": target, "min_n": minN, "max_n": maxN, "workers": ev.Workers(), "mixture": opts.Mixture,
 	})
-	res.Result, err = mc.ImportanceSampleUntil(ev, res.distortion(), target, minN, maxN, rng)
+	res.Result, err = mc.ImportanceSampleUntilContext(ctx, ev, res.distortion(), target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro"
+)
+
+// Handler builds the estimation service's HTTP/JSON API on a Go 1.22
+// pattern mux:
+//
+//	POST   /v1/jobs             submit a job (Request body); ?wait=1 blocks
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's snapshot (live progress while running)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/metrics  the job's telemetry (Prometheus text)
+//	GET    /v1/methods          the estimator registry
+//	GET    /v1/workloads        the workload registry
+//	GET    /metrics             the server-wide telemetry (Prometheus text)
+//	GET    /healthz             liveness probe
+//
+// Submissions return 202 with the job snapshot; with ?wait=1 the call
+// blocks until the job is terminal and returns 200 with the final
+// snapshot — and if the client disconnects while waiting, the job is
+// cancelled (the submission's context is the job's lifeline in wait
+// mode). A full queue returns 429, a draining server 503, an unknown
+// workload/method or invalid options 400 with the full problem list.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := m.Submit(req)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		if r.URL.Query().Get("wait") == "" {
+			writeJSON(w, http.StatusAccepted, job.Snapshot())
+			return
+		}
+		// Wait mode: the client's connection is the job's lifeline.
+		select {
+		case <-job.Done():
+			writeJSON(w, http.StatusOK, job.Snapshot())
+		case <-r.Context().Done():
+			m.Cancel(job.ID())
+			<-job.Done()
+			// The client is gone; this write is best-effort.
+			writeJSON(w, statusRequestCancelled, job.Snapshot())
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		job.Telemetry().MetricsHandler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
+		type method struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		}
+		out := make([]method, 0, len(repro.AllMethods()))
+		for _, mth := range repro.AllMethods() {
+			out = append(out, method{Name: mth.String(), Description: mth.Describe()})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		type workload struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+			Dim         int    `json:"dim"`
+		}
+		ws := repro.Workloads()
+		out := make([]workload, 0, len(ws))
+		for _, wl := range ws {
+			out = append(out, workload{Name: wl.Name, Description: wl.Description, Dim: wl.Dim})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	if m.cfg.Registry != nil {
+		mux.Handle("GET /metrics", m.cfg.Registry.MetricsHandler())
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// statusRequestCancelled is the non-standard 499 nginx popularized for
+// "client closed request" — the best fit for a wait-mode submission
+// whose client hung up (the write rarely reaches anyone).
+const statusRequestCancelled = 499
+
+// submitStatus maps Submit errors to HTTP statuses.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		// Unknown workload/method, invalid options.
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,332 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/surrogate"
+	"repro/internal/telemetry"
+)
+
+// spinMetric burns CPU per simulation so jobs stay running long enough
+// to observe and cancel.
+type spinMetric struct {
+	m    repro.Metric
+	spin int
+}
+
+func (s *spinMetric) Dim() int { return s.m.Dim() }
+func (s *spinMetric) Value(x []float64) float64 {
+	v := 1.0
+	for i := 0; i < s.spin; i++ {
+		v = math.Sqrt(v + float64(i))
+	}
+	if v < 0 {
+		panic("unreachable")
+	}
+	return s.m.Value(x)
+}
+
+// testResolve injects synthetic workloads: "lin" is fast and analytic,
+// "slow" runs long enough to cancel.
+func testResolve(name string) (repro.Metric, error) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 4.5}
+	switch name {
+	case "lin":
+		return lin, nil
+	case "slow":
+		return &spinMetric{m: lin, spin: 2000}, nil
+	}
+	return nil, fmt.Errorf("test: unknown workload %q", name)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	if cfg.Resolve == nil {
+		cfg.Resolve = testResolve
+	}
+	m := NewManager(cfg)
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return m, srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body string, wantStatus int) Snapshot {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /v1/jobs: status %d, want %d: %s", resp.StatusCode, wantStatus, buf.String())
+	}
+	var snap Snapshot
+	if wantStatus < 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return snap
+}
+
+func getSnapshot(t *testing.T, srv *httptest.Server, id string) Snapshot {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func waitTerminal(t *testing.T, srv *httptest.Server, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := getSnapshot(t, srv, id)
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state", id)
+	return Snapshot{}
+}
+
+// Submit → progress → result, and the result matches a direct library
+// call bit-for-bit (the server adds observation, not perturbation).
+func TestJobLifecycle(t *testing.T) {
+	_, srv := newTestServer(t, Config{Registry: telemetry.New()})
+	snap := postJob(t, srv, `{"workload":"lin","method":"g-s","seed":5,"k":200,"n":2000}`, http.StatusAccepted)
+	if snap.ID == "" || snap.State.Terminal() {
+		t.Fatalf("bad submit snapshot: %+v", snap)
+	}
+	final := waitTerminal(t, srv, snap.ID)
+	if final.State != StateDone {
+		t.Fatalf("state %s, error %q", final.State, final.Error)
+	}
+	if final.Result == nil || final.Sims <= 0 || final.Result.TotalSims <= 0 {
+		t.Fatalf("missing result/cost: %+v", final)
+	}
+
+	metric, _ := testResolve("lin")
+	direct, err := repro.Estimate(metric, repro.Options{Method: repro.GS, Seed: 5, K: 200, N: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Result.Pf != direct.Pf || final.Result.TotalSims != direct.TotalSims {
+		t.Fatalf("server Pf=%v sims=%d, direct Pf=%v sims=%d",
+			final.Result.Pf, final.Result.TotalSims, direct.Pf, direct.TotalSims)
+	}
+
+	// Introspection and metrics endpoints.
+	for _, path := range []string{"/v1/jobs", "/v1/methods", "/v1/workloads", "/metrics", "/healthz", "/v1/jobs/" + snap.ID + "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// Submit → cancel: the job goes terminal promptly with its partial cost.
+func TestJobCancel(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	snap := postJob(t, srv, `{"workload":"slow","method":"mc","seed":1,"n":4194304,"workers":2}`, http.StatusAccepted)
+
+	// Wait for it to actually start consuming budget.
+	deadline := time.Now().Add(30 * time.Second)
+	for getSnapshot(t, srv, snap.ID).Sims == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+snap.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	final := waitTerminal(t, srv, snap.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", final.State)
+	}
+	if final.Sims <= 0 {
+		t.Fatal("cancelled job must report partial cost")
+	}
+	if final.Result != nil {
+		t.Fatal("cancelled job must not carry a result")
+	}
+}
+
+// A full queue rejects with 429, bad requests with 400, unknown IDs 404.
+func TestQueueLimitsAndValidation(t *testing.T) {
+	_, srv := newTestServer(t, Config{QueueSize: 1, Executors: 1})
+	// Occupy the executor and the single queue slot.
+	running := postJob(t, srv, `{"workload":"slow","method":"mc","seed":1,"n":4194304}`, http.StatusAccepted)
+	deadline := time.Now().Add(30 * time.Second)
+	for getSnapshot(t, srv, running.ID).State == StateQueued && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	postJob(t, srv, `{"workload":"slow","method":"mc","seed":2,"n":4194304}`, http.StatusAccepted)
+	postJob(t, srv, `{"workload":"slow","method":"mc","seed":3,"n":4194304}`, http.StatusTooManyRequests)
+
+	postJob(t, srv, `{"workload":"nope"}`, http.StatusBadRequest)
+	postJob(t, srv, `{"workload":"lin","method":"warp-drive"}`, http.StatusBadRequest)
+	postJob(t, srv, `{"workload":"lin","k":-4}`, http.StatusBadRequest)
+	postJob(t, srv, `{"workload":"lin","unknown_field":1}`, http.StatusBadRequest)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", resp.StatusCode)
+	}
+}
+
+// ?wait=1 blocks until the job is terminal and returns the final state.
+func TestSubmitWait(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, err := http.Post(srv.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"workload":"lin","method":"g-s","seed":3,"k":200,"n":1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait submit: status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone || snap.Result == nil {
+		t.Fatalf("wait submit: %+v", snap)
+	}
+}
+
+// In wait mode the client connection is the job's lifeline: a client
+// disconnect cancels the job.
+func TestSubmitWaitClientDisconnect(t *testing.T) {
+	m, srv := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/jobs?wait=1",
+		strings.NewReader(`{"workload":"slow","method":"mc","seed":1,"n":4194304,"workers":2}`))
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait for the job to appear and start, then hang up.
+	var job *Job
+	deadline := time.Now().Add(30 * time.Second)
+	for job == nil && time.Now().Before(deadline) {
+		if l := m.List(); len(l) > 0 && l[0].Sims > 0 {
+			job, _ = m.Get(l[0].ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if job == nil {
+		t.Fatal("job never started")
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("disconnected client should see an error")
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("job not cancelled after client disconnect")
+	}
+	if !errors.Is(job.Err(), context.Canceled) {
+		t.Fatalf("job error %v, want context.Canceled", job.Err())
+	}
+}
+
+// A per-job deadline fails the job with DeadlineExceeded.
+func TestJobDeadline(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	snap := postJob(t, srv, `{"workload":"slow","method":"mc","seed":1,"n":4194304,"timeout_seconds":0.05}`, http.StatusAccepted)
+	final := waitTerminal(t, srv, snap.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "deadline") {
+		t.Fatalf("error %q, want deadline exceeded", final.Error)
+	}
+	if final.Sims <= 0 {
+		t.Fatal("deadline abort must report partial cost")
+	}
+}
+
+// Drain: rejects new work, finishes what fits the grace period, cancels
+// the rest.
+func TestDrain(t *testing.T) {
+	m := NewManager(Config{Resolve: testResolve})
+	job, err := m.Submit(Request{Workload: "slow", Method: "mc", N: 1 << 22, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Snapshot().Sims == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: %v, want DeadlineExceeded (job outlives grace period)", err)
+	}
+	if s := job.Snapshot().State; s != StateCancelled {
+		t.Fatalf("job state %s after forced drain", s)
+	}
+	if _, err := m.Submit(Request{Workload: "lin"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+}
+
+// A graceful drain with no running work returns nil immediately.
+func TestDrainIdle(t *testing.T) {
+	m := NewManager(Config{Resolve: testResolve})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+}

@@ -1,0 +1,531 @@
+// Package jobs is the estimation-job subsystem behind cmd/sramserverd: a
+// bounded queue of failure-rate estimation runs, a fixed pool of
+// executors, and per-job cancellation built on repro.EstimateContext.
+//
+// Every job runs under its own context.Context derived from the
+// manager's base context, so a job dies for exactly three reasons: its
+// own DELETE/cancel, its per-job deadline, or a manager drain. While a
+// job runs, its live progress (simulations consumed, running Pf and 99%
+// relative error) is read from the job's private telemetry registry and
+// its simulation counter — the estimators publish between evaluation
+// chunks, so progress is a snapshot at chunk granularity, never a lock
+// on the hot path.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/mc"
+	"repro/internal/telemetry"
+)
+
+// Queue and lifecycle errors. HTTP handlers map these to status codes;
+// test with errors.Is.
+var (
+	// ErrQueueFull is reported by Submit when the bounded queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining is reported by Submit after Drain began (HTTP 503).
+	ErrDraining = errors.New("jobs: manager draining")
+	// ErrNotFound is reported by Get and Cancel for unknown job IDs.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states. A job moves queued → running → one of the three
+// terminal states; a cancel while still queued goes straight to
+// StateCancelled without running.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is one estimation job as submitted over the API. The zero
+// value of every tuning field selects the library default, exactly as
+// the corresponding repro.Options field does.
+type Request struct {
+	// Workload names a registered workload (repro.Workloads).
+	Workload string `json:"workload"`
+	// Method names the estimator (repro.AllMethods); empty selects the
+	// library default (g-s).
+	Method string `json:"method,omitempty"`
+	// K, N, Target, Seed, TraceEvery, Workers, Mixture and Quadratic
+	// mirror the repro.Options fields of the same names.
+	K          int     `json:"k,omitempty"`
+	N          int     `json:"n,omitempty"`
+	Target     float64 `json:"target,omitempty"`
+	Seed       int64   `json:"seed"`
+	TraceEvery int     `json:"trace_every,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Mixture    int     `json:"mixture,omitempty"`
+	Quadratic  bool    `json:"quadratic,omitempty"`
+	// TimeoutSeconds, when positive, caps the job's wall-clock run time
+	// (overriding the server-wide default); the job fails with
+	// context.DeadlineExceeded when it expires.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// options converts the request's tuning fields to repro.Options.
+func (r Request) options() repro.Options {
+	return repro.Options{
+		Method: repro.Method(r.Method), K: r.K, N: r.N, Target: r.Target,
+		Seed: r.Seed, TraceEvery: r.TraceEvery, Workers: r.Workers,
+		Mixture: r.Mixture, Quadratic: r.Quadratic,
+	}
+}
+
+// Progress is a live snapshot of a running job's second stage, read
+// from the estimator's chunk-boundary telemetry gauges.
+type Progress struct {
+	// Stage2N is the number of second-stage samples consumed so far.
+	Stage2N int `json:"stage2_n"`
+	// Pf and RelErr99 are the running estimate and its 99% relative
+	// error; RelErr99 is null until the estimate is non-zero.
+	Pf       float64  `json:"pf"`
+	RelErr99 *float64 `json:"rel_err99"`
+}
+
+// Result is the wire form of repro.Result: scalar fields only — traces,
+// Gibbs samples and distortion vectors stay server-side (the per-job
+// metrics endpoint exposes the run's telemetry instead).
+type Result struct {
+	Pf         float64  `json:"pf"`
+	StdErr     float64  `json:"std_err"`
+	RelErr99   *float64 `json:"rel_err99"`
+	N          int      `json:"n"`
+	Failures   int      `json:"failures"`
+	WeightESS  float64  `json:"weight_ess"`
+	Stage1Sims int64    `json:"stage1_sims"`
+	Stage2Sims int64    `json:"stage2_sims"`
+	TotalSims  int64    `json:"total_sims"`
+}
+
+// Snapshot is a point-in-time view of a job, safe to serialize.
+type Snapshot struct {
+	ID       string  `json:"id"`
+	State    State   `json:"state"`
+	Workload string  `json:"workload"`
+	Method   string  `json:"method"`
+	Seed     int64   `json:"seed"`
+	Created  string  `json:"created"`
+	Started  string  `json:"started,omitempty"`
+	Finished string  `json:"finished,omitempty"`
+	// Sims is the live count of transistor-level simulations consumed,
+	// including first-stage and Gibbs-chain probes.
+	Sims int64 `json:"sims"`
+	// Progress is present while the job runs and a second stage has
+	// started publishing.
+	Progress *Progress `json:"progress,omitempty"`
+	// Result is present once State is done. Elapsed is wall-clock
+	// seconds from start to finish (or to now while running).
+	Result  *Result `json:"result,omitempty"`
+	Elapsed float64 `json:"elapsed_seconds,omitempty"`
+	// Error is present once State is failed or cancelled.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one tracked estimation run.
+type Job struct {
+	id  string
+	req Request
+
+	// counter wraps the workload metric so live Sims counts every
+	// simulation — including Gibbs-chain probes that bypass the
+	// evaluation pool. The estimator layers its own counter on top;
+	// both are lock-free pass-throughs.
+	counter *mc.Counter
+	// reg is the job's private telemetry registry, serving the per-job
+	// metrics endpoint and the Progress gauges.
+	reg *telemetry.Registry
+
+	mu        sync.Mutex
+	state     State
+	cancel    context.CancelFunc // set when the job starts running
+	cancelled bool               // cancel requested (possibly while queued)
+	result    *repro.Result
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{} // closed on reaching a terminal state
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Telemetry returns the job's private registry (live during the run,
+// final afterwards).
+func (j *Job) Telemetry() *telemetry.Registry { return j.reg }
+
+// Err returns the job's terminal error (nil while non-terminal or done).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Snapshot captures the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID: j.id, State: j.state,
+		Workload: j.req.Workload, Method: j.req.Method, Seed: j.req.Seed,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+		Sims:    j.counter.Count(),
+	}
+	if s.Method == "" {
+		s.Method = repro.GS.String()
+	}
+	if !j.started.IsZero() {
+		s.Started = j.started.UTC().Format(time.RFC3339Nano)
+		end := time.Now()
+		if !j.finished.IsZero() {
+			end = j.finished
+			s.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		}
+		s.Elapsed = end.Sub(j.started).Seconds()
+	}
+	if j.state == StateRunning {
+		mcScope := j.reg.Scope("mc")
+		if n := int(mcScope.Gauge("stage2_n").Value()); n > 0 {
+			s.Progress = &Progress{
+				Stage2N:  n,
+				Pf:       mcScope.Gauge("stage2_pf").Value(),
+				RelErr99: finitePtr(mcScope.Gauge("stage2_relerr99").Value()),
+			}
+		}
+	}
+	if j.state == StateDone && j.result != nil {
+		r := j.result
+		s.Result = &Result{
+			Pf: r.Pf, StdErr: r.StdErr, RelErr99: finitePtr(r.RelErr99),
+			N: r.N, Failures: r.Failures, WeightESS: finiteOrZero(r.WeightESS),
+			Stage1Sims: r.Stage1Sims, Stage2Sims: r.Stage2Sims, TotalSims: r.TotalSims,
+		}
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+		// A cancelled run still reports its partial simulation cost.
+		if j.result != nil && j.result.TotalSims > s.Sims {
+			s.Sims = j.result.TotalSims
+		}
+	}
+	return s
+}
+
+// Config configures a Manager. The zero value is usable: a queue of 64,
+// one executor, no default deadline, the built-in workload registry and
+// a fresh global telemetry registry.
+type Config struct {
+	// QueueSize bounds the number of jobs waiting to run (default 64).
+	QueueSize int
+	// Executors is the number of jobs that run concurrently (default 1 —
+	// a single estimation already fans out across the evaluation pool).
+	Executors int
+	// JobTimeout, when positive, is the default per-job deadline;
+	// Request.TimeoutSeconds overrides it per job.
+	JobTimeout time.Duration
+	// Resolve maps a workload name to a fresh Metric; nil selects
+	// repro.WorkloadByName. Tests inject synthetic workloads here.
+	Resolve func(workload string) (repro.Metric, error)
+	// Registry, when non-nil, receives the manager's own metrics under
+	// scope "jobs" (submission counters, queue depth, running gauge).
+	Registry *telemetry.Registry
+}
+
+// Manager owns the queue, the executor pool and the job table.
+type Manager struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for List
+	queue    chan *Job
+	draining bool
+
+	seq atomic.Int64
+	wg  sync.WaitGroup
+
+	// "jobs" scope instruments on cfg.Registry (nil-safe).
+	submitted, completed, failed, cancelled, rejected *telemetry.Counter
+	queueDepth, running                               *telemetry.Gauge
+}
+
+// NewManager starts a manager with cfg.Executors executor goroutines.
+// Call Drain to stop it.
+func NewManager(cfg Config) *Manager {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if cfg.Resolve == nil {
+		cfg.Resolve = repro.WorkloadByName
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueSize),
+	}
+	scope := cfg.Registry.Scope("jobs")
+	m.submitted = scope.Counter("submitted_total")
+	m.completed = scope.Counter("completed_total")
+	m.failed = scope.Counter("failed_total")
+	m.cancelled = scope.Counter("cancelled_total")
+	m.rejected = scope.Counter("rejected_total")
+	m.queueDepth = scope.Gauge("queue_depth")
+	m.running = scope.Gauge("running")
+	for i := 0; i < cfg.Executors; i++ {
+		m.wg.Add(1)
+		go m.executor()
+	}
+	return m
+}
+
+// Submit validates the request, enqueues a new job and returns it. The
+// queue is bounded: a full queue rejects immediately with ErrQueueFull
+// rather than blocking the caller.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	metric, err := m.cfg.Resolve(req.Workload)
+	if err != nil {
+		m.rejected.Inc()
+		return nil, err
+	}
+	if req.Method != "" {
+		if _, err := repro.ParseMethod(req.Method); err != nil {
+			m.rejected.Inc()
+			return nil, err
+		}
+	}
+	if err := req.options().Validate(); err != nil {
+		m.rejected.Inc()
+		return nil, err
+	}
+	if req.TimeoutSeconds < 0 {
+		m.rejected.Inc()
+		return nil, fmt.Errorf("%w: timeout_seconds must be ≥ 0, got %v", repro.ErrInvalidOptions, req.TimeoutSeconds)
+	}
+
+	job := &Job{
+		id:      fmt.Sprintf("j%06d", m.seq.Add(1)),
+		req:     req,
+		counter: mc.NewCounter(metric),
+		reg:     telemetry.New(),
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.rejected.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.submitted.Inc()
+	m.queueDepth.Set(float64(len(m.queue)))
+	return job, nil
+}
+
+// Get looks up a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return job, nil
+}
+
+// List snapshots every job in submission order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job goes terminal
+// without ever running; a running job's context is cancelled and the
+// estimator returns within one evaluation chunk; a terminal job is left
+// untouched (not an error — cancel is idempotent).
+func (m *Manager) Cancel(id string) (*Job, error) {
+	job, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	switch {
+	case job.state.Terminal():
+		job.mu.Unlock()
+		return job, nil
+	case job.state == StateQueued:
+		job.cancelled = true
+		job.mu.Unlock()
+		return job, nil
+	default: // running
+		job.cancelled = true
+		cancel := job.cancel
+		job.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return job, nil
+	}
+}
+
+// Drain stops the manager gracefully: new submissions are rejected,
+// queued and running jobs are given until ctx expires to finish, then
+// everything still running is cancelled. Drain returns nil when all
+// jobs finished in time, or ctx's error after the forced cancellation
+// completes.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// executor pulls jobs off the queue until Drain closes it.
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.queueDepth.Set(float64(len(m.queue)))
+		m.run(job)
+	}
+}
+
+// run executes one job under its own context.
+func (m *Manager) run(job *Job) {
+	job.mu.Lock()
+	if job.cancelled {
+		// Cancelled while queued: terminal without running.
+		job.state = StateCancelled
+		job.err = context.Canceled
+		job.finished = time.Now()
+		close(job.done)
+		job.mu.Unlock()
+		m.cancelled.Inc()
+		return
+	}
+	ctx := m.baseCtx
+	var timeoutCancel context.CancelFunc
+	timeout := m.cfg.JobTimeout
+	if job.req.TimeoutSeconds > 0 {
+		timeout = time.Duration(job.req.TimeoutSeconds * float64(time.Second))
+	}
+	if timeout > 0 {
+		ctx, timeoutCancel = context.WithTimeout(ctx, timeout)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	job.cancel = cancel
+	job.state = StateRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	m.running.Set(m.running.Value() + 1)
+	defer m.running.Set(m.running.Value() - 1)
+	defer cancel()
+	if timeoutCancel != nil {
+		defer timeoutCancel()
+	}
+
+	opts := job.req.options()
+	opts.Telemetry = job.reg
+	res, err := repro.EstimateContext(ctx, job.counter, opts)
+
+	job.mu.Lock()
+	job.result = res
+	job.err = err
+	job.finished = time.Now()
+	switch {
+	case err == nil:
+		job.state = StateDone
+		m.completed.Inc()
+	case errors.Is(err, context.Canceled):
+		job.state = StateCancelled
+		m.cancelled.Inc()
+	default:
+		job.state = StateFailed
+		m.failed.Inc()
+	}
+	close(job.done)
+	job.mu.Unlock()
+}
+
+// finitePtr returns &v for finite v and nil otherwise, so JSON encoding
+// renders non-finite floats (RelErr99 is +Inf until the first failure)
+// as null instead of failing.
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func finiteOrZero(v float64) float64 {
+	if p := finitePtr(v); p != nil {
+		return *p
+	}
+	return 0
+}

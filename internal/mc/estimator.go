@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -78,6 +79,14 @@ type TraceEvery int
 // distribution f(x) = N(0, I) (paper eq. 5). This is the brute-force
 // golden engine of Table II.
 func PlainMC(metric Metric, n int, rng *rand.Rand, traceEvery TraceEvery) (Result, error) {
+	return PlainMCContext(context.Background(), metric, n, rng, traceEvery)
+}
+
+// PlainMCContext is PlainMC with cancellation: ctx is polled every
+// ChunkSize samples, so a cancel (or deadline) aborts within one chunk
+// with the context's error. An uncancelled run is bit-identical to
+// PlainMC — the check never touches the random stream.
+func PlainMCContext(ctx context.Context, metric Metric, n int, rng *rand.Rand, traceEvery TraceEvery) (Result, error) {
 	if n <= 0 {
 		return Result{}, ErrBadSampleCount
 	}
@@ -87,6 +96,11 @@ func PlainMC(metric Metric, n int, rng *rand.Rand, traceEvery TraceEvery) (Resul
 	var trace []TracePoint
 	x := make([]float64, dim)
 	for i := 0; i < n; i++ {
+		if i%ChunkSize == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
@@ -186,6 +200,14 @@ func estimatorDone(ev *Evaluator, res *Result) {
 // pool; the estimate is identical for every worker count (the caller's
 // rng only contributes the batch seed).
 func ImportanceSample(ev *Evaluator, g Distortion, n int, rng *rand.Rand, traceEvery TraceEvery) (Result, error) {
+	return ImportanceSampleContext(context.Background(), ev, g, n, rng, traceEvery)
+}
+
+// ImportanceSampleContext is ImportanceSample with cancellation: ctx is
+// polled once per dispatched chunk (never inside the hot sample loop),
+// so a cancel aborts within one chunk of ChunkSize simulations and an
+// uncancelled run stays bit-identical for every worker count.
+func ImportanceSampleContext(ctx context.Context, ev *Evaluator, g Distortion, n int, rng *rand.Rand, traceEvery TraceEvery) (Result, error) {
 	if ev == nil {
 		return Result{}, errors.New("mc: nil evaluator")
 	}
@@ -201,6 +223,9 @@ func ImportanceSample(ev *Evaluator, g Distortion, n int, rng *rand.Rand, traceE
 	failures := 0
 	var trace []TracePoint
 	for start := 0; start < n; start += ChunkSize {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		count := min(ChunkSize, n-start)
 		trace = pushWeights(&run, Map(ev, seed, start, count, job), &failures, traceEvery, trace)
 		estimatorProgress(ev, &run, failures)
@@ -220,6 +245,14 @@ func ImportanceSample(ev *Evaluator, g Distortion, n int, rng *rand.Rand, traceE
 // convergence test runs between chunks, so the stopping point — and with
 // it Pf, N and Failures — is the same for every worker count.
 func ImportanceSampleUntil(ev *Evaluator, g Distortion, target float64, minN, maxN int, rng *rand.Rand) (Result, error) {
+	return ImportanceSampleUntilContext(context.Background(), ev, g, target, minN, maxN, rng)
+}
+
+// ImportanceSampleUntilContext is ImportanceSampleUntil with
+// cancellation, polled at the same chunk boundaries as the convergence
+// test: a cancel aborts within one chunk, an uncancelled run stops at
+// the same sample index — and the same estimate — as the plain variant.
+func ImportanceSampleUntilContext(ctx context.Context, ev *Evaluator, g Distortion, target float64, minN, maxN int, rng *rand.Rand) (Result, error) {
 	if ev == nil {
 		return Result{}, errors.New("mc: nil evaluator")
 	}
@@ -234,6 +267,9 @@ func ImportanceSampleUntil(ev *Evaluator, g Distortion, target float64, minN, ma
 	var run stat.Running
 	failures := 0
 	for start := 0; start < maxN; start += ChunkSize {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		count := min(ChunkSize, maxN-start)
 		pushWeights(&run, Map(ev, seed, start, count, job), &failures, 0, nil)
 		estimatorProgress(ev, &run, failures)

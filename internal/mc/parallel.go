@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -20,13 +21,22 @@ const mcChunk = 1 << 16
 // sample gets an independent generator seeded from (seed, index), so the
 // tally is bit-identical for every worker count.
 func ParallelMC(metric Metric, n int, seed int64, workers int) (Result, error) {
-	return ParallelMCTelemetry(metric, n, seed, workers, nil)
+	return ParallelMCContext(context.Background(), metric, n, seed, workers, nil)
 }
 
 // ParallelMCTelemetry is ParallelMC with a telemetry registry attached
 // to the evaluation pool: throughput counters, chunk latencies and
 // running-tally progress events, with the tally itself untouched.
 func ParallelMCTelemetry(metric Metric, n int, seed int64, workers int, reg *telemetry.Registry) (Result, error) {
+	return ParallelMCContext(context.Background(), metric, n, seed, workers, reg)
+}
+
+// ParallelMCContext is the primary brute-force engine: ParallelMC with
+// an optional telemetry registry and cancellation. ctx is polled once
+// per dispatched chunk (64k samples), so a cancel aborts within one
+// chunk while an uncancelled tally stays bit-identical for every worker
+// count.
+func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, workers int, reg *telemetry.Registry) (Result, error) {
 	if n <= 0 {
 		return Result{}, ErrBadSampleCount
 	}
@@ -42,6 +52,9 @@ func ParallelMCTelemetry(metric Metric, n int, seed int64, workers int, reg *tel
 	failures := 0
 	done := 0
 	for start := 0; start < n; start += mcChunk {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		count := min(mcChunk, n-start)
 		for _, fail := range Map(ev, seed, start, count, job) {
 			if fail {

@@ -7,6 +7,7 @@
 package model
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -240,12 +241,23 @@ func (o *StartOptions) defaults(dim int) StartOptions {
 // simulation-verified failure point close to the most-likely failure
 // point; the total simulation cost is metric-visible (pass a *mc.Counter).
 func FindFailurePoint(metric mc.Metric, opts *StartOptions, rng *rand.Rand) ([]float64, error) {
+	return FindFailurePointContext(context.Background(), metric, opts, rng)
+}
+
+// FindFailurePointContext is FindFailurePoint with cancellation: ctx is
+// polled between training simulations (the search is sequential, so one
+// simulation is the natural chunk). A cancel aborts with the context's
+// error; an uncancelled search is bit-identical to FindFailurePoint.
+func FindFailurePointContext(ctx context.Context, metric mc.Metric, opts *StartOptions, rng *rand.Rand) ([]float64, error) {
 	dim := metric.Dim()
 	o := opts.defaults(dim)
 
 	xs := make([][]float64, o.TrainN)
 	ys := make([]float64, o.TrainN)
 	for i := range xs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x := make([]float64, dim)
 		for j := range x {
 			x[j] = o.TrainScale * rng.NormFloat64()

@@ -27,18 +27,25 @@
 //		Method: repro.GS, K: 1000, N: 10000, Seed: 1,
 //	})
 //	fmt.Println(res.Pf, res.RelErr99, res.TotalSims)
+//
+// Long-running estimations should use EstimateContext, the primary entry
+// point: it accepts a context.Context for cancellation and deadlines,
+// checked at evaluation-chunk granularity, and reports the partial
+// simulation cost of a cancelled run. Estimate is a thin
+// context.Background() wrapper around it.
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/baselines"
 	"repro/internal/gibbs"
 	"repro/internal/mc"
 	"repro/internal/model"
-	"repro/internal/sram"
 	"repro/internal/telemetry"
 )
 
@@ -91,16 +98,65 @@ const (
 	Subset Method = "subset"
 )
 
+// ErrUnknownMethod is reported (wrapped) when a Method is not one of the
+// seven estimators; test with errors.Is.
+var ErrUnknownMethod = errors.New("repro: unknown method")
+
+// ErrInvalidOptions is reported (wrapped) by Options.Validate and the
+// estimation entry points when an Options field is out of range; the
+// wrapped error joins one field-level error per problem. Test with
+// errors.Is.
+var ErrInvalidOptions = errors.New("repro: invalid options")
+
 // Methods lists every method in the paper's comparison order.
 func Methods() []Method { return []Method{MIS, MNIS, GC, GS} }
 
-// ParseMethod converts a string (as used on CLI flags) to a Method.
-func ParseMethod(s string) (Method, error) {
-	switch Method(s) {
+// AllMethods lists every available estimator, including the golden MC
+// reference and the extension baselines — the set the introspection
+// endpoints of the estimation service expose.
+func AllMethods() []Method { return []Method{MC, MIS, MNIS, GC, GS, Blockade, Subset} }
+
+// String implements fmt.Stringer with the method's CLI/API spelling.
+func (m Method) String() string { return string(m) }
+
+// Valid reports whether m names one of the seven estimators.
+func (m Method) Valid() bool {
+	switch m {
 	case MC, MIS, MNIS, GC, GS, Blockade, Subset:
-		return Method(s), nil
+		return true
 	}
-	return "", fmt.Errorf("repro: unknown method %q (want mc, mis, mnis, g-c, g-s, blockade or subset)", s)
+	return false
+}
+
+// Describe returns a one-line human description of the method (empty for
+// invalid methods).
+func (m Method) Describe() string {
+	switch m {
+	case MC:
+		return "brute-force Monte Carlo (golden reference)"
+	case MIS:
+		return "mixture importance sampling (Kanj et al., DAC 2006)"
+	case MNIS:
+		return "minimum-norm importance sampling (Qazi et al., DATE 2010)"
+	case GC:
+		return "two-stage Gibbs sampling, Cartesian coordinates (the paper)"
+	case GS:
+		return "two-stage Gibbs sampling, spherical coordinates (the paper)"
+	case Blockade:
+		return "statistical blockade (Singhee & Rutenbar, DATE 2007)"
+	case Subset:
+		return "subset simulation (sequential-sampling family)"
+	}
+	return ""
+}
+
+// ParseMethod converts a string (as used on CLI flags) to a Method. The
+// error wraps ErrUnknownMethod.
+func ParseMethod(s string) (Method, error) {
+	if m := Method(s); m.Valid() {
+		return m, nil
+	}
+	return "", fmt.Errorf("%w %q (want mc, mis, mnis, g-c, g-s, blockade or subset)", ErrUnknownMethod, s)
 }
 
 // Options configures Estimate.
@@ -175,6 +231,46 @@ type Result struct {
 	Trace []TracePoint
 }
 
+// Validate checks every Options field and reports all problems at once:
+// the returned error wraps ErrInvalidOptions and joins one field-level
+// error per offense (errors.Join), so a caller — or an API client
+// reading the message — sees the full list instead of the first hit.
+// Zero values are always valid (they select defaults). A nil return
+// means EstimateContext will accept the options.
+func (o Options) Validate() error {
+	var errs []error
+	if o.Method != "" && !o.Method.Valid() {
+		errs = append(errs, fmt.Errorf("Method: %w %q (want mc, mis, mnis, g-c, g-s, blockade or subset)", ErrUnknownMethod, string(o.Method)))
+	}
+	if o.K < 0 {
+		errs = append(errs, fmt.Errorf("K: must be ≥ 0 (0 selects the method default), got %d", o.K))
+	}
+	if o.N < 0 {
+		errs = append(errs, fmt.Errorf("N: must be ≥ 0 (0 selects the default), got %d", o.N))
+	}
+	if o.Target < 0 || math.IsNaN(o.Target) || math.IsInf(o.Target, 0) {
+		errs = append(errs, fmt.Errorf("Target: must be a finite value ≥ 0 (0 disables the convergence target), got %v", o.Target))
+	}
+	if o.TraceEvery < 0 {
+		errs = append(errs, fmt.Errorf("TraceEvery: must be ≥ 0 (0 disables tracing), got %d", o.TraceEvery))
+	}
+	if o.Workers < 0 {
+		errs = append(errs, fmt.Errorf("Workers: must be ≥ 0 (0 selects GOMAXPROCS), got %d", o.Workers))
+	}
+	if o.Mixture < 0 {
+		errs = append(errs, fmt.Errorf("Mixture: must be ≥ 0 (0 or 1 keeps the single-Normal fit), got %d", o.Mixture))
+	}
+	for i, v := range o.StartPoint {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			errs = append(errs, fmt.Errorf("StartPoint[%d]: must be finite, got %v", i, v))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidOptions, errors.Join(errs...))
+}
+
 func (o Options) withDefaults() Options {
 	if o.Method == "" {
 		o.Method = GS
@@ -194,10 +290,36 @@ func (o Options) withDefaults() Options {
 }
 
 // Estimate runs the selected estimator on the metric and reports the
-// failure probability with full cost accounting.
+// failure probability with full cost accounting. It is a thin
+// context.Background() wrapper around EstimateContext, kept as the
+// convenience entry point for callers that never cancel.
 func Estimate(metric Metric, opts Options) (*Result, error) {
+	return EstimateContext(context.Background(), metric, opts)
+}
+
+// EstimateContext is the primary estimation entry point: it runs the
+// selected estimator on the metric under ctx and reports the failure
+// probability with full cost accounting.
+//
+// Cancellation is checked at evaluation-chunk granularity — between
+// dispatched simulation chunks, between Gibbs-chain coordinate updates
+// and between model-training simulations, never inside a hot sample
+// loop — so a cancel or an expired deadline returns within one chunk
+// with an error satisfying errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded). On such an abort the returned *Result is
+// non-nil with TotalSims set to the simulations actually consumed, so
+// partial cost is never lost; every other field is zero. An uncancelled
+// EstimateContext run is bit-identical to Estimate for every worker
+// count.
+//
+// Invalid options are rejected up front with an error wrapping
+// ErrInvalidOptions that lists every out-of-range field at once.
+func EstimateContext(ctx context.Context, metric Metric, opts Options) (*Result, error) {
 	if metric == nil {
-		return nil, errors.New("repro: nil metric")
+		return nil, fmt.Errorf("%w: nil metric", ErrInvalidOptions)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	o := opts.withDefaults()
 	if o.Telemetry != nil {
@@ -209,7 +331,13 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 			"seed": o.Seed, "workers": o.Workers, "dim": metric.Dim(),
 		})
 	}
-	res, err := estimate(metric, o)
+	counter := mc.NewCounter(metric)
+	res, err := estimate(ctx, counter, o)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// Partial cost accounting: the estimate is gone but the
+		// simulations were spent; report them.
+		res = &Result{TotalSims: counter.Count()}
+	}
 	if o.Telemetry != nil {
 		if err != nil {
 			o.Telemetry.Emit("run.done", map[string]any{
@@ -227,21 +355,20 @@ func Estimate(metric Metric, opts Options) (*Result, error) {
 }
 
 // estimate dispatches to the selected method with o fully defaulted.
-func estimate(metric Metric, o Options) (*Result, error) {
+func estimate(ctx context.Context, counter *mc.Counter, o Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
-	counter := mc.NewCounter(metric)
 	trace := mc.TraceEvery(o.TraceEvery)
 
 	switch o.Method {
 	case MC:
 		if o.Workers != 1 && o.TraceEvery == 0 {
-			res, err := mc.ParallelMCTelemetry(counter, o.N, o.Seed, o.Workers, o.Telemetry)
+			res, err := mc.ParallelMCContext(ctx, counter, o.N, o.Seed, o.Workers, o.Telemetry)
 			if err != nil {
 				return nil, err
 			}
 			return fromMC(res, counter), nil
 		}
-		res, err := mc.PlainMC(counter, o.N, rng, trace)
+		res, err := mc.PlainMCContext(ctx, counter, o.N, rng, trace)
 		if err != nil {
 			return nil, err
 		}
@@ -254,9 +381,9 @@ func estimate(metric Metric, o Options) (*Result, error) {
 			err error
 		)
 		if o.Target > 0 {
-			res, err = baselines.MISUntil(counter, mo, o.Target, minStage2, o.N, rng)
+			res, err = baselines.MISUntilContext(ctx, counter, mo, o.Target, minStage2, o.N, rng)
 		} else {
-			res, err = baselines.MIS(counter, mo, rng)
+			res, err = baselines.MISContext(ctx, counter, mo, rng)
 		}
 		if err != nil {
 			return nil, err
@@ -273,9 +400,9 @@ func estimate(metric Metric, o Options) (*Result, error) {
 			err error
 		)
 		if o.Target > 0 {
-			res, err = baselines.MNISUntil(counter, mo, o.Target, minStage2, o.N, rng)
+			res, err = baselines.MNISUntilContext(ctx, counter, mo, o.Target, minStage2, o.N, rng)
 		} else {
-			res, err = baselines.MNIS(counter, mo, rng)
+			res, err = baselines.MNISContext(ctx, counter, mo, rng)
 		}
 		if err != nil {
 			return nil, err
@@ -283,7 +410,7 @@ func estimate(metric Metric, o Options) (*Result, error) {
 		return fromBaseline(res), nil
 
 	case Blockade:
-		res, err := baselines.Blockade(counter, baselines.BlockadeOptions{
+		res, err := baselines.BlockadeContext(ctx, counter, baselines.BlockadeOptions{
 			Train: o.K, N: o.N, Workers: o.Workers, Telemetry: o.Telemetry,
 		}, rng)
 		if err != nil {
@@ -297,7 +424,7 @@ func estimate(metric Metric, o Options) (*Result, error) {
 		}, nil
 
 	case Subset:
-		res, err := baselines.Subset(counter, baselines.SubsetOptions{
+		res, err := baselines.SubsetContext(ctx, counter, baselines.SubsetOptions{
 			Particles: o.K, Workers: o.Workers, Telemetry: o.Telemetry,
 		}, rng)
 		if err != nil {
@@ -327,9 +454,9 @@ func estimate(metric Metric, o Options) (*Result, error) {
 			err error
 		)
 		if o.Target > 0 {
-			res, err = gibbs.TwoStageUntil(counter, to, o.Target, minStage2, o.N, rng)
+			res, err = gibbs.TwoStageUntilContext(ctx, counter, to, o.Target, minStage2, o.N, rng)
 		} else {
-			res, err = gibbs.TwoStage(counter, to, rng)
+			res, err = gibbs.TwoStageContext(ctx, counter, to, rng)
 		}
 		if err != nil {
 			return nil, err
@@ -337,7 +464,7 @@ func estimate(metric Metric, o Options) (*Result, error) {
 		return fromGibbs(res), nil
 
 	default:
-		return nil, fmt.Errorf("repro: unknown method %q", o.Method)
+		return nil, fmt.Errorf("%w %q", ErrUnknownMethod, string(o.Method))
 	}
 }
 
@@ -377,27 +504,3 @@ func fromGibbs(res *gibbs.TwoStageResult) *Result {
 	}
 }
 
-// RNMWorkload returns the paper's §V-A read-noise-margin metric: a 6-D
-// variation space over the transistor threshold mismatches of the
-// simulated 90 nm-class 6-T cell.
-func RNMWorkload() Metric { return sram.RNMWorkload() }
-
-// WNMWorkload returns the §V-A write-margin metric (6-D).
-func WNMWorkload() Metric { return sram.WNMWorkload() }
-
-// ReadCurrentWorkload returns the single-path read-current metric: a 2-D
-// variation space {ΔVth1, ΔVth3} on the read-marginal cell variant, whose
-// failure region is a mildly non-convex banana.
-func ReadCurrentWorkload() Metric { return sram.ReadCurrentWorkload() }
-
-// DualReadCurrentWorkload returns the headline §V-B metric: the
-// dual-sided read current min(I_read0, I_read1) over the access pair
-// {ΔVth3, ΔVth4}. Its strongly non-convex two-lobe failure region traps
-// mean-shift importance sampling and Cartesian Gibbs sampling while
-// spherical Gibbs sampling stays correct.
-func DualReadCurrentWorkload() Metric { return sram.DualReadCurrentWorkload() }
-
-// AccessTimeWorkload returns the dynamic (transient-simulation) metric:
-// bitline-discharge access time over the read-path pair {ΔVth1, ΔVth3},
-// failing when the cell is slower than the calibrated timing budget.
-func AccessTimeWorkload() Metric { return sram.AccessTimeWorkload() }

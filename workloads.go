@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sram"
+)
+
+// ErrUnknownWorkload is reported (wrapped) by WorkloadByName when the
+// name matches no registered workload; test with errors.Is.
+var ErrUnknownWorkload = errors.New("repro: unknown workload")
+
+// Workload is one registered metric constructor: the name used on CLI
+// flags and in the estimation-service API, a one-line description, the
+// dimensionality of the variation space, and the constructor itself.
+// Metrics are built fresh per call — a Workload carries no solver state.
+type Workload struct {
+	// Name is the registry key ("rnm", "readcurrent", ...).
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	// Dim is the dimensionality of the variation space.
+	Dim int
+	// New constructs a fresh Metric for one estimation run.
+	New func() Metric
+}
+
+// workloadRegistry lists the built-in SRAM workloads in presentation
+// order. The CLIs, the experiments driver and the estimation service all
+// resolve workload names here, so the set has a single home.
+var workloadRegistry = []Workload{
+	{
+		Name:        "rnm",
+		Description: "read noise margin of the stable 6-T cell (§V-A)",
+		Dim:         6,
+		New:         func() Metric { return sram.RNMWorkload() },
+	},
+	{
+		Name:        "wnm",
+		Description: "write margin of the stable 6-T cell (§V-A)",
+		Dim:         6,
+		New:         func() Metric { return sram.WNMWorkload() },
+	},
+	{
+		Name:        "readcurrent",
+		Description: "single-path read current of the fast-read cell, non-convex banana region (§V-B)",
+		Dim:         2,
+		New:         func() Metric { return sram.ReadCurrentWorkload() },
+	},
+	{
+		Name:        "dualread",
+		Description: "dual-sided read current min(I_read0, I_read1), two-lobe region (§V-B headline)",
+		Dim:         2,
+		New:         func() Metric { return sram.DualReadCurrentWorkload() },
+	},
+	{
+		Name:        "access",
+		Description: "transient bitline-discharge access time (dynamic extension)",
+		Dim:         2,
+		New:         func() Metric { return sram.AccessTimeWorkload() },
+	},
+}
+
+// Workloads lists the built-in workloads (a copy, in presentation
+// order). The registry is the single source of workload names for the
+// CLIs and the estimation service's GET /v1/workloads endpoint.
+func Workloads() []Workload {
+	return append([]Workload(nil), workloadRegistry...)
+}
+
+// WorkloadNames lists the registered names in presentation order.
+func WorkloadNames() []string {
+	names := make([]string, len(workloadRegistry))
+	for i, w := range workloadRegistry {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// WorkloadByName constructs the named workload's metric. The error wraps
+// ErrUnknownWorkload.
+func WorkloadByName(name string) (Metric, error) {
+	for _, w := range workloadRegistry {
+		if w.Name == name {
+			return w.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("%w %q (want %s)", ErrUnknownWorkload, name, strings.Join(WorkloadNames(), ", "))
+}
+
+// RNMWorkload returns the paper's §V-A read-noise-margin metric: a 6-D
+// variation space over the transistor threshold mismatches of the
+// simulated 90 nm-class 6-T cell.
+func RNMWorkload() Metric { return sram.RNMWorkload() }
+
+// WNMWorkload returns the §V-A write-margin metric (6-D).
+func WNMWorkload() Metric { return sram.WNMWorkload() }
+
+// ReadCurrentWorkload returns the single-path read-current metric: a 2-D
+// variation space {ΔVth1, ΔVth3} on the read-marginal cell variant, whose
+// failure region is a mildly non-convex banana.
+func ReadCurrentWorkload() Metric { return sram.ReadCurrentWorkload() }
+
+// DualReadCurrentWorkload returns the headline §V-B metric: the
+// dual-sided read current min(I_read0, I_read1) over the access pair
+// {ΔVth3, ΔVth4}. Its strongly non-convex two-lobe failure region traps
+// mean-shift importance sampling and Cartesian Gibbs sampling while
+// spherical Gibbs sampling stays correct.
+func DualReadCurrentWorkload() Metric { return sram.DualReadCurrentWorkload() }
+
+// AccessTimeWorkload returns the dynamic (transient-simulation) metric:
+// bitline-discharge access time over the read-path pair {ΔVth1, ΔVth3},
+// failing when the cell is slower than the calibrated timing budget.
+func AccessTimeWorkload() Metric { return sram.AccessTimeWorkload() }
