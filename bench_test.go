@@ -9,6 +9,7 @@ package repro
 // (sims/op) next to wall-clock time.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -476,6 +477,60 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	if barePf != instPf {
 		b.Fatalf("telemetry changed the estimate: %v vs %v", instPf, barePf)
 	}
+}
+
+// BenchmarkTraceOverhead prices the span-tracing layer on the two-stage
+// flow. Three sub-benches: "disabled" (no registry at all — the span
+// calls are nil no-ops), "registry" (live metrics, no trace), "traced"
+// (full span tree recorded). Compare ns/op manually — disabled vs traced
+// must stay within ~5%; CI smoke-runs this (-benchtime 1x) and asserts
+// the estimates are bit-identical, which is deterministic where a timing
+// gate would be flaky. The "span-disabled" sub-bench isolates one
+// span start/attr/agg/end cycle against an enabled registry with no
+// trace — it must report 0 allocs/op (the zero-cost-when-off claim).
+func BenchmarkTraceOverhead(b *testing.B) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6}
+	run := func(b *testing.B, mk func() *telemetry.Registry) float64 {
+		var pf float64
+		for i := 0; i < b.N; i++ {
+			res, err := Estimate(lin, Options{Method: GS, K: 150, N: 1500, Seed: 7, Telemetry: mk()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf = res.Pf
+		}
+		return pf
+	}
+	var bare, traced float64
+	b.Run("disabled", func(b *testing.B) {
+		bare = run(b, func() *telemetry.Registry { return nil })
+	})
+	b.Run("registry", func(b *testing.B) {
+		run(b, telemetry.New)
+	})
+	b.Run("traced", func(b *testing.B) {
+		traced = run(b, func() *telemetry.Registry {
+			reg := telemetry.New()
+			reg.SetTrace(telemetry.NewTrace())
+			return reg
+		})
+	})
+	if bare != traced {
+		b.Fatalf("tracing changed the estimate: %v vs %v", traced, bare)
+	}
+	b.Run("span-disabled", func(b *testing.B) {
+		reg := telemetry.New() // enabled registry, no trace attached
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spanCtx, span := telemetry.StartSpan(ctx, reg, "bench")
+			span.SetAttr("i", i)
+			span.Agg("work").Add(1)
+			_, child := telemetry.StartSpan(spanCtx, reg, "child")
+			child.End()
+			span.End()
+		}
+	})
 }
 
 // --- Substrate microbenchmarks ---

@@ -30,11 +30,12 @@ func main() {
 		csvPath    = flag.String("csv", "", "write the two transfer curves as CSV")
 		points     = flag.Int("points", 41, "sweep points per curve")
 		teleOut    = flag.String("telemetry", "", "write structured solver events (JSONL) to this file")
+		traceOut   = flag.String("trace", "", "write a span trace to this file (Chrome trace JSON, or JSONL with a .jsonl suffix)")
 		stats      = flag.Bool("stats", false, "print solver telemetry after the run")
 	)
 	flag.Parse()
 
-	cli, err := telemetry.StartCLI(*teleOut, "", *stats)
+	cli, err := telemetry.StartCLI(*teleOut, *traceOut, "", *stats)
 	if err != nil {
 		fatal(err)
 	}

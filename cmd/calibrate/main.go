@@ -26,10 +26,11 @@ func main() {
 	grid := flag.Bool("grid", false, "run the 2-D grid quadratures (slower)")
 	workers := flag.Int("workers", 0, "evaluation-pool workers for the quadratures (0 = all cores)")
 	teleOut := flag.String("telemetry", "", "write structured solver events (JSONL) to this file")
+	traceOut := flag.String("trace", "", "write a span trace to this file (Chrome trace JSON, or JSONL with a .jsonl suffix)")
 	stats := flag.Bool("stats", false, "print solver telemetry after the run")
 	flag.Parse()
 
-	cli, err := telemetry.StartCLI(*teleOut, "", *stats)
+	cli, err := telemetry.StartCLI(*teleOut, *traceOut, "", *stats)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)

@@ -1,0 +1,194 @@
+package main
+
+// The bench mode is the perf-regression harness: it runs a fixed suite
+// of canonical workload × method configurations, measures throughput and
+// solve-latency quantiles from each run's private telemetry registry,
+// and writes a schema-versioned BENCH_<label>.json next to the committed
+// baseline (BENCH_seed.json). scripts/bench.sh wraps it and validates
+// the schema; CI runs the quick variant on every push.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+)
+
+// benchSchema versions the BENCH file format; bump it when a field
+// changes meaning.
+const benchSchema = "repro-bench/v1"
+
+// goldenReadCurrentPf is the frozen high-accuracy reference for the
+// read-current workload: a G-S run at 10x the bench budget (K=3000,
+// N=200000, seed 9, 99% relative error 3.7%), validated against 20M
+// samples of brute-force Monte Carlo (45 failures, Pf 2.250e-6, 99% CI
+// [1.39e-6, 3.11e-6], which covers it).
+const goldenReadCurrentPf = 2.737839e-6
+
+// goldenPf maps workloads to their frozen references, used for the
+// rel_error_vs_golden column. Workloads without an entry report null.
+var goldenPf = map[string]float64{
+	"readcurrent": goldenReadCurrentPf,
+}
+
+// benchSpec is one suite entry.
+type benchSpec struct {
+	workload string
+	method   repro.Method
+	k, n     int
+	fullOnly bool // skipped in -quick mode (too slow for CI smoke)
+}
+
+// benchSuite is the canonical perf suite: the 2-D read-current workload
+// under the paper's three IS methods, plus the 6-D read-noise-margin
+// workload under G-S as the high-dimensional data point.
+var benchSuite = []benchSpec{
+	{workload: "readcurrent", method: repro.GS, k: 1000, n: 20000},
+	{workload: "readcurrent", method: repro.GC, k: 1000, n: 20000},
+	{workload: "readcurrent", method: repro.MNIS, k: 1000, n: 20000},
+	{workload: "rnm", method: repro.GS, k: 600, n: 4000, fullOnly: true},
+}
+
+// benchRun is one measured configuration in the BENCH file.
+type benchRun struct {
+	Workload string `json:"workload"`
+	Method   string `json:"method"`
+	K        int    `json:"k"`
+	N        int    `json:"n"`
+
+	Pf       float64  `json:"pf"`
+	RelErr99 *float64 `json:"relerr99"`
+
+	GoldenPf         *float64 `json:"golden_pf"`
+	RelErrorVsGolden *float64 `json:"rel_error_vs_golden"`
+
+	Sims          int64   `json:"sims"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SimsPerSecond float64 `json:"sims_per_second"`
+
+	// Solve-latency quantiles, reconstructed from the spice
+	// solve_seconds histogram of the run's private registry.
+	SolveP50Seconds float64 `json:"solve_p50_seconds"`
+	SolveP99Seconds float64 `json:"solve_p99_seconds"`
+
+	// Statistical health, restated from the run-report.
+	RHat      *float64 `json:"rhat"`
+	WeightESS float64  `json:"weight_ess"`
+	SimsTo90  int64    `json:"sims_to_90,omitempty"`
+}
+
+// benchFile is the BENCH_<label>.json document.
+type benchFile struct {
+	Schema    string     `json:"schema"`
+	Label     string     `json:"label"`
+	GoVersion string     `json:"go_version"`
+	NumCPU    int        `json:"num_cpu"`
+	Quick     bool       `json:"quick"`
+	Seed      int64      `json:"seed"`
+	Workers   int        `json:"workers"`
+	Runs      []benchRun `json:"runs"`
+}
+
+// runBench executes the suite and writes BENCH_<label>.json to the
+// bench output directory.
+func runBench(ctx context.Context, cfg config) error {
+	doc := benchFile{
+		Schema:    benchSchema,
+		Label:     cfg.label,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Quick:     cfg.quick,
+		Seed:      cfg.seed,
+		Workers:   cfg.workers,
+	}
+	fmt.Printf("%-14s %-6s %10s %10s %12s %12s %12s\n",
+		"workload", "method", "pf", "sims", "sims/sec", "p50 solve", "p99 solve")
+	for _, spec := range benchSuite {
+		if cfg.quick && spec.fullOnly {
+			fmt.Printf("%-14s %-6s  (skipped in -quick mode)\n", spec.workload, spec.method)
+			continue
+		}
+		run, err := benchOne(ctx, cfg, spec)
+		if err != nil {
+			return fmt.Errorf("bench %s/%s: %w", spec.workload, spec.method, err)
+		}
+		doc.Runs = append(doc.Runs, *run)
+		fmt.Printf("%-14s %-6s %10.3e %10d %12.0f %12.3g %12.3g\n",
+			run.Workload, run.Method, run.Pf, run.Sims, run.SimsPerSecond,
+			run.SolveP50Seconds, run.SolveP99Seconds)
+	}
+
+	path := filepath.Join(cfg.benchOut, "BENCH_"+cfg.label+".json")
+	if err := os.MkdirAll(cfg.benchOut, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d runs)\n", path, len(doc.Runs))
+	return nil
+}
+
+// benchOne measures a single configuration on a fresh private registry
+// so latency quantiles are per-run, not cumulative.
+func benchOne(ctx context.Context, cfg config, spec benchSpec) (*benchRun, error) {
+	metric, err := repro.WorkloadByName(spec.workload)
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.New()
+	k := cfg.scale(spec.k, 200)
+	n := cfg.scale(spec.n, 2000)
+	t0 := time.Now()
+	res, err := repro.EstimateContext(ctx, metric, repro.Options{
+		Method: spec.method, K: k, N: n,
+		Seed: cfg.seed, Workers: cfg.workers, Telemetry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0).Seconds()
+
+	run := &benchRun{
+		Workload: spec.workload, Method: spec.method.String(), K: k, N: n,
+		Pf:          res.Pf,
+		Sims:        res.TotalSims,
+		WallSeconds: wall,
+	}
+	if wall > 0 {
+		run.SimsPerSecond = float64(res.TotalSims) / wall
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Scope == "spice" && m.Name == "solve_seconds" && m.Count > 0 {
+			run.SolveP50Seconds, run.SolveP99Seconds = m.P50, m.P99
+		}
+	}
+	if rep := res.Report; rep != nil {
+		run.RelErr99 = rep.RelErr99
+		run.RHat = rep.RHat
+		run.WeightESS = rep.WeightESS
+		run.SimsTo90 = rep.SimsTo90
+	}
+	if golden, ok := goldenPf[spec.workload]; ok && golden > 0 {
+		g := golden
+		rel := (res.Pf - g) / g
+		run.GoldenPf, run.RelErrorVsGolden = &g, &rel
+	}
+	return run, nil
+}

@@ -14,7 +14,8 @@
 //	experiments ext-access      extension: transient access-time workload
 //	experiments ext-baselines   extension: blockade + subset simulation
 //	experiments ext-dimscaling  extension: §VI high-dimensional scaling study
-//	experiments all             everything above
+//	experiments bench           perf-regression suite → BENCH_<label>.json
+//	experiments all             everything above (except bench)
 //
 // Flags:
 //
@@ -24,6 +25,8 @@
 //	-golden N   brute-force golden sample count for table2 (default 8.7e6)
 //	-workers N  evaluation-pool workers, 0 = all cores (estimates are
 //	            identical for every worker count)
+//	-label S    label for the bench output file (default "local")
+//	-bench-out DIR  directory for BENCH_<label>.json (default ".")
 //
 // Text tables go to stdout; figures are emitted as CSV files that plot
 // directly (the repository is stdlib-only, so no plotting code).
@@ -42,18 +45,21 @@ import (
 )
 
 type config struct {
-	seed    int64
-	quick   bool
-	outDir  string
-	golden  int
-	workers int
-	tele    *telemetry.Registry
+	seed     int64
+	quick    bool
+	outDir   string
+	golden   int
+	workers  int
+	label    string
+	benchOut string
+	tele     *telemetry.Registry
 }
 
 func main() {
 	cfg := config{}
 	var (
 		teleOut   string
+		traceOut  string
 		debugAddr string
 		stats     bool
 	)
@@ -62,12 +68,15 @@ func main() {
 	flag.StringVar(&cfg.outDir, "out", "out", "directory for CSV outputs")
 	flag.IntVar(&cfg.golden, "golden", 8_700_000, "brute-force golden samples for table2")
 	flag.IntVar(&cfg.workers, "workers", 0, "evaluation-pool workers for every sampling stage (0 = all cores)")
+	flag.StringVar(&cfg.label, "label", "local", "label for the bench output file (bench mode)")
+	flag.StringVar(&cfg.benchOut, "bench-out", ".", "directory for BENCH_<label>.json (bench mode)")
 	flag.StringVar(&teleOut, "telemetry", "", "write structured run events (JSONL) to this file")
+	flag.StringVar(&traceOut, "trace", "", "write a span trace to this file (Chrome trace JSON, or JSONL with a .jsonl suffix)")
 	flag.StringVar(&debugAddr, "debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while running")
 	flag.BoolVar(&stats, "stats", false, "print the run-telemetry metric table at the end")
 	flag.Parse()
 
-	cli, err := telemetry.StartCLI(teleOut, debugAddr, stats)
+	cli, err := telemetry.StartCLI(teleOut, traceOut, debugAddr, stats)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +103,7 @@ func main() {
 		"ext-access":     runExtAccess,
 		"ext-baselines":  runExtBaselines,
 		"ext-dimscaling": runExtDimScaling,
+		"bench":          runBench,
 	}
 	order := []string{"fig3", "fig6", "fig7", "fig8to11", "table1", "fig12", "fig13", "fig14", "table2",
 		"ext-mixture", "ext-access", "ext-baselines", "ext-dimscaling"}
@@ -138,7 +148,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|table2|fig3|fig6|fig7|fig8to11|fig12|fig13|fig14|ext-mixture|ext-access|ext-baselines|all")
+	fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|table2|fig3|fig6|fig7|fig8to11|fig12|fig13|fig14|ext-mixture|ext-access|ext-baselines|bench|all")
 	flag.PrintDefaults()
 	os.Exit(2)
 }

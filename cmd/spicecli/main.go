@@ -25,12 +25,13 @@ import (
 
 func main() {
 	var (
-		doOP    = flag.Bool("op", false, "print the DC operating point")
-		sweep   = flag.String("sweep", "", "DC sweep: SOURCE:START:STOP:STEPS")
-		tran    = flag.String("tran", "", "transient: STOP:STEP (seconds, suffixes ok)")
-		probe   = flag.String("probe", "", "comma-separated nodes to print (default: all)")
-		teleOut = flag.String("telemetry", "", "write structured solver events (JSONL) to this file")
-		stats   = flag.Bool("stats", false, "print solver telemetry (iterations, strategies, latencies) after the run")
+		doOP     = flag.Bool("op", false, "print the DC operating point")
+		sweep    = flag.String("sweep", "", "DC sweep: SOURCE:START:STOP:STEPS")
+		tran     = flag.String("tran", "", "transient: STOP:STEP (seconds, suffixes ok)")
+		probe    = flag.String("probe", "", "comma-separated nodes to print (default: all)")
+		teleOut  = flag.String("telemetry", "", "write structured solver events (JSONL) to this file")
+		traceOut = flag.String("trace", "", "write a span trace to this file (Chrome trace JSON, or JSONL with a .jsonl suffix)")
+		stats    = flag.Bool("stats", false, "print solver telemetry (iterations, strategies, latencies) after the run")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,7 +49,7 @@ func main() {
 	}
 	nodes := probeList(*probe, ckt)
 
-	cli, err := telemetry.StartCLI(*teleOut, "", *stats)
+	cli, err := telemetry.StartCLI(*teleOut, *traceOut, "", *stats)
 	if err != nil {
 		fatal(err)
 	}

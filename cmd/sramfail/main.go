@@ -35,6 +35,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "evaluation-pool workers for every method (0 = all cores)")
 		mixture    = flag.Int("mixture", 0, "Gaussian-mixture components for the G-C/G-S distortion (0/1 = single Normal)")
 		teleOut    = flag.String("telemetry", "", "write structured run events (JSONL) to this file")
+		traceOut   = flag.String("trace", "", "write a span trace to this file (Chrome trace JSON, or JSONL with a .jsonl suffix)")
+		reportOut  = flag.String("report", "", "write the statistical run-report (JSON) to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run")
 		stats      = flag.Bool("stats", false, "print the run-telemetry metric table after the run")
 	)
@@ -49,7 +51,7 @@ func main() {
 		fatal(err)
 	}
 
-	cli, err := telemetry.StartCLI(*teleOut, *debugAddr, *stats)
+	cli, err := telemetry.StartCLI(*teleOut, *traceOut, *debugAddr, *stats)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,6 +93,24 @@ func main() {
 	fmt.Printf("wall time         %v\n", elapsed.Round(time.Millisecond))
 	if secs := elapsed.Seconds(); secs > 0 {
 		fmt.Printf("solve throughput  %.0f sims/s\n", float64(res.TotalSims)/secs)
+	}
+
+	if rep := res.Report; rep != nil {
+		fmt.Println()
+		rep.WriteText(os.Stdout)
+		if *reportOut != "" {
+			f, err := os.Create(*reportOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	if cli.Registry != nil {

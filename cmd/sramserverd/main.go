@@ -14,6 +14,9 @@
 // SIGINT/SIGTERM drains gracefully: new submissions are rejected with
 // 503, running jobs get -drain-timeout to finish, then are cancelled
 // (their partial simulation cost is preserved in the final snapshot).
+// The -telemetry JSONL event log and the -trace span file are flushed
+// after the drain completes, so the last events of in-flight jobs are
+// never lost.
 package main
 
 import (
@@ -40,16 +43,27 @@ func main() {
 	executors := flag.Int("executors", 1, "jobs run concurrently (each already fans out across -workers)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none; jobs may override)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
+	teleOut := flag.String("telemetry", "", "write structured run events (JSONL) to this file, flushed on drain")
+	traceOut := flag.String("trace", "", "write the server's span trace to this file on shutdown (Chrome trace JSON, or JSONL with a .jsonl suffix)")
 	flag.Parse()
 
-	if err := run(*addr, *queue, *executors, *jobTimeout, *drainTimeout); err != nil {
+	if err := run(*addr, *queue, *executors, *jobTimeout, *drainTimeout, *teleOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sramserverd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Duration) error {
-	reg := telemetry.New()
+func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Duration, teleOut, traceOut string) error {
+	// The CLI bundle owns the JSONL event sink and the span-trace file;
+	// closing it after the drain is what guarantees the flush.
+	cli, err := telemetry.StartCLI(teleOut, traceOut, "", false)
+	if err != nil {
+		return err
+	}
+	reg := cli.Registry
+	if reg == nil {
+		reg = telemetry.New()
+	}
 	mgr := jobs.NewManager(jobs.Config{
 		QueueSize:  queue,
 		Executors:  executors,
@@ -67,6 +81,7 @@ func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Durati
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		cli.Close()
 		return err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
@@ -81,6 +96,7 @@ func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Durati
 
 	select {
 	case err := <-errc:
+		cli.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -94,6 +110,12 @@ func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Durati
 	shutdownErr := srv.Shutdown(drainCtx)
 	if err := mgr.Drain(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "sramserverd: drain deadline hit, running jobs cancelled")
+	}
+	// Flush the event log and write the trace only after the drain: the
+	// last events of in-flight jobs land in the sink during Drain, and a
+	// flush any earlier would lose them.
+	if err := cli.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sramserverd: telemetry flush:", err)
 	}
 	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
 		return shutdownErr

@@ -42,6 +42,32 @@ func TestIntegrationDualReadTable2Shape(t *testing.T) {
 	}
 }
 
+// The run-report on the real 6-T cell must show a healthy run for both
+// Gibbs variants: converged chain (split R-hat < 1.1) and live
+// importance weights (weight ESS > 0).
+func TestIntegrationRunReport6T(t *testing.T) {
+	metric := ReadCurrentWorkload()
+	for _, m := range []Method{GC, GS} {
+		res, err := Estimate(metric, Options{Method: m, K: 600, N: 4000, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		rep := res.Report
+		if rep == nil {
+			t.Fatalf("%s: no run-report", m)
+		}
+		if rep.RHat == nil {
+			t.Fatalf("%s: R-hat unavailable: %s", m, rep.RHatNote)
+		}
+		if *rep.RHat >= 1.1 {
+			t.Fatalf("%s: split R-hat %.3f, want < 1.1 on the 6-T workload", m, *rep.RHat)
+		}
+		if rep.WeightESS <= 0 {
+			t.Fatalf("%s: weight ESS %v, want > 0", m, rep.WeightESS)
+		}
+	}
+}
+
 // The Gibbs distortion must place its samples inside the real circuit's
 // failure region.
 func TestIntegrationGibbsSamplesFail(t *testing.T) {

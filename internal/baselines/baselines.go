@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/mc"
@@ -43,6 +44,9 @@ type Result struct {
 	GNor *stat.MVNormal
 	// Stage1Sims and Stage2Sims split the simulation cost.
 	Stage1Sims, Stage2Sims int64
+	// Stage1Seconds and Stage2Seconds split the wall time the same way
+	// (for the run-report; no statistical meaning).
+	Stage1Seconds, Stage2Seconds float64
 }
 
 // MISOptions configures mixture importance sampling.
@@ -97,10 +101,12 @@ func MISContext(ctx context.Context, counter *mc.Counter, opts MISOptions, rng *
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	res.Result, err = mc.ImportanceSampleContext(ctx, mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, o.N, rng, o.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
+	res.Stage2Seconds = time.Since(t0).Seconds()
 	res.Stage2Sims = counter.Count() - res.Stage1Sims
 	return res, nil
 }
@@ -137,7 +143,29 @@ func MNISContext(ctx context.Context, counter *mc.Counter, opts MNISOptions, rng
 	if opts.N <= 0 {
 		return nil, errors.New("baselines: MNIS sample count must be positive")
 	}
-	mean, err := model.FindFailurePointContext(ctx, counter, opts.Start, rng)
+	res, err := mnisStage1(ctx, counter, &opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res.Result, err = mc.ImportanceSampleContext(ctx, mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), res.GNor, opts.N, rng, opts.TraceEvery)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage2Seconds = time.Since(t0).Seconds()
+	res.Stage2Sims = counter.Count() - res.Stage1Sims
+	return res, nil
+}
+
+// mnisStage1 runs the model-based norm minimization (the MNIS first
+// stage) under a "stage1" span and reports its cost.
+func mnisStage1(ctx context.Context, counter *mc.Counter, opts *MNISOptions, rng *rand.Rand) (*Result, error) {
+	t0 := time.Now()
+	spanCtx, span := telemetry.StartSpan(ctx, opts.Telemetry, "stage1")
+	span.SetAttr("method", "mnis")
+	mean, err := model.FindFailurePointContext(spanCtx, counter, opts.Start, rng)
+	span.SetAttr("sims", counter.Count())
+	span.End()
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, err
@@ -148,13 +176,10 @@ func MNISContext(ctx context.Context, counter *mc.Counter, opts MNISOptions, rng
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSampleContext(ctx, mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, opts.N, rng, opts.TraceEvery)
-	if err != nil {
-		return nil, err
-	}
-	res.Stage2Sims = counter.Count() - res.Stage1Sims
-	return res, nil
+	return &Result{
+		Mean: mean, GNor: gnor,
+		Stage1Sims: counter.Count(), Stage1Seconds: time.Since(t0).Seconds(),
+	}, nil
 }
 
 // MISUntil is MIS with a convergence-target second stage (Table I).
@@ -173,10 +198,12 @@ func MISUntilContext(ctx context.Context, counter *mc.Counter, opts MISOptions, 
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	res.Result, err = mc.ImportanceSampleUntilContext(ctx, mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
+	res.Stage2Seconds = time.Since(t0).Seconds()
 	res.Stage2Sims = counter.Count() - res.Stage1Sims
 	return res, nil
 }
@@ -189,22 +216,16 @@ func MNISUntil(counter *mc.Counter, opts MNISOptions, target float64, minN, maxN
 // MNISUntilContext is MNISUntil with cancellation, checked at the same
 // boundaries as MNISContext.
 func MNISUntilContext(ctx context.Context, counter *mc.Counter, opts MNISOptions, target float64, minN, maxN int, rng *rand.Rand) (*Result, error) {
-	mean, err := model.FindFailurePointContext(ctx, counter, opts.Start, rng)
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("baselines: MNIS norm minimization: %w", err)
-	}
-	gnor, err := stat.NewMVNormal(mean, linalg.Identity(len(mean)))
+	res, err := mnisStage1(ctx, counter, &opts, rng)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}
-	res.Result, err = mc.ImportanceSampleUntilContext(ctx, mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), gnor, target, minN, maxN, rng)
+	t0 := time.Now()
+	res.Result, err = mc.ImportanceSampleUntilContext(ctx, mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), res.GNor, target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
+	res.Stage2Seconds = time.Since(t0).Seconds()
 	res.Stage2Sims = counter.Count() - res.Stage1Sims
 	return res, nil
 }
@@ -218,6 +239,11 @@ func misExplore(ctx context.Context, counter *mc.Counter, o *MISOptions, rng *ra
 	if o.Stage1 <= 0 {
 		return nil, errors.New("baselines: MIS stage sizes must be positive")
 	}
+	t0 := time.Now()
+	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, "stage1")
+	defer span.End()
+	span.SetAttr("method", "mis")
+	span.SetAttr("stage1", o.Stage1)
 	dim := counter.Dim()
 	ev := mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry)
 	draw := func(rng *rand.Rand, _ int) []float64 {
@@ -259,5 +285,9 @@ func misExplore(ctx context.Context, counter *mc.Counter, o *MISOptions, rng *ra
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Mean: mean, GNor: gnor, Stage1Sims: counter.Count()}, nil
+	span.SetAttr("sims", counter.Count())
+	return &Result{
+		Mean: mean, GNor: gnor,
+		Stage1Sims: counter.Count(), Stage1Seconds: time.Since(t0).Seconds(),
+	}, nil
 }

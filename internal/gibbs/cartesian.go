@@ -9,6 +9,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/mc"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // ErrStartNotFailing is returned when a chain is started outside the
@@ -48,6 +49,10 @@ func CartesianChainContext(ctx context.Context, metric mc.Metric, start []float6
 	if !mc.Fail(metric, x) {
 		return nil, ErrStartNotFailing
 	}
+	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, "gibbs.chain")
+	defer span.End()
+	span.SetAttr("coord", Cartesian.String())
+	updateAgg, probeAgg := span.Agg("update"), span.Agg("probe")
 	ct := newChainTelemetry(o.Telemetry, cartesianCoordNames(dim))
 	samples := make([][]float64, 0, k)
 	m := 0
@@ -72,12 +77,15 @@ func CartesianChainContext(ctx context.Context, metric mc.Metric, start []float6
 			x[m] = stat.TruncNormSample(u, v, uniform01(rng))
 		}
 		ct.update(m, st, probes)
+		updateAgg.Add(1)
+		probeAgg.Add(int64(probes))
 		// Paper Algorithm 1 line 5: each coordinate draw creates a new
 		// sampling point (even when the recovery scan found nothing and
 		// the coordinate kept its value).
 		samples = append(samples, linalg.CopyVec(x))
 		m = (m + 1) % dim
 	}
+	span.SetAttr("samples", len(samples))
 	ct.done(Cartesian, samples)
 	return samples, nil
 }

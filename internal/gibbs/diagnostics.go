@@ -2,6 +2,8 @@ package gibbs
 
 import (
 	"errors"
+	"fmt"
+	"math"
 
 	"repro/internal/stat"
 )
@@ -9,8 +11,24 @@ import (
 // Chain diagnostics. The paper's Algorithm 4 exists to shrink the
 // warm-up interval and its §VI limitation notes slow high-dimensional
 // mixing; these estimators quantify both: per-coordinate
-// autocorrelation, integrated autocorrelation time, and effective sample
-// size of a Gibbs sample stream.
+// autocorrelation, integrated autocorrelation time, effective sample
+// size, and the split-chain Gelman–Rubin statistic of a Gibbs sample
+// stream.
+
+// Typed diagnostic failures. Every diagnostic in this file reports a
+// degenerate input through one of these (wrapped with context) rather
+// than returning NaN; test with errors.Is.
+var (
+	// ErrShortChain means the series is too short for the requested
+	// diagnostic.
+	ErrShortChain = errors.New("gibbs: chain too short for diagnostic")
+	// ErrConstantChain means the series has no variance, so ratio-based
+	// diagnostics (autocorrelation, R-hat) are undefined on it.
+	ErrConstantChain = errors.New("gibbs: constant chain has no variance")
+	// ErrSingleChain means a multi-chain diagnostic was given fewer than
+	// two chains.
+	ErrSingleChain = errors.New("gibbs: diagnostic needs at least two chains")
+)
 
 // Autocorrelation returns the normalized autocorrelation of xs at the
 // given lag (lag 0 ⇒ 1).
@@ -25,7 +43,7 @@ func Autocorrelation(xs []float64, lag int) (float64, error) {
 	}
 	mu, v := m.Mean(), m.Var()
 	if v == 0 {
-		return 0, errors.New("gibbs: constant series has no autocorrelation")
+		return 0, fmt.Errorf("%w: no autocorrelation", ErrConstantChain)
 	}
 	s := 0.0
 	for i := 0; i+lag < n; i++ {
@@ -40,7 +58,7 @@ func Autocorrelation(xs []float64, lag int) (float64, error) {
 // carry roughly K/τ independent ones.
 func IntegratedAutocorrTime(xs []float64) (float64, error) {
 	if len(xs) < 4 {
-		return 0, errors.New("gibbs: series too short")
+		return 0, fmt.Errorf("%w: need ≥ 4 samples, have %d", ErrShortChain, len(xs))
 	}
 	tau := 1.0
 	maxLag := len(xs) / 2
@@ -63,7 +81,7 @@ func IntegratedAutocorrTime(xs []float64) (float64, error) {
 // the covariance-fit requirements of Algorithm 5.
 func EffectiveSampleSize(samples [][]float64) (float64, error) {
 	if len(samples) < 4 {
-		return 0, errors.New("gibbs: too few samples")
+		return 0, fmt.Errorf("%w: need ≥ 4 samples, have %d", ErrShortChain, len(samples))
 	}
 	dim := len(samples[0])
 	worst := 1.0
@@ -83,4 +101,97 @@ func EffectiveSampleSize(samples [][]float64) (float64, error) {
 		}
 	}
 	return float64(len(samples)) / worst, nil
+}
+
+// minSplitLen is the shortest scalar series SplitRHat accepts: each half
+// must carry at least 4 points for a meaningful variance.
+const minSplitLen = 8
+
+// RHat computes the Gelman–Rubin potential scale reduction factor over
+// two or more scalar chains of equal length: the square root of the
+// pooled-over-within variance ratio. Values near 1 indicate the chains
+// sample the same distribution; > 1.1 is the conventional
+// "not converged" threshold. Degenerate inputs report typed errors
+// (ErrSingleChain, ErrShortChain, ErrConstantChain) rather than NaN.
+func RHat(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, fmt.Errorf("%w: have %d", ErrSingleChain, m)
+	}
+	n := len(chains[0])
+	for _, c := range chains[1:] {
+		if len(c) != n {
+			return 0, errors.New("gibbs: R-hat chains must have equal length")
+		}
+	}
+	if n < 4 {
+		return 0, fmt.Errorf("%w: need ≥ 4 samples per chain, have %d", ErrShortChain, n)
+	}
+	var between stat.Running // of chain means
+	w := 0.0                 // mean within-chain variance
+	for _, c := range chains {
+		var run stat.Running
+		for _, v := range c {
+			run.Push(v)
+		}
+		between.Push(run.Mean())
+		w += run.Var()
+	}
+	w /= float64(m)
+	if w == 0 {
+		return 0, fmt.Errorf("%w: within-chain variance is zero", ErrConstantChain)
+	}
+	b := float64(n) * between.Var()
+	nf := float64(n)
+	varPlus := (nf-1)/nf*w + b/nf
+	return math.Sqrt(varPlus / w), nil
+}
+
+// SplitRHat computes the split-chain Gelman–Rubin statistic of a single
+// scalar series: the series is halved and the halves compared as two
+// chains, which detects within-chain trends (slow drift toward the
+// stationary distribution) without needing multiple runs. Series shorter
+// than minSplitLen report ErrShortChain; constant series report
+// ErrConstantChain.
+func SplitRHat(xs []float64) (float64, error) {
+	if len(xs) < minSplitLen {
+		return 0, fmt.Errorf("%w: split R-hat needs ≥ %d samples, have %d", ErrShortChain, minSplitLen, len(xs))
+	}
+	h := len(xs) / 2
+	return RHat([][]float64{xs[:h], xs[h : 2*h]})
+}
+
+// MaxSplitRHat returns the worst per-coordinate split R-hat of a
+// multivariate sample stream — the run-report's convergence headline.
+// Frozen (constant) coordinates are skipped the way EffectiveSampleSize
+// treats them: they carry no convergence signal of their own; when every
+// coordinate is frozen the stream reports ErrConstantChain.
+func MaxSplitRHat(samples [][]float64) (float64, error) {
+	if len(samples) < minSplitLen {
+		return 0, fmt.Errorf("%w: split R-hat needs ≥ %d samples, have %d", ErrShortChain, minSplitLen, len(samples))
+	}
+	dim := len(samples[0])
+	worst := 0.0
+	seen := false
+	col := make([]float64, len(samples))
+	for j := 0; j < dim; j++ {
+		for i, s := range samples {
+			col[i] = s[j]
+		}
+		r, err := SplitRHat(col)
+		if err != nil {
+			if errors.Is(err, ErrConstantChain) {
+				continue
+			}
+			return 0, err
+		}
+		seen = true
+		if r > worst {
+			worst = r
+		}
+	}
+	if !seen {
+		return 0, fmt.Errorf("%w: every coordinate is frozen", ErrConstantChain)
+	}
+	return worst, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/mc"
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // SphericalCoords maps a Cartesian point to the paper's redundant
@@ -85,6 +86,10 @@ func SphericalChainContext(ctx context.Context, metric mc.Metric, start []float6
 		return x
 	}
 
+	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, "gibbs.chain")
+	defer span.End()
+	span.SetAttr("coord", Spherical.String())
+	updateAgg, probeAgg := span.Agg("update"), span.Agg("probe")
 	ct := newChainTelemetry(o.Telemetry, sphericalCoordNames(dim))
 	samples := make([][]float64, 0, k)
 	record := func() { samples = append(samples, cur()) }
@@ -131,12 +136,15 @@ func SphericalChainContext(ctx context.Context, metric mc.Metric, start []float6
 			}
 			ct.update(m+1, st, probes)
 		}
+		updateAgg.Add(1)
+		probeAgg.Add(int64(probes))
 		record()
 		coord++
 		if coord == dim {
 			coord = -1
 		}
 	}
+	span.SetAttr("samples", len(samples))
 	ct.done(Spherical, samples)
 	return samples, nil
 }

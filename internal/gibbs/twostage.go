@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/mc"
@@ -95,6 +96,9 @@ type TwoStageResult struct {
 	// 1 covers the starting-point search plus the Gibbs chain; stage 2
 	// is the importance-sampling run.
 	Stage1Sims, Stage2Sims int64
+	// Stage1Seconds and Stage2Seconds split the wall time the same way
+	// (for the run-report; they carry no statistical meaning).
+	Stage1Seconds, Stage2Seconds float64
 }
 
 // firstStage runs Algorithm 4 (unless a start point is given), the chosen
@@ -105,13 +109,24 @@ func firstStage(ctx context.Context, counter *mc.Counter, opts *TwoStageOptions,
 	}
 	res := &TwoStageResult{}
 
+	t0 := time.Now()
+	ctx, span := telemetry.StartSpan(ctx, opts.Telemetry, "stage1")
+	defer func() {
+		res.Stage1Seconds = time.Since(t0).Seconds()
+		span.End()
+	}()
+	span.SetAttr("coord", opts.Coord.String())
+	span.SetAttr("k", opts.K)
 	opts.Telemetry.Emit("stage1.start", map[string]any{
 		"coord": opts.Coord.String(), "k": opts.K, "budget": opts.Stage1Budget,
 	})
 	start := opts.StartPoint
 	if start == nil {
+		spCtx, spSpan := telemetry.StartSpan(ctx, opts.Telemetry, "start_point")
 		var err error
-		start, err = model.FindFailurePointContext(ctx, counter, opts.Start, rng)
+		start, err = model.FindFailurePointContext(spCtx, counter, opts.Start, rng)
+		spSpan.SetAttr("sims", counter.Count())
+		spSpan.End()
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, err
@@ -156,10 +171,14 @@ func firstStage(ctx context.Context, counter *mc.Counter, opts *TwoStageOptions,
 	}
 	res.Samples = samples
 	res.Stage1Sims = counter.Count()
+	span.SetAttr("sims", res.Stage1Sims)
 	opts.Telemetry.Emit("stage1.done", map[string]any{
 		"sims": res.Stage1Sims, "samples": len(samples),
 	})
 
+	_, fitSpan := telemetry.StartSpan(ctx, opts.Telemetry, "fit")
+	fitSpan.SetAttr("mixture", opts.Mixture)
+	defer fitSpan.End()
 	res.GNor, err = FitDistortion(samples)
 	if err != nil {
 		return nil, err
@@ -214,10 +233,12 @@ func TwoStageContext(ctx context.Context, counter *mc.Counter, opts TwoStageOpti
 	opts.Telemetry.Emit("stage2.start", map[string]any{
 		"n": opts.N, "workers": ev.Workers(), "mixture": opts.Mixture,
 	})
+	t0 := time.Now()
 	res.Result, err = mc.ImportanceSampleContext(ctx, ev, res.distortion(), opts.N, rng, opts.TraceEvery)
 	if err != nil {
 		return nil, err
 	}
+	res.Stage2Seconds = time.Since(t0).Seconds()
 	res.Stage2Sims = counter.Count() - res.Stage1Sims
 	return res, nil
 }
@@ -241,10 +262,12 @@ func TwoStageUntilContext(ctx context.Context, counter *mc.Counter, opts TwoStag
 	opts.Telemetry.Emit("stage2.start", map[string]any{
 		"target": target, "min_n": minN, "max_n": maxN, "workers": ev.Workers(), "mixture": opts.Mixture,
 	})
+	t0 := time.Now()
 	res.Result, err = mc.ImportanceSampleUntilContext(ctx, ev, res.distortion(), target, minN, maxN, rng)
 	if err != nil {
 		return nil, err
 	}
+	res.Stage2Seconds = time.Since(t0).Seconds()
 	res.Stage2Sims = counter.Count() - res.Stage1Sims
 	return res, nil
 }

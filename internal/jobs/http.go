@@ -16,6 +16,8 @@ import (
 //	GET    /v1/jobs/{id}        one job's snapshot (live progress while running)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/metrics  the job's telemetry (Prometheus text)
+//	GET    /v1/jobs/{id}/report   the finished job's statistical run-report (JSON)
+//	GET    /v1/jobs/{id}/trace    the job's span trace (Chrome trace JSON; ?format=jsonl for span JSONL)
 //	GET    /v1/methods          the estimator registry
 //	GET    /v1/workloads        the workload registry
 //	GET    /metrics             the server-wide telemetry (Prometheus text)
@@ -83,6 +85,39 @@ func Handler(m *Manager) http.Handler {
 			return
 		}
 		job.Telemetry().MetricsHandler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		rep := job.Report()
+		if rep == nil {
+			writeError(w, http.StatusConflict, errors.New("jobs: run-report is available once the job is done"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		trace := job.Telemetry().TraceData()
+		if trace == nil {
+			writeError(w, http.StatusNotFound, errors.New("jobs: no trace recorded for this job"))
+			return
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			trace.WriteJSONL(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChromeTrace(w)
 	})
 	mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
 		type method struct {

@@ -330,3 +330,102 @@ func TestDrainIdle(t *testing.T) {
 		t.Fatalf("idle drain: %v", err)
 	}
 }
+
+// The report endpoint serves the finished job's statistical run-report;
+// the trace endpoint serves the span tree in both formats.
+func TestJobReportAndTrace(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	snap := postJob(t, srv, `{"workload":"lin","method":"g-s","seed":6,"k":200,"n":2000}`, http.StatusAccepted)
+
+	// Until the job is done the report is a 409, never a half-report.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("report while running: status %d", resp.StatusCode)
+	}
+
+	final := waitTerminal(t, srv, snap.ID)
+	if final.State != StateDone {
+		t.Fatalf("state %s, error %q", final.State, final.Error)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d", resp.StatusCode)
+	}
+	var rep struct {
+		Method    string   `json:"method"`
+		RHat      *float64 `json:"rhat"`
+		WeightESS float64  `json:"weight_ess"`
+		TotalSims int64    `json:"total_sims"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "g-s" || rep.RHat == nil || rep.WeightESS <= 0 || rep.TotalSims <= 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", resp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, ev := range chrome.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"estimate", "stage1", "stage2"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q span; have %v", want, names)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/trace?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("span JSONL has %d lines, want ≥ 3", len(lines))
+	}
+	for _, line := range lines {
+		var span map[string]any
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+	}
+
+	// Unknown jobs are 404 on both endpoints.
+	for _, path := range []string{"/v1/jobs/nope/report", "/v1/jobs/nope/trace"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

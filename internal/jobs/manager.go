@@ -119,14 +119,14 @@ type Result struct {
 
 // Snapshot is a point-in-time view of a job, safe to serialize.
 type Snapshot struct {
-	ID       string  `json:"id"`
-	State    State   `json:"state"`
-	Workload string  `json:"workload"`
-	Method   string  `json:"method"`
-	Seed     int64   `json:"seed"`
-	Created  string  `json:"created"`
-	Started  string  `json:"started,omitempty"`
-	Finished string  `json:"finished,omitempty"`
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Workload string `json:"workload"`
+	Method   string `json:"method"`
+	Seed     int64  `json:"seed"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
 	// Sims is the live count of transistor-level simulations consumed,
 	// including first-stage and Gibbs-chain probes.
 	Sims int64 `json:"sims"`
@@ -177,6 +177,17 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // Telemetry returns the job's private registry (live during the run,
 // final afterwards).
 func (j *Job) Telemetry() *telemetry.Registry { return j.reg }
+
+// Report returns the finished job's statistical run-report, or nil while
+// the job has not completed successfully.
+func (j *Job) Report() *repro.RunReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.result == nil {
+		return nil
+	}
+	return j.result.Report
+}
 
 // Err returns the job's terminal error (nil while non-terminal or done).
 func (j *Job) Err() error {
@@ -344,6 +355,14 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
+	// Every job records a span trace on its private registry: the
+	// estimate pipeline nests its stage spans under it, and the
+	// /v1/jobs/{id}/trace endpoint serves it live or finished.
+	job.reg.SetTrace(telemetry.NewTrace())
+	// Pipeline events from the run (run.start, stage1.done, …) stream
+	// into the server's JSONL sink, when one is installed; the shared
+	// sink's sequence numbers give a total order across jobs.
+	job.reg.SetSink(m.cfg.Registry.Sink())
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -361,6 +380,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.order = append(m.order, job.id)
 	m.submitted.Inc()
 	m.queueDepth.Set(float64(len(m.queue)))
+	m.cfg.Registry.Emit("job.submitted", map[string]any{
+		"job": job.id, "workload": req.Workload, "method": req.Method, "seed": req.Seed,
+	})
 	return job, nil
 }
 
@@ -509,8 +531,19 @@ func (m *Manager) run(job *Job) {
 		job.state = StateFailed
 		m.failed.Inc()
 	}
+	state := job.state
 	close(job.done)
 	job.mu.Unlock()
+
+	fields := map[string]any{"job": job.id, "state": string(state)}
+	if res != nil {
+		fields["pf"] = res.Pf
+		fields["sims"] = res.TotalSims
+	}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	m.cfg.Registry.Emit("job.done", fields)
 }
 
 // finitePtr returns &v for finite v and nil otherwise, so JSON encoding

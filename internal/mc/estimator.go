@@ -5,8 +5,10 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/stat"
+	"repro/internal/telemetry"
 )
 
 // ErrBadSampleCount is returned when an estimator is asked for a
@@ -45,6 +47,13 @@ type Result struct {
 	// distortion quality — a tiny ESS with a confident CI flags the
 	// §V-B failure mode where g misses part of the failure region.
 	WeightESS float64
+	// MaxWeight is the largest importance weight observed (0 for plain
+	// Monte Carlo or when no sample failed).
+	MaxWeight float64
+	// TopWeights holds the largest nonzero importance weights in
+	// descending order (at most maxTopWeights of them) — the input to
+	// the run-report's weight-tail diagnostics. Nil for plain MC.
+	TopWeights []float64
 	// Trace holds convergence snapshots if tracing was requested.
 	Trace []TracePoint
 }
@@ -90,6 +99,11 @@ func PlainMCContext(ctx context.Context, metric Metric, n int, rng *rand.Rand, t
 	if n <= 0 {
 		return Result{}, ErrBadSampleCount
 	}
+	// Sequential golden engine: the stage span comes from the context
+	// (the estimate root) when tracing is on.
+	ctx, span := telemetry.StartSpan(ctx, nil, "stage2")
+	defer span.End()
+	span.SetAttr("n", n)
 	dim := metric.Dim()
 	var run stat.Running
 	failures := 0
@@ -148,15 +162,55 @@ func isJob(metric Metric, g Distortion) func(rng *rand.Rand, i int) isWeight {
 	}
 }
 
+// maxTopWeights bounds how many of the largest weights the estimator
+// keeps for the run-report's tail diagnostics.
+const maxTopWeights = 32
+
+// topWeights tracks the largest nonzero importance weights seen, in
+// descending order. Weights arrive in index order (pushWeights), so the
+// tracked set — like everything else in the reduction — is identical for
+// every worker count.
+type topWeights struct {
+	w []float64
+}
+
+func (t *topWeights) push(w float64) {
+	if w <= 0 {
+		return
+	}
+	if len(t.w) == maxTopWeights && w <= t.w[maxTopWeights-1] {
+		return
+	}
+	// Insertion point in the descending order: first index with a
+	// smaller value (ties keep the earlier arrival first).
+	i := 0
+	for i < len(t.w) && t.w[i] >= w {
+		i++
+	}
+	if len(t.w) < maxTopWeights {
+		t.w = append(t.w, 0)
+	}
+	copy(t.w[i+1:], t.w[i:])
+	t.w[i] = w
+}
+
+func (t *topWeights) max() float64 {
+	if len(t.w) == 0 {
+		return 0
+	}
+	return t.w[0]
+}
+
 // pushWeights folds a batch of weights into the accumulator in index
 // order (so the floating-point reduction never depends on worker
-// scheduling), recording trace snapshots on the way.
-func pushWeights(run *stat.Running, batch []isWeight, failures *int, traceEvery TraceEvery, trace []TracePoint) []TracePoint {
+// scheduling), recording trace snapshots and tail weights on the way.
+func pushWeights(run *stat.Running, batch []isWeight, failures *int, tw *topWeights, traceEvery TraceEvery, trace []TracePoint) []TracePoint {
 	for _, s := range batch {
 		if s.fail {
 			*failures++
 		}
 		run.Push(s.w)
+		tw.push(s.w)
 		if traceEvery > 0 && run.N()%int(traceEvery) == 0 {
 			trace = append(trace, TracePoint{N: run.N(), Estimate: run.Mean(), RelErr99: run.RelErr99()})
 		}
@@ -217,20 +271,31 @@ func ImportanceSampleContext(ctx context.Context, ev *Evaluator, g Distortion, n
 	if g.Dim() != ev.Dim() {
 		return Result{}, errors.New("mc: distortion dimensionality does not match metric")
 	}
+	ctx, span := telemetry.StartSpan(ctx, ev.Telemetry(), "stage2")
+	defer span.End()
+	span.SetAttr("n", n)
+	span.SetAttr("workers", ev.Workers())
+	chunkAgg := span.Agg("chunk")
 	job := isJob(ev.Metric(), g)
 	seed := rng.Int63()
 	var run stat.Running
 	failures := 0
+	var tw topWeights
 	var trace []TracePoint
 	for start := 0; start < n; start += ChunkSize {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
 		count := min(ChunkSize, n-start)
-		trace = pushWeights(&run, Map(ev, seed, start, count, job), &failures, traceEvery, trace)
+		t0 := time.Now()
+		batch := Map(ev, seed, start, count, job)
+		chunkAgg.Observe(time.Since(t0).Seconds())
+		trace = pushWeights(&run, batch, &failures, &tw, traceEvery, trace)
 		estimatorProgress(ev, &run, failures)
 	}
 	res := resultFrom(&run, failures, trace)
+	res.MaxWeight, res.TopWeights = tw.max(), tw.w
+	span.SetAttr("failures", res.Failures)
 	estimatorDone(ev, &res)
 	return res, nil
 }
@@ -262,22 +327,34 @@ func ImportanceSampleUntilContext(ctx context.Context, ev *Evaluator, g Distorti
 	if g.Dim() != ev.Dim() {
 		return Result{}, errors.New("mc: distortion dimensionality does not match metric")
 	}
+	ctx, span := telemetry.StartSpan(ctx, ev.Telemetry(), "stage2")
+	defer span.End()
+	span.SetAttr("target", target)
+	span.SetAttr("max_n", maxN)
+	span.SetAttr("workers", ev.Workers())
+	chunkAgg := span.Agg("chunk")
 	job := isJob(ev.Metric(), g)
 	seed := rng.Int63()
 	var run stat.Running
 	failures := 0
+	var tw topWeights
 	for start := 0; start < maxN; start += ChunkSize {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
 		count := min(ChunkSize, maxN-start)
-		pushWeights(&run, Map(ev, seed, start, count, job), &failures, 0, nil)
+		t0 := time.Now()
+		batch := Map(ev, seed, start, count, job)
+		chunkAgg.Observe(time.Since(t0).Seconds())
+		pushWeights(&run, batch, &failures, &tw, 0, nil)
 		estimatorProgress(ev, &run, failures)
 		if run.N() >= minN && run.RelErr99() <= target {
 			break
 		}
 	}
 	res := resultFrom(&run, failures, nil)
+	res.MaxWeight, res.TopWeights = tw.max(), tw.w
+	span.SetAttr("failures", res.Failures)
 	estimatorDone(ev, &res)
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/stat"
 	"repro/internal/telemetry"
@@ -41,6 +42,11 @@ func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, wo
 		return Result{}, ErrBadSampleCount
 	}
 	ev := NewEvaluator(metric, workers).WithTelemetry(reg)
+	ctx, span := telemetry.StartSpan(ctx, reg, "stage2")
+	defer span.End()
+	span.SetAttr("n", n)
+	span.SetAttr("workers", ev.Workers())
+	chunkAgg := span.Agg("chunk")
 	dim := metric.Dim()
 	job := func(rng *rand.Rand, _ int) bool {
 		x := make([]float64, dim)
@@ -56,7 +62,10 @@ func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, wo
 			return Result{}, err
 		}
 		count := min(mcChunk, n-start)
-		for _, fail := range Map(ev, seed, start, count, job) {
+		t0 := time.Now()
+		batch := Map(ev, seed, start, count, job)
+		chunkAgg.Observe(time.Since(t0).Seconds())
+		for _, fail := range batch {
 			if fail {
 				failures++
 			}

@@ -145,7 +145,12 @@ func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 	tel := newDCTelemetry(o.Telemetry)
 	sw := tel.solveSeconds.Start()
 	op, err := c.solveDC(&o)
-	sw.Stop()
+	secs := sw.Stop()
+	// With span tracing on, credit the solve to the innermost pipeline
+	// stage (the solver has no context of its own).
+	if span := o.Telemetry.ActiveSpan(); span != nil {
+		span.Agg("spice.solve").Observe(secs)
+	}
 	if err != nil {
 		tel.unconverged.Inc()
 		if o.Telemetry.Enabled() {

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // CLI bundles the run-telemetry surface every command shares: the
-// registry to thread into the library, plus the JSONL file sink and
-// debug HTTP listener behind the -telemetry and -debug-addr flags.
+// registry to thread into the library, plus the JSONL file sink, the
+// span-trace file and debug HTTP listener behind the -telemetry, -trace
+// and -debug-addr flags.
 type CLI struct {
 	// Registry is nil when telemetry was not requested; it is safe to
 	// pass onward unconditionally (the whole package is nil-safe).
@@ -18,16 +20,23 @@ type CLI struct {
 	buf  *bufio.Writer
 	sink *EventSink
 	dbg  *DebugServer
+
+	trace     *Trace
+	tracePath string
+	root      *Span
 }
 
-// StartCLI wires up CLI telemetry: when jsonlPath, debugAddr or force is
-// set it creates a Registry, attaching a JSONL event sink at jsonlPath
-// (when non-empty) and a debug listener at debugAddr (when non-empty).
-// With all three unset it returns an inert CLI with a nil Registry.
-// Close flushes and releases everything.
-func StartCLI(jsonlPath, debugAddr string, force bool) (*CLI, error) {
+// StartCLI wires up CLI telemetry: when any of jsonlPath, tracePath,
+// debugAddr or force is set it creates a Registry, attaching a JSONL
+// event sink at jsonlPath, a span trace written to tracePath at Close
+// (Chrome trace-event JSON, or span JSONL when the path ends in
+// ".jsonl"), and a debug listener at debugAddr. The trace opens with an
+// active "run" root span, so solver work outside any pipeline stage
+// still lands under a span. With everything unset it returns an inert
+// CLI with a nil Registry. Close flushes and releases everything.
+func StartCLI(jsonlPath, tracePath, debugAddr string, force bool) (*CLI, error) {
 	c := &CLI{}
-	if jsonlPath == "" && debugAddr == "" && !force {
+	if jsonlPath == "" && tracePath == "" && debugAddr == "" && !force {
 		return c, nil
 	}
 	c.Registry = New()
@@ -41,6 +50,19 @@ func StartCLI(jsonlPath, debugAddr string, force bool) (*CLI, error) {
 		c.sink = NewEventSink(c.buf)
 		c.Registry.SetSink(c.sink)
 	}
+	if tracePath != "" {
+		// Create eagerly so a bad path fails before the run, not after.
+		f, err := os.Create(tracePath)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("telemetry: creating trace file: %w", err)
+		}
+		f.Close()
+		c.trace = NewTrace()
+		c.tracePath = tracePath
+		c.Registry.SetTrace(c.trace)
+		c.root = c.Registry.StartSpan("run")
+	}
 	if debugAddr != "" {
 		dbg, err := ServeDebug(debugAddr, c.Registry)
 		if err != nil {
@@ -53,8 +75,9 @@ func StartCLI(jsonlPath, debugAddr string, force bool) (*CLI, error) {
 	return c, nil
 }
 
-// Close flushes the event log and stops the debug listener, reporting
-// the first error (including any sticky sink write error).
+// Close ends the root span, writes the trace file, flushes the event log
+// and stops the debug listener, reporting the first error (including any
+// sticky sink write error).
 func (c *CLI) Close() error {
 	if c == nil {
 		return nil
@@ -69,6 +92,11 @@ func (c *CLI) Close() error {
 		keep(c.dbg.Close())
 		c.dbg = nil
 	}
+	if c.trace != nil {
+		c.root.End()
+		keep(c.writeTrace())
+		c.trace = nil
+	}
 	if c.sink != nil {
 		keep(c.sink.Err())
 		c.sink = nil
@@ -82,4 +110,27 @@ func (c *CLI) Close() error {
 		c.file = nil
 	}
 	return first
+}
+
+// writeTrace renders the collected spans to the -trace file: Chrome
+// trace-event JSON by default, span-per-line JSONL when the path ends in
+// ".jsonl".
+func (c *CLI) writeTrace() error {
+	f, err := os.Create(c.tracePath)
+	if err != nil {
+		return fmt.Errorf("telemetry: writing trace: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if strings.HasSuffix(c.tracePath, ".jsonl") {
+		err = c.trace.WriteJSONL(bw)
+	} else {
+		err = c.trace.WriteChromeTrace(bw)
+	}
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -57,7 +57,7 @@ func TestServeDebug(t *testing.T) {
 // TestStartCLI checks the flag-level bundle: no flags → inert nil
 // registry; a JSONL path → events land in the file after Close.
 func TestStartCLI(t *testing.T) {
-	c, err := StartCLI("", "", false)
+	c, err := StartCLI("", "", "", false)
 	if err != nil {
 		t.Fatalf("inert StartCLI: %v", err)
 	}
@@ -69,7 +69,7 @@ func TestStartCLI(t *testing.T) {
 	}
 
 	path := t.TempDir() + "/events.jsonl"
-	c, err = StartCLI(path, "", false)
+	c, err = StartCLI(path, "", "", false)
 	if err != nil {
 		t.Fatalf("StartCLI(%s): %v", path, err)
 	}

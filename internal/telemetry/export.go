@@ -20,6 +20,9 @@ type MetricPoint struct {
 	// Histogram aggregates (Count is also the number of observations).
 	Count         int64
 	Sum, Min, Max float64
+	// P50, P90 and P99 are approximate quantiles reconstructed from the
+	// bucket counts (NaN with no observations).
+	P50, P90, P99 float64
 	Buckets       []BucketCount
 }
 
@@ -62,6 +65,7 @@ func (r *Registry) Snapshot() []MetricPoint {
 				out = append(out, MetricPoint{
 					Scope: sn, Name: n, Kind: "histogram",
 					Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+					P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
 					Buckets: h.Buckets(),
 				})
 			}
@@ -128,7 +132,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					return err
 				}
 			}
-			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(m.Sum), name, m.Count)
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(m.Sum), name, m.Count); err != nil {
+				return err
+			}
+			// Approximate quantiles reconstructed from the bucket counts,
+			// exported as separate gauges (a histogram and a summary cannot
+			// share a metric name in the exposition format). Skipped while
+			// empty — NaN samples upset some scrapers.
+			if m.Count > 0 {
+				for _, p := range [...]struct {
+					suffix string
+					v      float64
+				}{{"p50", m.P50}, {"p90", m.P90}, {"p99", m.P99}} {
+					if _, err = fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %s\n",
+						name, p.suffix, name, p.suffix, promFloat(p.v)); err != nil {
+						return err
+					}
+				}
+			}
 		}
 		if err != nil {
 			return err
@@ -156,8 +177,8 @@ func (r *Registry) WriteTable(w io.Writer) {
 				fmt.Fprintf(tw, "%s\t%s\tn=0\n", m.Scope, m.Name)
 				continue
 			}
-			fmt.Fprintf(tw, "%s\t%s\tn=%d mean=%.4g min=%.4g max=%.4g\n",
-				m.Scope, m.Name, m.Count, m.Sum/float64(m.Count), m.Min, m.Max)
+			fmt.Fprintf(tw, "%s\t%s\tn=%d mean=%.4g p50=%.4g p99=%.4g min=%.4g max=%.4g\n",
+				m.Scope, m.Name, m.Count, m.Sum/float64(m.Count), m.P50, m.P99, m.Min, m.Max)
 		}
 	}
 	tw.Flush()

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -33,6 +34,12 @@ repro_spice_solve_seconds_bucket{le="0.1"} 2
 repro_spice_solve_seconds_bucket{le="+Inf"} 3
 repro_spice_solve_seconds_sum 3.0505
 repro_spice_solve_seconds_count 3
+# TYPE repro_spice_solve_seconds_p50 gauge
+repro_spice_solve_seconds_p50 0.05500000000000001
+# TYPE repro_spice_solve_seconds_p90 gauge
+repro_spice_solve_seconds_p90 2.1300000000000003
+# TYPE repro_spice_solve_seconds_p99 gauge
+repro_spice_solve_seconds_p99 2.9129999999999994
 # TYPE repro_spice_solves_total counter
 repro_spice_solves_total 42
 # TYPE repro_spice_vdd_volts gauge
@@ -100,5 +107,61 @@ func TestHistogramStats(t *testing.T) {
 	}
 	if got, want := h.Sum(), 0.5+1+5+10+11; got != want {
 		t.Fatalf("sum %v, want %v", got, want)
+	}
+}
+
+// TestHistogramQuantile checks the bucket-interpolated quantiles against
+// hand-computed values.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile not NaN")
+	}
+	h := newHistogram([]float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+
+	// 10 observations: 2 in (min..1], 5 in (1..2], 2 in (2..4], 1 overflow.
+	for _, v := range []float64{0.2, 0.8, 1.1, 1.2, 1.5, 1.7, 1.9, 2.5, 3.5, 9} {
+		h.Observe(v)
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Fatal("Quantile(NaN) not NaN")
+	}
+	if got := h.Quantile(0); got != 0.2 {
+		t.Fatalf("q=0 → %v, want min 0.2", got)
+	}
+	if got := h.Quantile(1); got != 9.0 {
+		t.Fatalf("q=1 → %v, want max 9", got)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	// p50: rank 5 lands in the (1..2] bucket (cum 2, count 5):
+	// 1 + (2-1)·(5-2)/5 = 1.6.
+	if got := h.Quantile(0.5); !approx(got, 1.6) {
+		t.Fatalf("p50 = %v, want 1.6", got)
+	}
+	// p10: rank 1 in the first bucket, which spans [min, 1]:
+	// 0.2 + (1-0.2)·(1/2) = 0.6.
+	if got := h.Quantile(0.1); !approx(got, 0.6) {
+		t.Fatalf("p10 = %v, want 0.6", got)
+	}
+	// p80: rank 8 in the (2..4] bucket (cum 7, count 2):
+	// 2 + (4-2)·(8-7)/2 = 3.
+	if got := h.Quantile(0.8); !approx(got, 3.0) {
+		t.Fatalf("p80 = %v, want 3", got)
+	}
+	// p95: rank 9.5 in the overflow bucket, which spans [4, max]:
+	// 4 + (9-4)·(9.5-9)/1 = 6.5.
+	if got := h.Quantile(0.95); !approx(got, 6.5) {
+		t.Fatalf("p95 = %v, want 6.5", got)
+	}
+
+	// Max inside a bounded bucket clamps the interpolation edge: one
+	// observation of 1.5 in the (1..2] bucket must report p50 ≤ max.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(1.5)
+	if got := h2.Quantile(0.5); got > 1.5 || got < 1 {
+		t.Fatalf("single-observation p50 = %v, want within [1, 1.5]", got)
 	}
 }

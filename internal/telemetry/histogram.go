@@ -115,6 +115,57 @@ func (h *Histogram) Buckets() []BucketCount {
 	return out
 }
 
+// Quantile returns the approximate q-quantile (0 < q < 1) of the
+// observed values, reconstructed from the bucket counts: the target rank
+// is located in the cumulative bucket distribution and interpolated
+// linearly inside its bucket. The first bucket's lower edge is the
+// observed minimum and the overflow bucket spans [last bound, observed
+// max], so the approximation degrades gracefully at the extremes instead
+// of inventing mass. Returns NaN with no observations (or on nil).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	// rank is the (fractional) number of observations at or below the
+	// quantile point.
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		lo := h.Min()
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.Max()
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.Max()
+}
+
 // Start returns a running Stopwatch that will Observe the elapsed
 // seconds into h. On a nil histogram the stopwatch is inert and Stop
 // does nothing — callers need no separate enabled check.

@@ -32,6 +32,9 @@ type Registry struct {
 	start time.Time
 	sink  atomic.Pointer[EventSink]
 
+	// trace carries the optional span-tracing layer (see span.go).
+	trace atomic.Pointer[Trace]
+
 	mu     sync.RWMutex
 	scopes map[string]*Scope
 }
@@ -88,6 +91,15 @@ func (r *Registry) SetSink(s *EventSink) {
 		return
 	}
 	r.sink.Store(s)
+}
+
+// Sink returns the installed event sink, or nil. Use it to share one
+// JSONL stream with another registry (SetSink on the other side).
+func (r *Registry) Sink() *EventSink {
+	if r == nil {
+		return nil
+	}
+	return r.sink.Load()
 }
 
 // Emit writes one structured event to the installed sink (no-op without

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/gibbs"
@@ -217,10 +218,18 @@ type Result struct {
 	// importance weights — a small value despite a tight CI flags a
 	// distortion that misses part of the failure region.
 	WeightESS float64
+	// MaxWeight is the largest importance weight observed, and
+	// TopWeights the largest few in descending order (importance-sampling
+	// methods only) — the inputs to the report's weight-tail diagnostics.
+	MaxWeight  float64
+	TopWeights []float64
 	// Stage1Sims, Stage2Sims and TotalSims report the cost in
 	// transistor-level simulations, split the way the paper's tables
 	// split them.
 	Stage1Sims, Stage2Sims, TotalSims int64
+	// Stage1Seconds and Stage2Seconds split the wall time the same way
+	// (zero for methods without a stage split; no statistical meaning).
+	Stage1Seconds, Stage2Seconds float64
 	// GibbsSamples holds the first-stage samples for G-C/G-S (nil for
 	// other methods) — the data behind the paper's scatter figures.
 	GibbsSamples [][]float64
@@ -229,6 +238,10 @@ type Result struct {
 	DistortionMean []float64
 	// Trace holds convergence snapshots if TraceEvery was set.
 	Trace []TracePoint
+	// Report is the statistical run-report: chain convergence,
+	// weight health, cost split, and the paper-style figure of merit.
+	// It is attached to every successful estimate (nil on aborts).
+	Report *RunReport
 }
 
 // Validate checks every Options field and reports all problems at once:
@@ -331,12 +344,25 @@ func EstimateContext(ctx context.Context, metric Metric, opts Options) (*Result,
 			"seed": o.Seed, "workers": o.Workers, "dim": metric.Dim(),
 		})
 	}
+	// Root span of the estimate pipeline: every stage below (Alg 4
+	// search, Gibbs chain, fit, stage-2 IS) nests under it.
+	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, "estimate")
+	defer span.End()
+	span.SetAttr("method", string(o.Method))
+	span.SetAttr("seed", o.Seed)
+	span.SetAttr("dim", metric.Dim())
 	counter := mc.NewCounter(metric)
+	t0 := time.Now()
 	res, err := estimate(ctx, counter, o)
+	wall := time.Since(t0).Seconds()
+	span.SetAttr("sims", counter.Count())
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		// Partial cost accounting: the estimate is gone but the
 		// simulations were spent; report them.
 		res = &Result{TotalSims: counter.Count()}
+	}
+	if err == nil && res != nil {
+		res.Report = buildReport(res, o, wall)
 	}
 	if o.Telemetry != nil {
 		if err != nil {
@@ -476,6 +502,7 @@ func fromMC(res mc.Result, counter *mc.Counter) *Result {
 	return &Result{
 		Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
 		N: res.N, Failures: res.Failures, WeightESS: res.WeightESS,
+		MaxWeight: res.MaxWeight, TopWeights: res.TopWeights,
 		Stage2Sims: int64(res.N), TotalSims: counter.Count(),
 		Trace: res.Trace,
 	}
@@ -485,8 +512,11 @@ func fromBaseline(res *baselines.Result) *Result {
 	return &Result{
 		Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
 		N: res.N, Failures: res.Failures, WeightESS: res.WeightESS,
+		MaxWeight: res.MaxWeight, TopWeights: res.TopWeights,
 		Stage1Sims: res.Stage1Sims, Stage2Sims: res.Stage2Sims,
 		TotalSims:      res.Stage1Sims + res.Stage2Sims,
+		Stage1Seconds:  res.Stage1Seconds,
+		Stage2Seconds:  res.Stage2Seconds,
 		DistortionMean: res.Mean,
 		Trace:          res.Trace,
 	}
@@ -496,11 +526,13 @@ func fromGibbs(res *gibbs.TwoStageResult) *Result {
 	return &Result{
 		Pf: res.Pf, StdErr: res.StdErr, RelErr99: res.RelErr99,
 		N: res.N, Failures: res.Failures, WeightESS: res.WeightESS,
+		MaxWeight: res.MaxWeight, TopWeights: res.TopWeights,
 		Stage1Sims: res.Stage1Sims, Stage2Sims: res.Stage2Sims,
 		TotalSims:      res.Stage1Sims + res.Stage2Sims,
+		Stage1Seconds:  res.Stage1Seconds,
+		Stage2Seconds:  res.Stage2Seconds,
 		GibbsSamples:   res.Samples,
 		DistortionMean: res.GNor.Mean,
 		Trace:          res.Trace,
 	}
 }
-

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Perf-regression bench harness: builds the experiments CLI, runs the
+# canonical bench suite, and validates the emitted BENCH_<label>.json
+# against the repro-bench/v1 schema.
+#
+# Usage: scripts/bench.sh [-quick] [-label NAME] [-out DIR]
+#
+#   -quick       scale budgets down ~10x (the CI smoke configuration)
+#   -label NAME  output file label (BENCH_<NAME>.json; default "local")
+#   -out DIR     output directory (default "bench-out")
+#
+# Compare the fresh file against the committed BENCH_seed.json to spot
+# throughput or latency regressions; sims_per_second and the solve
+# latency quantiles are the guarded numbers.
+set -euo pipefail
+
+QUICK=""
+LABEL="local"
+OUT="bench-out"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -quick) QUICK="-quick" ;;
+    -label) LABEL="$2"; shift ;;
+    -out)   OUT="$2"; shift ;;
+    *) echo "usage: $0 [-quick] [-label NAME] [-out DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cd "$(dirname "$0")/.."
+mkdir -p "$OUT"
+
+echo "== building experiments CLI"
+go build -o "$OUT/experiments" ./cmd/experiments
+
+echo "== running bench suite (label=$LABEL${QUICK:+, quick})"
+"$OUT/experiments" $QUICK -label "$LABEL" -bench-out "$OUT" bench
+
+FILE="$OUT/BENCH_${LABEL}.json"
+echo "== validating $FILE against repro-bench/v1"
+python3 - "$FILE" <<'PY'
+import json, math, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+def check(cond, msg):
+    if not cond:
+        sys.exit(f"schema violation in {path}: {msg}")
+
+check(doc.get("schema") == "repro-bench/v1", f"schema is {doc.get('schema')!r}")
+check(isinstance(doc.get("label"), str) and doc["label"], "label missing")
+check(isinstance(doc.get("go_version"), str) and doc["go_version"].startswith("go"),
+      "go_version missing")
+check(isinstance(doc.get("seed"), int), "seed missing")
+check(isinstance(doc.get("runs"), list) and doc["runs"], "runs empty")
+
+for i, r in enumerate(doc["runs"]):
+    where = f"runs[{i}]"
+    for key in ("workload", "method"):
+        check(isinstance(r.get(key), str) and r[key], f"{where}.{key} missing")
+    for key in ("pf", "wall_seconds", "sims_per_second",
+                "solve_p50_seconds", "solve_p99_seconds", "weight_ess"):
+        v = r.get(key)
+        check(isinstance(v, (int, float)) and math.isfinite(v),
+              f"{where}.{key} = {v!r}")
+    check(r.get("sims", 0) > 0, f"{where}.sims")
+    check(r["wall_seconds"] > 0 and r["sims_per_second"] > 0,
+          f"{where} throughput not positive")
+    check(r["solve_p50_seconds"] <= r["solve_p99_seconds"],
+          f"{where} p50 > p99")
+    # Optional nullable fields must be numeric when present.
+    for key in ("relerr99", "golden_pf", "rel_error_vs_golden", "rhat"):
+        v = r.get(key)
+        check(v is None or (isinstance(v, (int, float)) and math.isfinite(v)),
+              f"{where}.{key} = {v!r}")
+
+print(f"schema OK: {path} ({len(doc['runs'])} runs)")
+PY
+
+echo "== done: $FILE"

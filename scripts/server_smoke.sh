@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of cmd/sramserverd: build, serve, submit a small
 # readcurrent G-S job, watch live progress, check the result against the
-# seed-pinned bracket, check determinism across submissions, then SIGTERM
-# and require a clean drain. Needs curl + jq. Used by CI (see
-# .github/workflows/ci.yml) and runnable locally: scripts/server_smoke.sh
+# seed-pinned bracket, fetch the statistical run-report and span trace,
+# check determinism across submissions, then SIGTERM and require a clean
+# drain that flushes the JSONL event log. Needs curl + jq. Used by CI
+# (see .github/workflows/ci.yml) and runnable locally:
+# scripts/server_smoke.sh
 set -euo pipefail
 
 ADDR="localhost:${SMOKE_PORT:-18931}"
-BIN="$(mktemp -d)/sramserverd"
+WORK="$(mktemp -d)"
+BIN="$WORK/sramserverd"
 JOBSPEC='{"workload":"readcurrent","method":"g-s","seed":1,"k":500,"n":100000}'
 # Seed-pinned expectation: readcurrent with these options lands at
 # Pf ≈ 2.6e-6 (golden MC agrees); the bracket is generous, the exact
@@ -18,7 +21,8 @@ PF_HI=1e-5
 fail() { echo "server_smoke: FAIL: $*" >&2; exit 1; }
 
 go build -o "$BIN" ./cmd/sramserverd
-"$BIN" -addr "$ADDR" -drain-timeout 30s &
+"$BIN" -addr "$ADDR" -drain-timeout 30s \
+  -telemetry "$WORK/events.jsonl" -trace "$WORK/trace.json" &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -62,6 +66,23 @@ sys.exit(0 if lo <= pf <= hi else 1)
 EOF
 echo "server_smoke: job $JOB done, Pf=$PF sims=$LAST_SIMS"
 
+# The statistical run-report is served once the job is done, with the
+# chain-health and weight-health fields populated for a Gibbs method.
+REPORT=$(curl -fsS "http://$ADDR/v1/jobs/$JOB/report")
+[ "$(jq -r .method <<<"$REPORT")" = g-s ] || fail "report method: $(jq -c . <<<"$REPORT")"
+jq -e '.rhat | type == "number"' <<<"$REPORT" >/dev/null \
+  || fail "report rhat missing/non-numeric: $(jq -c .rhat <<<"$REPORT")"
+jq -e '.weight_ess > 0' <<<"$REPORT" >/dev/null \
+  || fail "report weight_ess not positive: $(jq -c .weight_ess <<<"$REPORT")"
+jq -e '.total_sims > 0' <<<"$REPORT" >/dev/null || fail "report total_sims"
+echo "server_smoke: report OK (rhat=$(jq -r .rhat <<<"$REPORT") weight_ess=$(jq -r .weight_ess <<<"$REPORT"))"
+
+# The per-job span trace is a Chrome trace-event file with the pipeline
+# span taxonomy.
+TRACE=$(curl -fsS "http://$ADDR/v1/jobs/$JOB/trace")
+jq -e '.traceEvents | map(.name) | (index("estimate") != null) and (index("stage2") != null)' \
+  <<<"$TRACE" >/dev/null || fail "job trace missing pipeline spans"
+
 # Per-job and global telemetry are scrapeable.
 curl -fsS "http://$ADDR/v1/jobs/$JOB/metrics" | grep -q repro_mc_samples_total \
   || fail "per-job metrics missing"
@@ -84,4 +105,14 @@ RC=0
 wait "$SERVER_PID" || RC=$?
 [ "$RC" -eq 0 ] || fail "server exited $RC on SIGTERM"
 trap - EXIT
+
+# The drain must have flushed the JSONL event sink and written the span
+# trace: every event line parses, and job lifecycle events are present.
+[ -s "$WORK/events.jsonl" ] || fail "event log empty after drain"
+jq -es 'length > 0' "$WORK/events.jsonl" >/dev/null \
+  || fail "event log has unparseable lines (unflushed partial write?)"
+grep -q '"event":"job.done"' "$WORK/events.jsonl" || fail "job.done event not flushed"
+jq -e '.traceEvents | length > 0' "$WORK/trace.json" >/dev/null \
+  || fail "trace file empty after drain"
+echo "server_smoke: drain flushed $(wc -l <"$WORK/events.jsonl") events + trace"
 echo "server_smoke: PASS"
