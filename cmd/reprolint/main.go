@@ -1,0 +1,165 @@
+// Command reprolint runs the repository's custom static-analysis suite
+// (internal/lint): project-specific analyzers that mechanically enforce
+// the determinism, cancellation and nil-safety invariants the estimator
+// stack depends on.
+//
+// Usage:
+//
+//	reprolint [-json] [-v] [pattern ...]
+//	reprolint -list
+//
+// Patterns follow the go tool's shape: "./..." (the default) lints every
+// non-test package in the module; "./internal/mc" or "internal/mc"
+// lints one package; a trailing "/..." lints a subtree. Test files are
+// never loaded — the invariants are about production code.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "write machine-readable reprolint/v1 JSON to stdout")
+	verbose := fs.Bool("v", false, "also list suppressed findings with their justifications")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: reprolint [-json] [-v] [pattern ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+
+	pkgs, err := lint.NewLoader().LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := filterPackages(pkgs, patterns, root, cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+
+	res := lint.Run(selected, lint.Analyzers())
+
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, res); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+		// Keep the human summary visible when stdout is redirected to
+		// an artifact file.
+		fmt.Fprintf(stderr, "reprolint: %d finding(s), %d suppressed, %d package(s)\n",
+			len(res.Diags), len(res.Suppressed), len(selected))
+	} else {
+		lint.WriteText(stdout, res.Diags)
+		if *verbose {
+			for _, d := range res.Suppressed {
+				fmt.Fprintf(stdout, "%s (suppressed: %s)\n", d.String(), d.Reason)
+			}
+		}
+	}
+	if len(res.Diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// filterPackages selects the loaded packages matching the go-style
+// patterns, resolved relative to cwd inside the module rooted at root.
+func filterPackages(pkgs []*lint.Package, patterns []string, root, cwd string) ([]*lint.Package, error) {
+	keep := make(map[*lint.Package]bool)
+	for _, pat := range patterns {
+		matched := false
+		for _, p := range pkgs {
+			ok, err := patternMatches(pat, p, root, cwd)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep[p] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages", pat)
+		}
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		if keep[p] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func patternMatches(pat string, p *lint.Package, root, cwd string) (bool, error) {
+	recursive := false
+	if pat == "all" {
+		recursive = true
+		pat = "."
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "" {
+			pat = "."
+		}
+	}
+	// Resolve the pattern to a directory inside the module.
+	base := cwd
+	if filepath.IsAbs(pat) {
+		base = ""
+	}
+	dir := filepath.Clean(filepath.Join(base, pat))
+	pdir, err := filepath.Abs(p.Dir)
+	if err != nil {
+		return false, err
+	}
+	if pdir == dir {
+		return true, nil
+	}
+	if recursive && strings.HasPrefix(pdir+string(filepath.Separator), dir+string(filepath.Separator)) {
+		return true, nil
+	}
+	return false, nil
+}

@@ -277,6 +277,7 @@ func misExplore(ctx context.Context, counter *mc.Counter, o *MISOptions, rng *ra
 			}
 		}
 	}
+	//reprolint:ignore floateq wsum is exactly 0 iff no failing sample contributed a weight; sentinel for "no failures seen"
 	if wsum == 0 {
 		return nil, ErrNoFailures
 	}

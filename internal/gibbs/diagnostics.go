@@ -42,6 +42,7 @@ func Autocorrelation(xs []float64, lag int) (float64, error) {
 		m.Push(v)
 	}
 	mu, v := m.Mean(), m.Var()
+	//reprolint:ignore floateq Welford variance is exactly 0 only for a constant chain; exact sentinel, not a numeric comparison
 	if v == 0 {
 		return 0, fmt.Errorf("%w: no autocorrelation", ErrConstantChain)
 	}
@@ -138,6 +139,7 @@ func RHat(chains [][]float64) (float64, error) {
 		w += run.Var()
 	}
 	w /= float64(m)
+	//reprolint:ignore floateq within-chain variance is exactly 0 only when every split chain is constant; exact sentinel
 	if w == 0 {
 		return 0, fmt.Errorf("%w: within-chain variance is zero", ErrConstantChain)
 	}

@@ -18,6 +18,7 @@ import (
 // (‖α‖ = ε → 0 maximizes f(α)).
 func SphericalCoords(x []float64, eps float64) (r float64, alpha []float64, err error) {
 	r = linalg.Norm2(x)
+	//reprolint:ignore floateq Norm2 is exactly 0 only for the all-zero vector; degenerate-input guard
 	if r == 0 {
 		return 0, nil, errors.New("gibbs: cannot map the origin to spherical coordinates")
 	}
@@ -29,6 +30,7 @@ func SphericalCoords(x []float64, eps float64) (r float64, alpha []float64, err 
 // CartesianFromSpherical applies paper eq. (11): x = r·α/‖α‖₂.
 func CartesianFromSpherical(r float64, alpha []float64) ([]float64, error) {
 	n := linalg.Norm2(alpha)
+	//reprolint:ignore floateq Norm2 is exactly 0 only for the all-zero vector; degenerate-input guard
 	if n == 0 {
 		return nil, errors.New("gibbs: zero orientation vector")
 	}

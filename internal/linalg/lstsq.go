@@ -20,6 +20,7 @@ func RidgeLeastSquares(a *Matrix, b []float64, ridge float64) ([]float64, error)
 	for r := 0; r < a.Rows; r++ {
 		row := a.Row(r)
 		for i := 0; i < n; i++ {
+			//reprolint:ignore floateq sparsity fast path: skipping exact zeros cannot change the accumulated sums
 			if row[i] == 0 {
 				continue
 			}

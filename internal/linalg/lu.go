@@ -30,6 +30,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 				p, pmax = i, v
 			}
 		}
+		//reprolint:ignore floateq an exactly-zero pivot column means structural singularity; rank-tolerance decisions belong to the caller
 		if pmax == 0 || math.IsNaN(pmax) {
 			return nil, ErrSingular
 		}
@@ -45,6 +46,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.At(i, k) / pivot
 			lu.Set(i, k, m)
+			//reprolint:ignore floateq sparsity fast path: skipping an exactly-zero multiplier cannot change the elimination result
 			if m == 0 {
 				continue
 			}

@@ -102,6 +102,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		oi := out.Row(i)
 		for k := 0; k < m.Cols; k++ {
 			a := mi[k]
+			//reprolint:ignore floateq sparsity fast path: skipping exact zeros cannot change the product
 			if a == 0 {
 				continue
 			}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxHygiene enforces the two halves of the repository's cancellation
+// contract. First, a function that already receives a ctx must thread
+// it: minting context.Background() or context.TODO() inside such a
+// function detaches the work from its caller's deadline and cancel
+// signal (the job service's per-job cancellation depends on the chain
+// being unbroken down to chunk granularity). Second, in the long-running
+// solver packages, an exported function that accepts a ctx and loops
+// must actually consult it — ctx.Done()/ctx.Err() directly, or by
+// passing ctx to the code it calls; accepting a ctx and ignoring it
+// advertises cancellability the implementation does not deliver.
+var CtxHygiene = &Analyzer{
+	Name: "ctxhygiene",
+	Doc: "flag context.Background()/TODO() inside functions that already " +
+		"receive a ctx, and exported looping functions in solver packages " +
+		"that accept a ctx but never consult it",
+	Applies: func(p *Package) bool {
+		return !strings.Contains(p.ImportPath, "/") ||
+			strings.Contains(p.ImportPath, "/internal/")
+	},
+	Run: runCtxHygiene,
+}
+
+// loopPackages are the packages whose exported entry points run the
+// long solver/estimator loops — the ones part two of the check gates.
+func inLoopPackages(p *Package) bool {
+	return pathIn(p, false, "mc", "gibbs", "baselines", "jobs")
+}
+
+func runCtxHygiene(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxObj, ctxName := ctxParam(p, fn)
+			if ctxName == "" {
+				continue
+			}
+			if ctxName != "_" {
+				reportFreshContexts(p, fn, report)
+			}
+			if inLoopPackages(p) && fn.Name.IsExported() && ctxObj != nil {
+				reportUnconsultedCtx(p, fn, ctxObj, report)
+			}
+		}
+	}
+}
+
+// reportFreshContexts flags every context.Background()/context.TODO()
+// call in the body of a function that already has a ctx in scope.
+// Function literals declared inside inherit that scope, so they are
+// walked too.
+func reportFreshContexts(p *Package, fn *ast.FuncDecl, report Reporter) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, _ := pkgMember(p, call.Fun, "context")
+		if f, ok := obj.(*types.Func); ok && (f.Name() == "Background" || f.Name() == "TODO") {
+			report(call.Pos(),
+				"context.%s() inside %s, which already receives a ctx: thread the caller's ctx instead of detaching from its cancellation",
+				f.Name(), fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// reportUnconsultedCtx flags an exported function that takes a ctx,
+// contains a loop, and never references the ctx at all — neither
+// checking Done/Err nor passing it on.
+func reportUnconsultedCtx(p *Package, fn *ast.FuncDecl, ctxObj *types.Var, report Reporter) {
+	hasLoop := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		}
+		return !hasLoop
+	})
+	if !hasLoop {
+		return
+	}
+	if !usesObject(p, fn.Body, ctxObj) {
+		report(fn.Pos(),
+			"exported %s accepts a ctx and loops but never consults it; check ctx.Err()/ctx.Done() in the loop or pass ctx to the work it dispatches",
+			fn.Name.Name)
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point (or complex) operands
+// in non-test code, including float switch cases, which compile to the
+// same comparison. Exact float equality is almost never what estimator
+// code means: two mathematically equal quantities computed along
+// different paths differ in their last bits, so such comparisons are
+// either dead (never true) or, worse, true on some worker schedules and
+// false on others. Compare against a tolerance, use math.Signbit, or
+// compare bit patterns via math.Float64bits — or suppress with a reason
+// when exact equality is genuinely intended (sentinel values, checking a
+// value that was assigned rather than computed).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point operands outside _test.go " +
+		"files; use a tolerance, math.Signbit, or bit-pattern comparison",
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Package, report Reporter) {
+	walkFiles(p, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op != token.EQL && e.Op != token.NEQ {
+				return true
+			}
+			if !floatOperand(p, e.X) && !floatOperand(p, e.Y) {
+				return true
+			}
+			if isConstExpr(p, e.X) && isConstExpr(p, e.Y) {
+				return true // compile-time constant comparison is exact
+			}
+			report(e.OpPos,
+				"%s between floating-point operands; compare against a tolerance or use math.Signbit/math.Float64bits", e.Op)
+		case *ast.SwitchStmt:
+			if e.Tag == nil || !floatOperand(p, e.Tag) {
+				return true
+			}
+			for _, stmt := range e.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok || len(cc.List) == 0 {
+					continue
+				}
+				report(cc.Pos(),
+					"switch case on floating-point tag compiles to ==; compare against a tolerance instead")
+			}
+		}
+		return true
+	})
+}
+
+func floatOperand(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Type != nil && isFloat(tv.Type)
+}
+
+func isConstExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}

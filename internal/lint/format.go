@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONSchema identifies the machine-readable diagnostic format, so CI
+// consumers can detect incompatible changes.
+const JSONSchema = "reprolint/v1"
+
+// jsonReport is the envelope written by WriteJSON.
+type jsonReport struct {
+	Schema      string       `json:"schema"`
+	Count       int          `json:"count"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Suppressed  []Diagnostic `json:"suppressed,omitempty"`
+}
+
+// WriteText writes one "file:line:col: [analyzer] message" line per
+// diagnostic — the editor-friendly format.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the reprolint/v1 machine-readable report: schema tag,
+// unsuppressed count, all diagnostics, and (for auditing) the findings
+// hidden by ignore directives together with their justifications.
+func WriteJSON(w io.Writer, res Result) error {
+	rep := jsonReport{
+		Schema:      JSONSchema,
+		Count:       len(res.Diags),
+		Diagnostics: res.Diags,
+		Suppressed:  res.Suppressed,
+	}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseIgnoreComment holds the directive parser to its contract:
+// never panic, and on success always produce at least one non-empty
+// analyzer name and a non-empty reason — the property the mandatory-
+// justification satellite depends on.
+func FuzzParseIgnoreComment(f *testing.F) {
+	f.Add(" floateq exact sentinel")
+	f.Add(" floateq,maporder covered elsewhere")
+	f.Add("")
+	f.Add("   ")
+	f.Add("\t\t")
+	f.Add(" ,,, ")
+	f.Add("floateq glued")
+	f.Add(" floateq")
+	f.Add(" \x00weird\xff bytes")
+	f.Add(" a,b,c,d,e,f reason")
+	f.Fuzz(func(t *testing.T, text string) {
+		got, err := ParseIgnoreComment(text)
+		if err != nil {
+			return
+		}
+		if len(got.Analyzers) == 0 {
+			t.Fatalf("ParseIgnoreComment(%q) succeeded with no analyzers", text)
+		}
+		for _, n := range got.Analyzers {
+			if n == "" {
+				t.Fatalf("ParseIgnoreComment(%q) returned an empty analyzer name", text)
+			}
+			if strings.ContainsAny(n, " \t") {
+				t.Fatalf("ParseIgnoreComment(%q) returned name %q containing whitespace", text, n)
+			}
+		}
+		if got.Reason == "" {
+			t.Fatalf("ParseIgnoreComment(%q) succeeded without a reason", text)
+		}
+	})
+}
+
+// FuzzDirectiveText pairs the comment-shape scanner with the parser:
+// arbitrary comment text must never panic, and anything not claimed as
+// a directive must be left alone.
+func FuzzDirectiveText(f *testing.F) {
+	f.Add("//reprolint:ignore floateq why")
+	f.Add("// reprolint:ignore floateq why")
+	f.Add("//reprolint:ignorefloateq why")
+	f.Add("/* block */")
+	f.Add("//")
+	f.Add("not a comment at all")
+	f.Add("//\xf0\x28\x8c\x28 invalid utf8")
+	f.Fuzz(func(t *testing.T, comment string) {
+		rest, claimed := directiveText(comment)
+		if !claimed {
+			return
+		}
+		// Whatever was claimed must flow through the parser without
+		// panicking, whichever way it resolves.
+		_, _ = ParseIgnoreComment(rest)
+	})
+}
+
+// FuzzFormatDiagnostic feeds adversarial analyzer names, paths,
+// positions and messages through both output formats: no panics, and
+// the JSON mode must stay machine-parseable whatever the content.
+func FuzzFormatDiagnostic(f *testing.F) {
+	f.Add("floateq", "a.go", 1, 1, "plain", "reason")
+	f.Add("", "", 0, 0, "", "")
+	f.Add("x", "weird\nfile\x00.go", -5, 1<<30, "message with \"quotes\" and \\ slashes", "r")
+	f.Add("α", "путь.go", 7, -1, "ünïcode £ message", "ßecause")
+	f.Fuzz(func(t *testing.T, analyzer, file string, line, col int, msg, reason string) {
+		res := Result{
+			Diags: []Diagnostic{{Analyzer: analyzer, File: file, Line: line, Col: col, Message: msg}},
+			Suppressed: []Diagnostic{{
+				Analyzer: analyzer, File: file, Line: line, Col: col, Message: msg,
+				Suppressed: true, Reason: reason,
+			}},
+		}
+		var text bytes.Buffer
+		if err := WriteText(&text, res.Diags); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, res); err != nil {
+			// json.Marshal only fails on invalid UTF-8 being coerced;
+			// encoding/json replaces those, so any error is a bug —
+			// unless the strings were not valid UTF-8 to begin with.
+			if utf8.ValidString(analyzer) && utf8.ValidString(file) &&
+				utf8.ValidString(msg) && utf8.ValidString(reason) {
+				t.Fatalf("WriteJSON on valid UTF-8: %v", err)
+			}
+			return
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatalf("WriteJSON emitted unparseable JSON: %v\n%s", err, buf.String())
+		}
+		if rep["schema"] != JSONSchema {
+			t.Fatalf("schema tag lost: %v", rep["schema"])
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathIn reports whether the package's import path is the module root
+// (no "/internal/" segment and no slash beyond the module name is not
+// reliable across fixtures, so root is matched exactly) or ends with one
+// of the given "/internal/<name>" suffixes. Fixtures are loaded under
+// synthetic "repro/..." paths so they match identically.
+func pathIn(p *Package, root bool, internals ...string) bool {
+	ip := p.ImportPath
+	if root && !strings.Contains(ip, "/") {
+		return true
+	}
+	for _, name := range internals {
+		if strings.HasSuffix(ip, "/internal/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// useOf resolves an identifier to the object it refers to, or nil.
+func useOf(p *Package, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	return p.Info.Uses[id]
+}
+
+// pkgFuncCallee reports whether expr is a selector x.Sel where x names
+// an imported package with the given path, returning the selected
+// package-level object (function, var, type) if so.
+func pkgMember(p *Package, expr ast.Expr, pkgPaths ...string) (types.Object, string) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	pn, ok := useOf(p, x).(*types.PkgName)
+	if !ok {
+		return nil, ""
+	}
+	path := pn.Imported().Path()
+	for _, want := range pkgPaths {
+		if path == want {
+			return useOf(p, sel.Sel), path
+		}
+	}
+	return nil, ""
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex basic type (complex equality has the same exactness trap).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// rootIdent returns the leftmost identifier of an lvalue expression:
+// x, x.f, x[i], x.f[i].g all yield x.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the object was declared outside the
+// [lo, hi] node span — i.e. it survives across iterations of a loop
+// spanning that range.
+func declaredOutside(obj types.Object, lo, hi ast.Node) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo.Pos() || obj.Pos() > hi.End()
+}
+
+// ctxParam returns the *types.Var of the first parameter whose type is
+// context.Context, along with its declared name ("" when anonymous).
+func ctxParam(p *Package, fn *ast.FuncDecl) (*types.Var, string) {
+	if fn.Type.Params == nil {
+		return nil, ""
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return nil, ""
+		}
+		name := field.Names[0]
+		if v, ok := p.Info.Defs[name].(*types.Var); ok {
+			return v, name.Name
+		}
+		return nil, name.Name
+	}
+	return nil, ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(p *Package, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(child ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := child.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"errors"
+	"strings"
+)
+
+// ignorePrefix is the directive marker. Like go:build directives it must
+// appear immediately after "//" with no space, so ordinary prose that
+// happens to mention reprolint is never parsed as a directive.
+const ignorePrefix = "reprolint:ignore"
+
+// IgnoreComment is a parsed //reprolint:ignore directive: the analyzers
+// it silences and the mandatory human-readable justification.
+type IgnoreComment struct {
+	Analyzers []string
+	Reason    string
+}
+
+// AnalyzerList renders the analyzer names as they appeared, for
+// diagnostics about the directive itself.
+func (c IgnoreComment) AnalyzerList() string { return strings.Join(c.Analyzers, ",") }
+
+// directiveText extracts the directive body from a raw comment.
+// It returns ok=false for comments that are not ignore directives at
+// all (including /* */ comments, which are never directives). A "//"
+// comment whose text starts with the marker returns the remainder for
+// strict parsing.
+func directiveText(comment string) (string, bool) {
+	rest, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	// A directive comment has no space between // and the marker.
+	// "// reprolint:ignore" is also claimed (and then rejected as
+	// malformed by ParseIgnoreComment's caller contract below) so that
+	// a stray space cannot silently disable a suppression.
+	trimmed := strings.TrimLeft(rest, " \t")
+	if !strings.HasPrefix(trimmed, ignorePrefix) {
+		return "", false
+	}
+	if trimmed != rest {
+		// Marker present but indented: claim it as a directive so the
+		// malformed-directive diagnostic fires instead of the
+		// suppression silently not applying.
+		return "", true
+	}
+	return strings.TrimPrefix(rest, ignorePrefix), true
+}
+
+// Errors returned by ParseIgnoreComment. They are distinct values so the
+// fuzz target and tests can assert on the failure mode.
+var (
+	errDirectiveSpace     = errors.New(`marker must start the comment: write "//reprolint:ignore" with no space after //`)
+	errDirectiveNoNames   = errors.New("missing analyzer name(s) after //reprolint:ignore")
+	errDirectiveNoReason  = errors.New("missing justification: //reprolint:ignore <analyzer> <reason>")
+	errDirectiveEmptyName = errors.New("empty analyzer name in comma-separated list")
+)
+
+// ParseIgnoreComment parses the text after the "reprolint:ignore"
+// marker (as returned by directiveText): a comma-separated analyzer
+// list, whitespace, then a free-form non-empty reason. It never panics,
+// whatever the input — the fuzz target FuzzParseIgnoreComment holds it
+// to that.
+func ParseIgnoreComment(text string) (IgnoreComment, error) {
+	if text == "" {
+		// directiveText signalled an indented marker.
+		return IgnoreComment{}, errDirectiveSpace
+	}
+	// The marker must be followed by whitespace, not glued to the
+	// analyzer name ("//reprolint:ignorefloateq").
+	if text[0] != ' ' && text[0] != '\t' {
+		return IgnoreComment{}, errDirectiveNoNames
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return IgnoreComment{}, errDirectiveNoNames
+	}
+	names := strings.Split(fields[0], ",")
+	for _, n := range names {
+		if n == "" {
+			return IgnoreComment{}, errDirectiveEmptyName
+		}
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimLeft(text, " \t"), fields[0]))
+	if reason == "" {
+		return IgnoreComment{}, errDirectiveNoReason
+	}
+	return IgnoreComment{Analyzers: names, Reason: reason}, nil
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIgnoreComment(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string // text after the "reprolint:ignore" marker
+		wantErr string
+		names   []string
+		reason  string
+	}{
+		{
+			name:   "single analyzer",
+			text:   " floateq exact sentinel check",
+			names:  []string{"floateq"},
+			reason: "exact sentinel check",
+		},
+		{
+			name:   "analyzer list",
+			text:   " floateq,maporder covered by the sorted-keys refactor",
+			names:  []string{"floateq", "maporder"},
+			reason: "covered by the sorted-keys refactor",
+		},
+		{
+			name:   "tabs and extra spaces",
+			text:   "\tfloateq \t reason   with   gaps",
+			names:  []string{"floateq"},
+			reason: "reason   with   gaps",
+		},
+		{name: "missing everything", text: "", wantErr: "marker must start the comment"},
+		{name: "glued name", text: "floateq reason", wantErr: "missing analyzer name"},
+		{name: "only spaces", text: "   ", wantErr: "missing analyzer name"},
+		{name: "missing reason", text: " floateq", wantErr: "missing justification"},
+		{name: "missing reason with spaces", text: " floateq   ", wantErr: "missing justification"},
+		{name: "empty list entry", text: " floateq,,maporder reason", wantErr: "empty analyzer name"},
+		{name: "leading comma", text: " ,floateq reason", wantErr: "empty analyzer name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseIgnoreComment(tc.text)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(got.Analyzers) != len(tc.names) {
+				t.Fatalf("analyzers = %v, want %v", got.Analyzers, tc.names)
+			}
+			for i := range tc.names {
+				if got.Analyzers[i] != tc.names[i] {
+					t.Errorf("analyzers[%d] = %q, want %q", i, got.Analyzers[i], tc.names[i])
+				}
+			}
+			if got.Reason != tc.reason {
+				t.Errorf("reason = %q, want %q", got.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		comment string
+		rest    string
+		claimed bool
+	}{
+		{"//reprolint:ignore floateq why", " floateq why", true},
+		{"//reprolint:ignore", "", true}, // claimed; parser rejects next
+		{"// reprolint:ignore floateq why", "", true},
+		{"//\treprolint:ignore floateq why", "", true},
+		{"// plain comment", "", false},
+		{"// want floateq `x`", "", false},
+		{"/* reprolint:ignore floateq why */", "", false},
+		{"//go:build ignore", "", false},
+	}
+	for _, tc := range cases {
+		rest, claimed := directiveText(tc.comment)
+		if claimed != tc.claimed {
+			t.Errorf("directiveText(%q) claimed = %v, want %v", tc.comment, claimed, tc.claimed)
+			continue
+		}
+		if claimed && tc.rest != "" && rest != tc.rest {
+			t.Errorf("directiveText(%q) rest = %q, want %q", tc.comment, rest, tc.rest)
+		}
+	}
+}
+
+func TestAnalyzerRegistryNames(t *testing.T) {
+	names := AnalyzerNames()
+	for _, wantName := range []string{
+		"globalrand", "maporder", "ctxhygiene", "nilsafetelemetry", "floateq", DirectiveAnalyzer,
+	} {
+		if !names[wantName] {
+			t.Errorf("registry is missing analyzer %q", wantName)
+		}
+	}
+	if len(names) != 6 {
+		t.Errorf("registry has %d names, want 6: %v", len(names), names)
+	}
+}

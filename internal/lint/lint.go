@@ -1,0 +1,270 @@
+// Package lint is reprolint: a project-specific static-analysis suite,
+// built on the standard library's go/parser, go/ast and go/types (with
+// go/importer supplying stdlib type information from source), that
+// mechanically enforces the repository's determinism, cancellation and
+// nil-safety invariants. The paper's two-stage Gibbs flow is an
+// importance-sampling estimator whose audit trail depends on
+// reproducible sample streams; the analyzers turn the conventions that
+// protect that reproducibility — index-seeded RNG streams, order-stable
+// accumulation, ctx threading, nil-safe telemetry, tolerance-based float
+// comparison — into CI-gated diagnostics.
+//
+// Findings can be suppressed one line at a time with
+//
+//	//reprolint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// either trailing the offending line or on the line directly above it.
+// The reason is mandatory, and directives that suppress nothing are
+// themselves reported, so stale suppressions cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: an analyzer name, a position, and a
+// message. Suppressed findings are retained (with the directive's
+// reason) so callers can audit what the ignore comments are hiding.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+
+	// Suppressed and Reason are set when an ignore directive matched.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Reporter records one finding at a position. Analyzers call it for
+// every violation they see; suppression is applied afterwards by Run.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one invariant check. Applies (optional) gates the
+// analyzer to the packages whose invariant it protects; Run walks the
+// package and reports findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies reports whether the analyzer runs on this package. Nil
+	// means "every package".
+	Applies func(p *Package) bool
+	Run     func(p *Package, report Reporter)
+}
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which reprolint
+// reports problems with ignore directives themselves (malformed text,
+// unknown analyzer names, suppressions that match nothing).
+const DirectiveAnalyzer = "reprolint"
+
+// Analyzers returns the full registry, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GlobalRand,
+		MapOrder,
+		CtxHygiene,
+		NilSafeTelemetry,
+		FloatEq,
+	}
+}
+
+// AnalyzerNames returns the registered analyzer names, plus the
+// directive pseudo-analyzer, for directive validation.
+func AnalyzerNames() map[string]bool {
+	names := map[string]bool{DirectiveAnalyzer: true}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Result is the outcome of running analyzers over a set of packages.
+type Result struct {
+	// Diags are the unsuppressed findings, sorted by file, line,
+	// column, then analyzer. A non-empty slice means the gate fails.
+	Diags []Diagnostic
+	// Suppressed are findings matched by an ignore directive.
+	Suppressed []Diagnostic
+}
+
+// Run executes the analyzers over the packages and applies ignore
+// directives. Directive hygiene problems (malformed directives, unused
+// suppressions) are reported as findings of the "reprolint"
+// pseudo-analyzer and cannot themselves be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
+	known := AnalyzerNames()
+	for _, p := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(p) {
+				continue
+			}
+			name := a.Name
+			report := func(pos token.Pos, format string, args ...any) {
+				position := p.Fset.Position(pos)
+				raw = append(raw, Diagnostic{
+					Analyzer: name,
+					File:     position.Filename,
+					Line:     position.Line,
+					Col:      position.Column,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			a.Run(p, report)
+		}
+
+		directives, dirDiags := collectDirectives(p, known)
+		raw = append(raw, dirDiags...)
+
+		for i := range raw {
+			d := &raw[i]
+			if d.Analyzer == DirectiveAnalyzer {
+				// Directive hygiene findings are never suppressible.
+				res.Diags = append(res.Diags, *d)
+				continue
+			}
+			if dir := match(directives, d); dir != nil {
+				dir.used = true
+				d.Suppressed = true
+				d.Reason = dir.Reason
+				res.Suppressed = append(res.Suppressed, *d)
+			} else {
+				res.Diags = append(res.Diags, *d)
+			}
+		}
+		for _, dir := range directives {
+			if !dir.used {
+				res.Diags = append(res.Diags, Diagnostic{
+					Analyzer: DirectiveAnalyzer,
+					File:     dir.File,
+					Line:     dir.Line,
+					Col:      dir.Col,
+					Message: fmt.Sprintf("ignore directive for %q suppresses nothing; delete it",
+						dir.AnalyzerList()),
+				})
+			}
+		}
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+// match returns the first directive that covers the diagnostic: same
+// file, naming the diagnostic's analyzer, on the same line as the
+// finding or on the line directly above it.
+func match(dirs []*directive, d *Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.File != d.File {
+			continue
+		}
+		if dir.Line != d.Line && dir.Line != d.Line-1 {
+			continue
+		}
+		for _, name := range dir.Analyzers {
+			if name == d.Analyzer {
+				return dir
+			}
+		}
+	}
+	return nil
+}
+
+// collectDirectives parses every ignore directive in the package's
+// files, returning them plus diagnostics for malformed ones.
+func collectDirectives(p *Package, known map[string]bool) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				parsed, err := ParseIgnoreComment(text)
+				if err != nil {
+					diags = append(diags, Diagnostic{
+						Analyzer: DirectiveAnalyzer,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  fmt.Sprintf("malformed ignore directive: %v", err),
+					})
+					continue
+				}
+				anyKnown := false
+				for _, name := range parsed.Analyzers {
+					if known[name] {
+						anyKnown = true
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Analyzer: DirectiveAnalyzer,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", name),
+					})
+				}
+				if !anyKnown {
+					// Already reported as unknown; registering it would
+					// only add a redundant "suppresses nothing" finding.
+					continue
+				}
+				dirs = append(dirs, &directive{
+					IgnoreComment: parsed,
+					File:          pos.Filename,
+					Line:          pos.Line,
+					Col:           pos.Column,
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// directive is a parsed ignore comment anchored at a position.
+type directive struct {
+	IgnoreComment
+	File string
+	Line int
+	Col  int
+	used bool
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// walkFiles applies fn to every node of every file in the package.
+func walkFiles(p *Package, fn func(n ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package of the module: the
+// parsed files, the go/types object graph, and the expression/identifier
+// resolution tables the analyzers consult. Test files (_test.go) are
+// deliberately not loaded — every invariant reprolint enforces is about
+// production code, and several analyzers (floateq, ctxhygiene) exempt
+// tests by definition.
+type Package struct {
+	// ImportPath is the package's import path ("repro/internal/mc").
+	// Fixture packages are loaded under a caller-chosen path so that
+	// path-scoped analyzers exercise the same matching logic as on the
+	// real module.
+	ImportPath string
+	// Dir is the directory the files were parsed from.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	imports []string // intra-run import paths, for topo ordering
+}
+
+// Loader parses and type-checks packages with a shared FileSet and a
+// shared stdlib importer, so repeated LoadDir calls (the fixture driver)
+// amortise the cost of type-checking the standard library from source.
+type Loader struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package // by import path, for intra-module imports
+}
+
+// NewLoader returns a loader backed by the pure-source stdlib importer.
+// Cgo is disabled on the build context so that packages like net resolve
+// to their pure-Go fallbacks — reprolint must run without invoking cgo.
+func NewLoader() *Loader {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs: make(map[string]*Package),
+	}
+}
+
+// Import implements types.Importer: intra-run packages come from the
+// loader's cache (LoadModule type-checks in dependency order, so they are
+// complete by the time an importer sees them); everything else is
+// delegated to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom for the type-checker.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// LoadModule loads every non-test package under the module rooted at
+// root (the directory containing go.mod), type-checking them in
+// dependency order. Directories named testdata, out, or starting with
+// "." or "_" are skipped, matching the go tool's conventions.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "out" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	// Parse every package directory first so the import graph is known
+	// before any type-checking starts.
+	var parsed []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.parseDir(dir, ip)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			parsed = append(parsed, p)
+		}
+	}
+
+	ordered, err := topoSort(parsed, modPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ordered {
+		if err := l.check(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path. Fixture packages use this with a synthetic path
+// (e.g. "repro/internal/mc") so path-scoped analyzers fire exactly as
+// they would on the real package.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	p, err := l.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	if err := l.check(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseDir parses the non-test .go files of dir. It returns (nil, nil)
+// when the directory contains no buildable non-test Go files.
+func (l *Loader) parseDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+	}
+	for ip := range imports {
+		p.imports = append(p.imports, ip)
+	}
+	sort.Strings(p.imports)
+	return p, nil
+}
+
+// check type-checks a parsed package and records it in the loader cache.
+func (l *Loader) check(p *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(p.ImportPath, l.fset, p.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+	}
+	p.Pkg = pkg
+	p.Info = info
+	l.pkgs[p.ImportPath] = p
+	return nil
+}
+
+// topoSort orders packages so that every intra-module import precedes
+// its importer. Only edges within modPath matter; stdlib imports are
+// resolved by the source importer on demand.
+func topoSort(pkgs []*Package, modPath string) ([]*Package, error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var ordered []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, ip := range p.imports {
+			if dep, ok := byPath[ip]; ok && (ip == modPath || strings.HasPrefix(ip, modPath+"/")) {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(rest)
+			mp = strings.Trim(mp, `"`)
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

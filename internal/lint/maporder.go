@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops in estimator and fit code whose
+// bodies accumulate into floating-point state or append work items
+// declared outside the loop. Go randomises map iteration order, and
+// float addition is not associative, so such a loop produces run-to-run
+// different bits for the same inputs — exactly the failure mode the
+// bit-identical-across-worker-counts guarantee exists to catch. The
+// deterministic pattern is to collect the keys, sort them, and range
+// over the sorted slice.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that accumulate floats or append " +
+		"work items in estimator/fit code; iteration order is randomised, " +
+		"so sort the keys first",
+	Applies: func(p *Package) bool {
+		return pathIn(p, true, "mc", "gibbs", "baselines", "model", "stat", "surrogate")
+	},
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Package, report Reporter) {
+	walkFiles(p, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		keyObj := rangeKeyObject(p, rng)
+		ast.Inspect(rng.Body, func(b ast.Node) bool {
+			as, ok := b.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			checkMapOrderAssign(p, rng, keyObj, as, report)
+			return true
+		})
+		return true
+	})
+}
+
+// rangeKeyObject returns the object of the range key variable, if the
+// statement declares one.
+func rangeKeyObject(p *Package, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+func checkMapOrderAssign(p *Package, rng *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt, report Reporter) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if flagged, why := orderDependentTarget(p, rng, keyObj, lhs); flagged {
+				report(as.Pos(),
+					"float %s into %s inside range-over-map: iteration order is randomised and float ops are not associative; sort the keys and range over the slice", as.Tok, why)
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		// x = x + v  (self-referencing float update), and
+		// s = append(s, ...) into an outer slice.
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			rhs := as.Rhs[i]
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p, call) {
+				root := rootIdent(lhs)
+				obj := objectOf(p, root)
+				if obj != nil && declaredOutside(obj, rng, rng) && !appendsOnlyRangeKey(p, keyObj, call) {
+					report(as.Pos(),
+						"append to %q inside range-over-map: element order follows the randomised iteration order; sort the keys and range over the slice", root.Name)
+				}
+				continue
+			}
+			if flagged, why := orderDependentTarget(p, rng, keyObj, lhs); flagged {
+				root := rootIdent(lhs)
+				if root != nil && usesObject(p, rhs, objectOf(p, root)) {
+					report(as.Pos(),
+						"float update of %s from its own value inside range-over-map: iteration order is randomised and float ops are not associative; sort the keys and range over the slice", why)
+				}
+			}
+		}
+	}
+}
+
+// orderDependentTarget reports whether assigning to lhs accumulates
+// order-dependent float state: the target is float-typed, its root
+// variable outlives the loop, and — for map-index targets — the entry is
+// not keyed by the range key itself (m[k] is touched once per key, so
+// order cannot matter).
+func orderDependentTarget(p *Package, rng *ast.RangeStmt, keyObj types.Object, lhs ast.Expr) (bool, string) {
+	tv, ok := p.Info.Types[lhs]
+	if !ok || !isFloat(tv.Type) {
+		return false, ""
+	}
+	root := rootIdent(lhs)
+	obj := objectOf(p, root)
+	if obj == nil || !declaredOutside(obj, rng, rng) {
+		return false, ""
+	}
+	if idx, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+		if id, ok := idx.Index.(*ast.Ident); ok && p.Info.Uses[id] == keyObj {
+			return false, ""
+		}
+	}
+	return true, "\"" + root.Name + "\""
+}
+
+func objectOf(p *Package, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// appendsOnlyRangeKey reports whether every appended element is the
+// range key itself — the collect-keys-then-sort remedy, which is the
+// sanctioned deterministic pattern and must not be flagged.
+func appendsOnlyRangeKey(p *Package, keyObj types.Object, call *ast.CallExpr) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

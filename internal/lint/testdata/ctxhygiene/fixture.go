@@ -1,0 +1,75 @@
+// Package fixture exercises the ctxhygiene analyzer. It is loaded under
+// the synthetic import path "repro/internal/jobs", which is both inside
+// internal/ (fresh-context check) and in the solver-loop package set
+// (unconsulted-ctx check).
+package fixture
+
+import "context"
+
+// Minting a fresh context inside a ctx-receiving function detaches the
+// work from the caller's cancellation.
+func badFreshContext(ctx context.Context) context.Context {
+	return context.Background() // want ctxhygiene `context\.Background\(\) inside badFreshContext`
+}
+
+func badFreshTODO(ctx context.Context, f func(context.Context)) {
+	f(context.TODO()) // want ctxhygiene `context\.TODO\(\) inside badFreshTODO`
+}
+
+// Closures inherit the enclosing ctx, so the rule applies inside them.
+func badFreshInClosure(ctx context.Context) func() context.Context {
+	return func() context.Context {
+		return context.Background() // want ctxhygiene `context\.Background\(\) inside badFreshInClosure`
+	}
+}
+
+// want[+1] ctxhygiene `exported BadLoop accepts a ctx and loops but never consults it`
+func BadLoop(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Consulting ctx.Err in the loop is the sanctioned pattern.
+func GoodLoop(ctx context.Context, xs []float64) (float64, error) {
+	s := 0.0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return s, err
+		}
+		s += x
+	}
+	return s, nil
+}
+
+// Passing ctx to the dispatched work also counts as consulting it.
+func GoodDelegating(ctx context.Context, n int, run func(context.Context) error) error {
+	for i := 0; i < n; i++ {
+		if err := run(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unexported looping functions are the callee side of the contract; the
+// exported entry point is responsible for cancellation.
+func unexportedLoop(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// No loop: accepting-but-ignoring ctx is a smell, not a gated invariant.
+func Instant(ctx context.Context, x float64) float64 {
+	return x * 2
+}
+
+// A function without a ctx of its own may mint the root context.
+func GoodRootContext() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,71 @@
+// Package fixture exercises the floateq analyzer (applies to every
+// non-test package; loaded under "repro/internal/sram").
+package fixture
+
+import "math"
+
+func badEq(a, b float64) bool {
+	return a == b // want floateq `== between floating-point operands`
+}
+
+func badNeq(a float64) bool {
+	return a != 0 // want floateq `!= between floating-point operands`
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want floateq `== between floating-point operands`
+}
+
+func badComplex(a, b complex128) bool {
+	return a == b // want floateq `== between floating-point operands`
+}
+
+// want[+3] floateq `switch case on floating-point tag`
+func badSwitch(x float64) int {
+	switch x {
+	case 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Tolerance comparison is the sanctioned pattern.
+func goodTolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-12
+}
+
+// Bit-pattern comparison is exact by construction.
+func goodBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Signed-zero discrimination has a dedicated primitive.
+func goodSignbit(a float64) bool {
+	return math.Signbit(a)
+}
+
+// Integer equality is exact; not the analyzer's business.
+func goodInt(a, b int) bool {
+	return a == b
+}
+
+// Compile-time constant comparisons are folded exactly.
+func goodConst() bool {
+	const eps = 1e-9
+	return eps == 1e-9
+}
+
+// Ordering comparisons are fine; only ==/!= lose to rounding.
+func goodOrdering(a, b float64) bool {
+	return a < b || a > b
+}
+
+// A switch without a float tag is untouched.
+func goodSwitch(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return 0
+}

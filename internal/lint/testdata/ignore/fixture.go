@@ -1,0 +1,54 @@
+// Package fixture exercises the //reprolint:ignore directive machinery:
+// trailing and line-above suppression, mandatory reasons, unknown
+// analyzer names, and stale-directive detection. It is analyzed with
+// floateq only.
+package fixture
+
+// A trailing directive with a reason suppresses the finding on its line.
+func suppressedTrailing(a, b float64) bool {
+	return a == b //reprolint:ignore floateq fixture: exact comparison is intended here
+}
+
+// A directive on the line above covers the next line.
+func suppressedAbove(a, b float64) bool {
+	//reprolint:ignore floateq fixture: exact comparison is intended here
+	return a == b
+}
+
+// A comma-separated analyzer list may suppress several analyzers.
+func suppressedList(a, b float64) bool {
+	//reprolint:ignore floateq,maporder fixture: list form covers this line for both analyzers
+	return a == b
+}
+
+// A directive without a justification is itself a finding, and the
+// original diagnostic stays live.
+func missingReason(a, b float64) bool {
+	// want[+2] reprolint `malformed ignore directive: missing justification`
+	// want[+1] floateq `== between floating-point operands`
+	return a == b //reprolint:ignore floateq
+}
+
+// Unknown analyzer names are reported (typos must not silently disable
+// a suppression), and nothing is suppressed.
+func unknownAnalyzer(a, b float64) bool {
+	// want[+2] reprolint `unknown analyzer "floateqq"`
+	// want[+1] floateq `== between floating-point operands`
+	return a == b //reprolint:ignore floateqq fixture: typo in the analyzer name
+}
+
+// A space between // and the marker is claimed and rejected, so a
+// mistyped directive cannot silently stop suppressing.
+func indentedMarker(a, b float64) bool {
+	// want[+2] reprolint `malformed ignore directive: marker must start the comment`
+	// want[+1] floateq `== between floating-point operands`
+	return a == b // reprolint:ignore floateq fixture: the leading space disarms this
+}
+
+// A directive that matches no finding is stale and must be deleted.
+// want[+2] reprolint `ignore directive for "floateq" suppresses nothing`
+//
+//reprolint:ignore floateq fixture: there is no finding on the next line
+func stale(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,83 @@
+// Package fixture exercises the maporder analyzer. It is loaded under
+// the synthetic import path "repro/internal/gibbs" (estimator scope).
+package fixture
+
+import "sort"
+
+// Accumulating floats across randomised map order changes the bits.
+func badFloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want maporder `float \+= into "total"`
+	}
+	return total
+}
+
+// Self-referencing float updates are the same accumulation in disguise.
+func badSelfAssign(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want maporder `float update of "total"`
+	}
+	return total
+}
+
+// Work items appended in map order run in map order downstream.
+func badWorkAppend(m map[int][]float64, lo float64) [][]float64 {
+	var work [][]float64
+	for _, block := range m {
+		if block[0] > lo {
+			work = append(work, block) // want maporder `append to "work"`
+		}
+	}
+	return work
+}
+
+// Accumulating into entries keyed by something other than the range key
+// can collapse keys, so order matters.
+func badRekeyedAccum(m map[int]float64, bucket func(int) int) map[int]float64 {
+	out := make(map[int]float64)
+	for k, v := range m {
+		out[bucket(k)] *= v // want maporder `float \*= into "out"`
+	}
+	return out
+}
+
+// The sanctioned remedy: collect the keys, sort, range the slice.
+func goodSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: not flagged
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Integer accumulation is exactly associative: order cannot matter.
+func goodIntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Per-iteration locals reset each pass; nothing accumulates.
+func goodLocalFloat(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		scaled := 0.0
+		scaled += v * 2
+		out[k] = scaled
+	}
+}
+
+// Writing the entry for the range key touches each key exactly once.
+func goodKeyedWrite(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v * v
+	}
+}

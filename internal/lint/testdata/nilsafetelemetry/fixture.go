@@ -1,0 +1,66 @@
+// Package telemetry exercises the nilsafetelemetry analyzer, which
+// applies to any package named "telemetry" (it is loaded under the
+// synthetic import path "repro/internal/telemetry").
+package telemetry
+
+// Meter mimics a nil-safe metric handle: a nil *Meter must no-op.
+type Meter struct {
+	n int64
+	v float64
+}
+
+// Add carries the canonical guard.
+func (m *Meter) Add(x float64) {
+	if m == nil {
+		return
+	}
+	m.n++
+	m.v += x
+}
+
+// Enabled's whole body is the nil comparison: accepted single-return form.
+func (m *Meter) Enabled() bool { return m != nil }
+
+// ReversedGuard spells the comparison nil-first; still a guard.
+func (m *Meter) ReversedGuard() int64 {
+	if nil == m {
+		return 0
+	}
+	return m.n
+}
+
+// GuardWithOr may fold further disabled conditions into the same branch.
+func (m *Meter) GuardWithOr(limit int64) int64 {
+	if m == nil || limit <= 0 {
+		return 0
+	}
+	return m.n
+}
+
+// want[+1] nilsafetelemetry `exported method Count on pointer receiver \*Meter`
+func (m *Meter) Count() int64 {
+	return m.n
+}
+
+// want[+1] nilsafetelemetry `exported method LateGuard on pointer receiver \*Meter`
+func (m *Meter) LateGuard() float64 {
+	total := 0.0
+	if m == nil {
+		return total
+	}
+	return m.v
+}
+
+// unexported methods are internal plumbing; callers have already passed
+// a guard on the exported surface.
+func (m *Meter) reset() {
+	m.n = 0
+	m.v = 0
+}
+
+// Value receivers cannot be reached through a nil pointer dereference
+// of the handle itself.
+func (m Meter) Snapshot() float64 { return m.v }
+
+// A blank receiver cannot be dereferenced.
+func (_ *Meter) Hint() string { return "meter" }

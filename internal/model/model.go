@@ -68,6 +68,7 @@ func FitLinear(xs [][]float64, ys []float64) (*Linear, error) {
 // {x : C0 + Wᵀx = 0}: x* = −C0·W/‖W‖².
 func (l *Linear) MinNormZero() ([]float64, error) {
 	n2 := linalg.Dot(l.W, l.W)
+	//reprolint:ignore floateq dot(W,W) is exactly 0 only for an all-zero gradient; degenerate-model guard
 	if n2 == 0 {
 		return nil, errors.New("model: linear model has zero gradient")
 	}
@@ -161,6 +162,7 @@ func MinNormZeroSQP(s Surface, dim, iters int) ([]float64, error) {
 	// Start from the linear-part solution when available, otherwise a
 	// small perturbation to escape the saddle at the origin.
 	g0 := s.Grad(x)
+	//reprolint:ignore floateq Norm2 is exactly 0 only for the all-zero gradient at the origin saddle; exact sentinel
 	if linalg.Norm2(g0) == 0 {
 		for i := range x {
 			x[i] = 1e-3
@@ -300,6 +302,7 @@ func FindFailurePointContext(ctx context.Context, metric mc.Metric, opts *StartO
 func RefineAlongRay(metric mc.Metric, x0 []float64, maxRadius float64, bisections int) ([]float64, error) {
 	dim := metric.Dim()
 	r0 := linalg.Norm2(x0)
+	//reprolint:ignore floateq Norm2 is exactly 0 only for the all-zero start point; degenerate-solution guard
 	if r0 == 0 || math.IsNaN(r0) || math.IsInf(r0, 0) {
 		return nil, fmt.Errorf("%w (degenerate model solution, ‖x0‖ = %v)", ErrNoFailureFound, r0)
 	}

@@ -272,6 +272,7 @@ func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) (new
 	j := linalg.NewMatrix(n, n)
 
 	// Temporarily scale sources for source stepping.
+	//reprolint:ignore floateq srcScale is assigned from the stepping schedule, never computed; 1.0 is the exact "no scaling" sentinel
 	if srcScale != 1.0 {
 		orig := make([]float64, len(c.vsources))
 		for i, v := range c.vsources {

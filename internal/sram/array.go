@@ -22,9 +22,11 @@ func ArrayYield(pf float64, cells int64) (float64, error) {
 	if cells < 0 {
 		return 0, errors.New("sram: negative cell count")
 	}
+	//reprolint:ignore floateq exact probability-boundary fast path; Log1p handles every value strictly between 0 and 1
 	if pf == 0 || cells == 0 {
 		return 1, nil
 	}
+	//reprolint:ignore floateq exact probability-boundary fast path; Log1p handles every value strictly between 0 and 1
 	if pf == 1 {
 		return 0, nil
 	}

@@ -108,6 +108,7 @@ func (m *Metric) Value(x []float64) float64 {
 		raw = m.errorValue()
 	}
 	scale := m.Scale
+	//reprolint:ignore floateq Scale is user-assigned configuration, never computed; exact 0 is the unset sentinel
 	if scale == 0 {
 		scale = 1
 	}

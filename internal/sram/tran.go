@@ -210,6 +210,7 @@ func (m *TranMetric) Value(x []float64) float64 {
 		delay = m.Bench.defaults().Stop
 	}
 	scale := m.Scale
+	//reprolint:ignore floateq Scale is user-assigned configuration, never computed; exact 0 is the unset sentinel
 	if scale == 0 {
 		scale = 1e12
 	}

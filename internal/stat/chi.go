@@ -15,6 +15,7 @@ func (c Chi) PDF(r float64) float64 {
 	if r < 0 {
 		return 0
 	}
+	//reprolint:ignore floateq exact boundary of the PDF domain; the K=1 limit applies only at exactly 0
 	if r == 0 {
 		if c.K == 1 {
 			return 2 * invSqrt2Pi // limit of the K=1 half-Normal at 0

@@ -45,6 +45,7 @@ func NewGMM(weights []float64, comps []*MVNormal) (*GMM, error) {
 			return nil, errors.New("stat: GMM component dimensions differ")
 		}
 		w := weights[i] / sum
+		//reprolint:ignore floateq drops only components whose weight is exactly 0; any nonzero weight survives
 		if w == 0 {
 			continue // drop dead components
 		}
@@ -145,6 +146,7 @@ func FitGMM(samples [][]float64, k, iters int, rng *rand.Rand) (*GMM, error) {
 			d2[i] = best
 			total += best
 		}
+		//reprolint:ignore floateq squared distances sum to exactly 0 only when every sample equals a chosen mean; k-means++ degenerate case
 		if total == 0 {
 			// All samples identical to chosen means: duplicate a mean.
 			means = append(means, linalg.CopyVec(means[0]))
@@ -219,6 +221,7 @@ func FitGMM(samples [][]float64, k, iters int, rng *rand.Rand) (*GMM, error) {
 			cov := linalg.NewMatrix(dim, dim)
 			for i, s := range samples {
 				r := resp.At(i, j)
+				//reprolint:ignore floateq sparsity fast path: skipping exactly-zero responsibilities cannot change the covariance sums
 				if r == 0 {
 					continue
 				}

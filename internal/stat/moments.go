@@ -114,6 +114,7 @@ func (r *Running) CIHalfWidth(z float64) float64 { return z * r.StdErr() }
 // confidence-interval half-width divided by the estimated mean. It returns
 // +Inf when the mean is zero (no failures observed yet).
 func (r *Running) RelErr99() float64 {
+	//reprolint:ignore floateq the running mean of non-negative weights is exactly 0 iff no failing sample has been pushed; "no failures yet" sentinel
 	if r.mean == 0 {
 		return inf()
 	}

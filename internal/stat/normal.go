@@ -35,9 +35,9 @@ func NormSF(x float64) float64 {
 func NormQuantile(p float64) float64 {
 	if math.IsNaN(p) || p <= 0 || p >= 1 {
 		switch {
-		case p == 0:
+		case p == 0: //reprolint:ignore floateq exact domain boundary: the quantile is -Inf only at exactly 0, NaN for p < 0
 			return math.Inf(-1)
-		case p == 1:
+		case p == 1: //reprolint:ignore floateq exact domain boundary: the quantile is +Inf only at exactly 1, NaN for p > 1
 			return math.Inf(1)
 		}
 		return math.NaN()

@@ -26,7 +26,7 @@ func RegIncGammaP(a, x float64) float64 {
 		return math.NaN()
 	case x < 0:
 		return math.NaN()
-	case x == 0:
+	case x == 0: //reprolint:ignore floateq exact domain boundary: P(a, 0) = 0 by definition
 		return 0
 	}
 	if x < a+1 {
@@ -43,7 +43,7 @@ func RegIncGammaQ(a, x float64) float64 {
 		return math.NaN()
 	case x < 0:
 		return math.NaN()
-	case x == 0:
+	case x == 0: //reprolint:ignore floateq exact domain boundary: Q(a, 0) = 1 by definition
 		return 1
 	}
 	if x < a+1 {
@@ -127,14 +127,15 @@ func InvRegIncGammaP(a, p float64) float64 {
 		} else {
 			lo = x
 		}
-		// P'(a,x) = x^{a-1} e^{-x} / Γ(a)
+		// P'(a,x) = x^{a-1} e^{-x} / Γ(a). Take the Newton step when the
+		// derivative is usable and the step stays inside the bracket;
+		// otherwise (including exp underflow to 0) bisect.
 		dp := math.Exp((a-1)*math.Log(x) - x - lg)
-		var next float64
+		next := 0.5 * (lo + hi)
 		if dp > 0 {
-			next = x - f/dp
-		}
-		if !(next > lo && next < hi) || dp == 0 {
-			next = 0.5 * (lo + hi)
+			if cand := x - f/dp; cand > lo && cand < hi {
+				next = cand
+			}
 		}
 		if math.Abs(next-x) <= 1e-14*(math.Abs(x)+1e-300) {
 			return next

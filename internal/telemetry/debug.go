@@ -8,7 +8,10 @@ import (
 	"time"
 )
 
-// MetricsHandler serves the registry in Prometheus text format.
+// MetricsHandler serves the registry in Prometheus text format. A nil
+// registry serves an empty exposition.
+//
+//reprolint:ignore nilsafetelemetry the closure only calls WritePrometheus, which carries the nil guard; a nil registry serves an empty exposition
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -23,11 +26,22 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
-// Addr returns the bound listen address (useful with ":0").
-func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+// Addr returns the bound listen address (useful with ":0"), or "" on a
+// nil server.
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
 
-// Close shuts the listener down.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close shuts the listener down (no-op on a nil server).
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
 
 // ServeDebug starts the debug listener on addr (e.g. "localhost:6060")
 // and serves until Close. It returns once the listener is bound, so

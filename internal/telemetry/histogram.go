@@ -66,6 +66,9 @@ func (h *Histogram) Sum() float64 {
 
 // Mean returns the mean observed value (0 before any observation).
 func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
 	n := h.Count()
 	if n == 0 {
 		return 0

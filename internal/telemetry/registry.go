@@ -213,7 +213,12 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (0 on nil).
 func (c *Counter) Value() int64 {

@@ -284,6 +284,9 @@ func (t *Trace) Snapshot() []SpanSnapshot {
 // WriteJSONL writes the trace as one JSON object per span line, in span
 // creation order (nil-safe: writes nothing).
 func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	for _, s := range t.Snapshot() {
 		b, err := json.Marshal(s)
 		if err != nil {
@@ -315,6 +318,9 @@ type chromeEvent struct {
 // is the span's depth in the tree so nested stages stack visually, and
 // aggregates appear in the event's args.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	snaps := t.Snapshot()
 	depth := make(map[int64]int64, len(snaps))
 	events := make([]chromeEvent, 0, len(snaps))
