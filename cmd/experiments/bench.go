@@ -11,12 +11,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro"
+	"repro/internal/mc"
 	"repro/internal/telemetry"
 )
 
@@ -55,6 +57,19 @@ var benchSuite = []benchSpec{
 	{workload: "rnm", method: repro.GS, k: 600, n: 4000, fullOnly: true},
 }
 
+// kernelSuite measures the batched SPICE kernel itself: raw ValueBatch
+// throughput on standard-Normal samples through the mc dispatch layer,
+// with no estimator logic (training, chains, weighting) in the way.
+// These are the rows the ≥5×/≥10× speedup acceptance gates read.
+var kernelSuite = []struct {
+	workload string
+	n        int
+	fullOnly bool
+}{
+	{workload: "readcurrent", n: 100000},
+	{workload: "rnm", n: 4000, fullOnly: true},
+}
+
 // benchRun is one measured configuration in the BENCH file.
 type benchRun struct {
 	Workload string `json:"workload"`
@@ -81,6 +96,15 @@ type benchRun struct {
 	RHat      *float64 `json:"rhat"`
 	WeightESS float64  `json:"weight_ess"`
 	SimsTo90  int64    `json:"sims_to_90,omitempty"`
+
+	// Batch-kernel health. KernelBatches counts ValueBatch dispatches
+	// (mc kernel_batches_total); the rates split warm-start attempts
+	// into hits and cold fallbacks (spice warm_hit_total /
+	// warm_fallback_total over their sum; both 0 when the workload
+	// never offers an anchor).
+	KernelBatches    int64   `json:"kernel_batches"`
+	WarmHitRate      float64 `json:"warm_hit_rate"`
+	WarmFallbackRate float64 `json:"warm_fallback_rate"`
 }
 
 // benchFile is the BENCH_<label>.json document.
@@ -117,6 +141,23 @@ func runBench(ctx context.Context, cfg config) error {
 		run, err := benchOne(ctx, cfg, spec)
 		if err != nil {
 			return fmt.Errorf("bench %s/%s: %w", spec.workload, spec.method, err)
+		}
+		doc.Runs = append(doc.Runs, *run)
+		fmt.Printf("%-14s %-6s %10.3e %10d %12.0f %12.3g %12.3g\n",
+			run.Workload, run.Method, run.Pf, run.Sims, run.SimsPerSecond,
+			run.SolveP50Seconds, run.SolveP99Seconds)
+	}
+	for _, spec := range kernelSuite {
+		if cfg.quick && spec.fullOnly {
+			fmt.Printf("%-14s %-6s  (skipped in -quick mode)\n", spec.workload, "batch-kernel")
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		run, err := benchKernelOne(cfg, spec.workload, spec.n)
+		if err != nil {
+			return fmt.Errorf("bench %s/batch-kernel: %w", spec.workload, err)
 		}
 		doc.Runs = append(doc.Runs, *run)
 		fmt.Printf("%-14s %-6s %10.3e %10d %12.0f %12.3g %12.3g\n",
@@ -174,11 +215,7 @@ func benchOne(ctx context.Context, cfg config, spec benchSpec) (*benchRun, error
 	if wall > 0 {
 		run.SimsPerSecond = float64(res.TotalSims) / wall
 	}
-	for _, m := range reg.Snapshot() {
-		if m.Scope == "spice" && m.Name == "solve_seconds" && m.Count > 0 {
-			run.SolveP50Seconds, run.SolveP99Seconds = m.P50, m.P99
-		}
-	}
+	harvestKernelTelemetry(run, reg)
 	if rep := res.Report; rep != nil {
 		run.RelErr99 = rep.RelErr99
 		run.RHat = rep.RHat
@@ -191,4 +228,75 @@ func benchOne(ctx context.Context, cfg config, spec benchSpec) (*benchRun, error
 		run.GoldenPf, run.RelErrorVsGolden = &g, &rel
 	}
 	return run, nil
+}
+
+// benchKernelOne measures raw batched-kernel throughput for a workload:
+// n index-seeded standard-Normal samples dispatched through the mc
+// batch evaluator, exactly as an estimator chunk would be, but with no
+// estimator on top. Pf restates the observed failure fraction (usually
+// 0 at these budgets — the workloads live at Pf ≈ 1e-6).
+func benchKernelOne(cfg config, workload string, n int) (*benchRun, error) {
+	metric, err := repro.WorkloadByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.New()
+	if tm, ok := metric.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+		tm.SetTelemetry(reg)
+	}
+	ev := mc.NewEvaluator(metric, cfg.workers).WithTelemetry(reg)
+	dim := metric.Dim()
+	draw := func(rng *rand.Rand, _ int) []float64 {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		return x
+	}
+	if cfg.quick {
+		n = max(n/10, 1000)
+	}
+	t0 := time.Now()
+	evals := mc.MapBatch(ev, cfg.seed, 0, n,
+		draw, func(_ int, _ []float64, v float64) bool { return v < 0 })
+	wall := time.Since(t0).Seconds()
+	failures := 0
+	for _, fail := range evals {
+		if fail {
+			failures++
+		}
+	}
+	run := &benchRun{
+		Workload: workload, Method: "batch-kernel", N: n,
+		Pf:          float64(failures) / float64(n),
+		Sims:        int64(n),
+		WallSeconds: wall,
+	}
+	if wall > 0 {
+		run.SimsPerSecond = float64(n) / wall
+	}
+	harvestKernelTelemetry(run, reg)
+	return run, nil
+}
+
+// harvestKernelTelemetry fills the solve-latency quantiles and
+// batch-kernel health fields from a run's private registry.
+func harvestKernelTelemetry(run *benchRun, reg *telemetry.Registry) {
+	var warmHits, warmFalls float64
+	for _, m := range reg.Snapshot() {
+		switch {
+		case m.Scope == "spice" && m.Name == "solve_seconds" && m.Count > 0:
+			run.SolveP50Seconds, run.SolveP99Seconds = m.P50, m.P99
+		case m.Scope == "spice" && m.Name == "warm_hit_total":
+			warmHits = m.Value
+		case m.Scope == "spice" && m.Name == "warm_fallback_total":
+			warmFalls = m.Value
+		case m.Scope == "mc" && m.Name == "kernel_batches_total":
+			run.KernelBatches = int64(m.Value)
+		}
+	}
+	if attempts := warmHits + warmFalls; attempts > 0 {
+		run.WarmHitRate = warmHits / attempts
+		run.WarmFallbackRate = warmFalls / attempts
+	}
 }

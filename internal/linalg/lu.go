@@ -13,11 +13,36 @@ type LU struct {
 // FactorLU computes the LU factorization of a (which is not modified).
 // It returns ErrSingular when a pivot underflows.
 func FactorLU(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := FactorInto(f, a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto recomputes the factorization of a into f, reusing f's
+// matrix, pivot and sign storage when the capacity allows. It performs
+// exactly the same floating-point operations as FactorLU — a solve
+// through a reused factorization is bit-identical to one through a fresh
+// allocation — which is what lets the batched Newton kernel keep one LU
+// workspace across a whole batch of samples. a is not modified.
+func FactorInto(f *LU, a *Matrix) error {
 	if a.Rows != a.Cols {
 		panic("linalg: LU of non-square matrix")
 	}
 	n := a.Rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	if f.lu == nil || cap(f.lu.Data) < n*n {
+		f.lu = a.Clone()
+	} else {
+		f.lu.Rows, f.lu.Cols = n, n
+		f.lu.Data = f.lu.Data[:n*n]
+		copy(f.lu.Data, a.Data)
+	}
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	}
+	f.piv = f.piv[:n]
+	f.sign = 1
 	lu := f.lu
 	for i := range f.piv {
 		f.piv[i] = i
@@ -32,7 +57,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 		}
 		//reprolint:ignore floateq an exactly-zero pivot column means structural singularity; rank-tolerance decisions belong to the caller
 		if pmax == 0 || math.IsNaN(pmax) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rp, rk := lu.Row(p), lu.Row(k)
@@ -56,16 +81,24 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A x = b for x using the factorization. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, f.lu.Rows)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A x = b into a caller-owned x, allocating nothing.
+// The floating-point operations are identical to Solve's. x and b must
+// not alias and must both have the factored dimension.
+func (f *LU) SolveInto(x, b []float64) {
 	n := f.lu.Rows
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		panic("linalg: LU solve length mismatch")
 	}
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -87,7 +120,6 @@ func (f *LU) Solve(b []float64) []float64 {
 		}
 		x[i] = s / row[i]
 	}
-	return x
 }
 
 // Det returns the determinant of the factored matrix.

@@ -148,18 +148,20 @@ type isWeight struct {
 	fail bool
 }
 
-// isJob builds the per-sample task of the importance-sampling stage:
-// draw from g, simulate, and weight failures by f(x)/g(x). The weight is
-// computed in log space: the ratio of a deep tail density to a shifted
-// density overflows naive division.
-func isJob(metric Metric, g Distortion) func(rng *rand.Rand, i int) isWeight {
-	return func(rng *rand.Rand, _ int) isWeight {
-		x := g.Sample(rng)
-		if metric.Value(x) < 0 {
+// isJob builds the draw/reduce pair of the importance-sampling stage for
+// MapBatch: draw from g, simulate (scalar or batched — the dispatcher
+// decides), and weight failures by f(x)/g(x). The weight is computed in
+// log space: the ratio of a deep tail density to a shifted density
+// overflows naive division.
+func isJob(g Distortion) (draw func(rng *rand.Rand, i int) []float64, post func(i int, x []float64, v float64) isWeight) {
+	draw = func(rng *rand.Rand, _ int) []float64 { return g.Sample(rng) }
+	post = func(_ int, x []float64, v float64) isWeight {
+		if v < 0 {
 			return isWeight{w: math.Exp(stat.StdNormLogPDF(x) - g.LogPDF(x)), fail: true}
 		}
 		return isWeight{}
 	}
+	return draw, post
 }
 
 // maxTopWeights bounds how many of the largest weights the estimator
@@ -276,7 +278,7 @@ func ImportanceSampleContext(ctx context.Context, ev *Evaluator, g Distortion, n
 	span.SetAttr("n", n)
 	span.SetAttr("workers", ev.Workers())
 	chunkAgg := span.Agg("chunk")
-	job := isJob(ev.Metric(), g)
+	draw, post := isJob(g)
 	seed := rng.Int63()
 	var run stat.Running
 	failures := 0
@@ -288,7 +290,7 @@ func ImportanceSampleContext(ctx context.Context, ev *Evaluator, g Distortion, n
 		}
 		count := min(ChunkSize, n-start)
 		t0 := time.Now()
-		batch := Map(ev, seed, start, count, job)
+		batch := MapBatch(ev, seed, start, count, draw, post)
 		chunkAgg.Observe(time.Since(t0).Seconds())
 		trace = pushWeights(&run, batch, &failures, &tw, traceEvery, trace)
 		estimatorProgress(ev, &run, failures)
@@ -333,7 +335,7 @@ func ImportanceSampleUntilContext(ctx context.Context, ev *Evaluator, g Distorti
 	span.SetAttr("max_n", maxN)
 	span.SetAttr("workers", ev.Workers())
 	chunkAgg := span.Agg("chunk")
-	job := isJob(ev.Metric(), g)
+	draw, post := isJob(g)
 	seed := rng.Int63()
 	var run stat.Running
 	failures := 0
@@ -344,7 +346,7 @@ func ImportanceSampleUntilContext(ctx context.Context, ev *Evaluator, g Distorti
 		}
 		count := min(ChunkSize, maxN-start)
 		t0 := time.Now()
-		batch := Map(ev, seed, start, count, job)
+		batch := MapBatch(ev, seed, start, count, draw, post)
 		chunkAgg.Observe(time.Since(t0).Seconds())
 		pushWeights(&run, batch, &failures, &tw, 0, nil)
 		estimatorProgress(ev, &run, failures)

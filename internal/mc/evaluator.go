@@ -20,10 +20,17 @@ import (
 // Thread-safety contract: the wrapped Metric (and any Distortion sampled
 // inside a batch) must be safe for concurrent Value/Sample/LogPDF calls.
 // The library's metrics honor this by construction — sram.Metric and
-// sram.TranMetric build a fresh spice.Circuit per evaluation and only
-// read the shared Cell/MOSModel cards, and Counter counts atomically —
-// but a custom Metric that caches solver state must keep that state
-// per-call (or per-goroutine).
+// sram.TranMetric check reusable simulation engines out of a free list so
+// concurrent callers never share solver state, and Counter counts
+// atomically — but a custom Metric that caches solver state must keep
+// that state per-call (or per-goroutine).
+//
+// When the metric also implements BatchMetric, sample dispatch switches
+// from one-sample-at-a-time to groups of KernelBatch handed to
+// ValueBatch, which amortizes circuit templates and warm-start anchors
+// across the group. Per-sample RNG seeding and index-ordered results are
+// identical in both modes, so the estimate never depends on which path
+// ran.
 type Evaluator struct {
 	metric  Metric
 	workers int
@@ -46,6 +53,7 @@ type evalTelemetry struct {
 	reg          *telemetry.Registry
 	samples      *telemetry.Counter
 	chunks       *telemetry.Counter
+	batches      *telemetry.Counter
 	chunkSeconds *telemetry.Histogram
 }
 
@@ -65,6 +73,7 @@ func (e *Evaluator) WithTelemetry(reg *telemetry.Registry) *Evaluator {
 		reg:          reg,
 		samples:      s.Counter("samples_total"),
 		chunks:       s.Counter("chunks_total"),
+		batches:      s.Counter("kernel_batches_total"),
 		chunkSeconds: s.Histogram("chunk_seconds", chunkSecondsBuckets),
 	}
 	s.Gauge("workers").Set(float64(e.Workers()))
@@ -99,6 +108,13 @@ func (e *Evaluator) Workers() int {
 // must land on the same sample indices for every pool size to keep
 // estimates worker-count-independent.
 const ChunkSize = 256
+
+// KernelBatch is the group size handed to BatchMetric.ValueBatch: large
+// enough to amortize engine checkout across samples, small enough that a
+// ChunkSize dispatch still splits into ChunkSize/KernelBatch units of
+// parallel work. Like ChunkSize it is a fixed constant — group
+// boundaries land on the same sample indices for every worker count.
+const KernelBatch = 32
 
 // sampleSeed derives the RNG seed of sample i from the batch seed by a
 // splitmix64-style finalizer. Distinct (seed, i) pairs land on
@@ -186,6 +202,102 @@ func Map[T any](e *Evaluator, seed int64, start, n int, fn func(rng *rand.Rand, 
 	return out
 }
 
+// MapBatch draws and evaluates samples [start, start+n): for each index
+// i, x = draw(rng_i, i) with rng_i seeded from (seed, i), v = the
+// metric's margin at x, and the result is post(i, x, v). Results come
+// back in index order.
+//
+// This is the dispatch seam of the batched kernel: when the metric
+// implements BatchMetric, samples are processed in groups of KernelBatch
+// — a worker reseeds and draws every x in its group, hands the whole
+// group to ValueBatch, then post-processes. Otherwise each sample runs
+// through Metric.Value individually on the Map pool. Per-sample RNG
+// streams, group boundaries and the output order are all independent of
+// the worker count and of which path ran, so both modes produce the same
+// bits. draw must hand over the returned slice (not reuse it); post must
+// be pure and safe for concurrent calls.
+func MapBatch[T any](e *Evaluator, seed int64, start, n int, draw func(rng *rand.Rand, i int) []float64, post func(i int, x []float64, v float64) T) []T {
+	bm, batched := e.metric.(BatchMetric)
+	if !batched {
+		m := e.metric
+		return Map(e, seed, start, n, func(rng *rand.Rand, i int) T {
+			x := draw(rng, i)
+			return post(i, x, m.Value(x))
+		})
+	}
+	if n <= 0 {
+		return nil
+	}
+	if e.tele != nil {
+		sw := e.tele.chunkSeconds.Start()
+		defer func() {
+			sw.Stop()
+			e.tele.samples.Add(int64(n))
+			e.tele.chunks.Inc()
+		}()
+	}
+	out := make([]T, n)
+	groups := (n + KernelBatch - 1) / KernelBatch
+	workers := e.Workers()
+	if workers > groups {
+		workers = groups
+	}
+	// runGroup processes group g on one worker: reseed-and-draw each
+	// sample (the exact per-index streams of the scalar path), one
+	// ValueBatch over the group, then the per-sample reduction.
+	runGroup := func(src *sampleSource, rng *rand.Rand, xs [][]float64, vals []float64, g int) {
+		lo := g * KernelBatch
+		hi := lo + KernelBatch
+		if hi > n {
+			hi = n
+		}
+		xs = xs[:0]
+		for k := lo; k < hi; k++ {
+			src.state = sampleSeed(seed, start+k)
+			xs = append(xs, draw(rng, start+k))
+		}
+		vals = vals[:hi-lo]
+		bm.ValueBatch(xs, vals)
+		if e.tele != nil {
+			e.tele.batches.Inc()
+		}
+		for j, x := range xs {
+			out[lo+j] = post(start+lo+j, x, vals[j])
+		}
+	}
+	if workers == 1 {
+		src := &sampleSource{}
+		rng := rand.New(src)
+		xs := make([][]float64, 0, KernelBatch)
+		vals := make([]float64, KernelBatch)
+		for g := 0; g < groups; g++ {
+			runGroup(src, rng, xs, vals, g)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			src := &sampleSource{}
+			rng := rand.New(src)
+			xs := make([][]float64, 0, KernelBatch)
+			vals := make([]float64, KernelBatch)
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= groups {
+					return
+				}
+				runGroup(src, rng, xs, vals, g)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // Eval is one evaluated sample: the variation point and its margin.
 type Eval struct {
 	X     []float64
@@ -193,12 +305,11 @@ type Eval struct {
 }
 
 // Batch draws and evaluates samples [start, start+n): x_i = draw(rng_i)
-// and Value_i = Metric.Value(x_i), in index order, deterministic in the
-// worker count. draw must not retain or reuse the returned slice.
+// and Value_i = the metric's margin at x_i, in index order, deterministic
+// in the worker count. Batch-capable metrics are dispatched in KernelBatch
+// groups (see MapBatch). draw must not retain or reuse the returned slice.
 func (e *Evaluator) Batch(seed int64, start, n int, draw func(rng *rand.Rand, i int) []float64) []Eval {
-	m := e.metric
-	return Map(e, seed, start, n, func(rng *rand.Rand, i int) Eval {
-		x := draw(rng, i)
-		return Eval{X: x, Value: m.Value(x)}
+	return MapBatch(e, seed, start, n, draw, func(_ int, x []float64, v float64) Eval {
+		return Eval{X: x, Value: v}
 	})
 }

@@ -29,6 +29,22 @@ type Metric interface {
 // Fail reports whether x falls in the failure region Ω of the metric.
 func Fail(m Metric, x []float64) bool { return m.Value(x) < 0 }
 
+// BatchMetric is a Metric that can evaluate many samples in one call,
+// amortizing per-solve setup (circuit templates, solver workspaces,
+// warm-start anchors) across the batch. The contract that keeps
+// estimates exact: out[i] must be bit-identical to Value(xs[i]) — each
+// sample's result a pure function of its own coordinates, never of its
+// batch neighbors. The engine checks for this interface and transparently
+// routes whole sample groups through it; everything downstream (chunk
+// boundaries, index-ordered reductions, per-sample RNG streams) is
+// unchanged, so a batched run reproduces a scalar run bit for bit.
+type BatchMetric interface {
+	Metric
+	// ValueBatch writes Value(xs[i]) into out[i] for 0 ≤ i < len(xs).
+	// out has at least len(xs) entries.
+	ValueBatch(xs [][]float64, out []float64)
+}
+
 // Counter wraps a Metric and counts simulations. All estimators in the
 // library draw their cost reports from Counter, so "number of
 // transistor-level simulations" is measured, never assumed. The count is
@@ -50,6 +66,22 @@ func (c *Counter) Dim() int { return c.m.Dim() }
 func (c *Counter) Value(x []float64) float64 {
 	c.n.Add(1)
 	return c.m.Value(x)
+}
+
+// ValueBatch implements BatchMetric, counting one simulation per sample.
+// When the wrapped metric batches, the call is delegated wholesale; a
+// scalar-only metric is evaluated sample by sample, so wrapping in a
+// Counter never changes results — only whether the group dispatch can
+// amortize solver state underneath.
+func (c *Counter) ValueBatch(xs [][]float64, out []float64) {
+	c.n.Add(int64(len(xs)))
+	if bm, ok := c.m.(BatchMetric); ok {
+		bm.ValueBatch(xs, out)
+		return
+	}
+	for i, x := range xs {
+		out[i] = c.m.Value(x)
+	}
 }
 
 // Count returns the number of simulations performed so far.

@@ -48,13 +48,14 @@ func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, wo
 	span.SetAttr("workers", ev.Workers())
 	chunkAgg := span.Agg("chunk")
 	dim := metric.Dim()
-	job := func(rng *rand.Rand, _ int) bool {
+	draw := func(rng *rand.Rand, _ int) []float64 {
 		x := make([]float64, dim)
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
-		return metric.Value(x) < 0
+		return x
 	}
+	post := func(_ int, _ []float64, v float64) bool { return v < 0 }
 	failures := 0
 	done := 0
 	for start := 0; start < n; start += mcChunk {
@@ -63,7 +64,7 @@ func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, wo
 		}
 		count := min(mcChunk, n-start)
 		t0 := time.Now()
-		batch := Map(ev, seed, start, count, job)
+		batch := MapBatch(ev, seed, start, count, draw, post)
 		chunkAgg.Observe(time.Since(t0).Seconds())
 		for _, fail := range batch {
 			if fail {

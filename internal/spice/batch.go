@@ -1,0 +1,221 @@
+package spice
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// This file is the batched solve kernel (ROADMAP item 1). A batch is many
+// Monte Carlo samples of the same circuit topology that differ only in
+// per-device threshold mismatch: the kernel applies each sample's ΔVth
+// vector to shared MOSFET templates (no per-sample netlist rebuild),
+// reuses the circuit's cached symbolic plan and Newton workspace across
+// the whole batch, and warm-starts each solve from the nearest anchor
+// solution instead of the cold gmin/source-stepping escalation.
+//
+// Determinism: anchors are a fixed, caller-supplied set (in practice the
+// nominal-corner solutions computed once per metric), not solutions
+// accumulated from earlier samples in the batch. Nearest-anchor selection
+// is therefore a pure function of the sample's own ΔVth vector, so a
+// sample's solve sequence — and its bit-exact result — is independent of
+// batch size, sample order and worker count. See DESIGN.md §12.
+
+// DefaultWarmMaxIter is the Newton budget for a warm-start attempt. Warm
+// starts that are going to converge do so in a handful of iterations;
+// anything still wandering after this budget is cheaper to restart cold
+// than to keep polishing.
+const DefaultWarmMaxIter = 40
+
+// SolveDCFrom computes the DC operating point, first attempting damped
+// Newton from the anchor solution with a warmIter iteration budget
+// (<= 0 selects DefaultWarmMaxIter). A converged warm attempt must also
+// pass guard (when non-nil) — guards reject warm solutions that left the
+// intended basin of a bistable circuit. On any warm failure the solve
+// falls back to the full cold escalation of SolveDC, and the fallback is
+// recorded in the "spice" telemetry scope (warm_fallback_total); warm
+// successes record warm_hit_total and report StrategyWarm.
+//
+// A nil anchor (or one sized for a different topology) skips straight to
+// SolveDC without counting a fallback: the caller had no warm start to
+// offer, which is different from offering one that failed.
+func (c *Circuit) SolveDCFrom(anchor *OperatingPoint, warmIter int, guard func(*OperatingPoint) bool, opts *DCOptions) (*OperatingPoint, error) {
+	if anchor == nil || len(anchor.x) != c.NumUnknowns() {
+		return c.SolveDC(opts)
+	}
+	o := opts.defaults()
+	tel := c.dcTel(o.Telemetry)
+	w := o
+	w.MaxIter = warmIter
+	if w.MaxIter <= 0 {
+		w.MaxIter = DefaultWarmMaxIter
+	}
+	sw, span := c.startSolveClock(tel, o.Telemetry)
+	c.indexBranches()
+	x := linalg.CopyVec(anchor.x)
+	st, err := c.newton(x, &w, w.Gmin, 1.0)
+	secs := sw.Stop()
+	if span != nil {
+		span.Agg("spice.solve").Observe(secs)
+	}
+	if err == nil {
+		op := &OperatingPoint{circuit: c, x: x, strategy: StrategyWarm,
+			iters: st.iters, residual: st.residual}
+		if guard == nil || guard(op) {
+			tel.warmHits.Inc()
+			tel.solves.Inc()
+			tel.newtonIters.Observe(float64(op.iters))
+			tel.residual.Observe(op.residual)
+			return op, nil
+		}
+	}
+	tel.warmFalls.Inc()
+	return c.SolveDC(opts)
+}
+
+// BatchAnchor is one candidate warm start: a converged solution labeled
+// with the ΔVth vector it was solved at.
+type BatchAnchor struct {
+	DeltaVth []float64
+	OP       *OperatingPoint
+}
+
+// BatchOptions configures SolveDCBatch.
+type BatchOptions struct {
+	// DC tunes the per-sample solves (nil picks defaults).
+	DC *DCOptions
+	// MOSFETs are the shared device templates, in the order matching
+	// each sample's ΔVth vector. The kernel writes DeltaVth in place;
+	// values are left at the final sample's state.
+	MOSFETs []*MOSFET
+	// Anchors are the candidate warm starts. Empty means every sample
+	// solves cold. The set must be identical for every invocation that
+	// should reproduce the same results — see the determinism note in
+	// the file comment.
+	Anchors []BatchAnchor
+	// WarmMaxIter bounds warm-start Newton iterations
+	// (<= 0: DefaultWarmMaxIter).
+	WarmMaxIter int
+	// Guard, when non-nil, must accept a warm-converged operating point
+	// for it to count; rejection falls back to the cold path.
+	Guard func(*OperatingPoint) bool
+}
+
+// BatchStats summarizes how a batch converged.
+type BatchStats struct {
+	// WarmHits counts samples solved by a warm start (StrategyWarm).
+	WarmHits int
+	// Fallbacks counts samples whose warm attempt failed (or was
+	// rejected by the guard) and that re-solved via the cold path.
+	Fallbacks int
+	// Cold counts samples that never had an anchor to warm from.
+	Cold int
+	// Skipped counts samples rejected before any solve was attempted
+	// (ΔVth vector sized for a different device set).
+	Skipped int
+}
+
+// BatchResult holds per-sample outcomes; Ops[i] is nil exactly when
+// Errs[i] is non-nil.
+type BatchResult struct {
+	Ops   []*OperatingPoint
+	Errs  []error
+	Stats BatchStats
+}
+
+// SolveDCBatch solves the DC operating point for every sample in the
+// batch. samples[i] is the ΔVth vector applied to opts.MOSFETs for
+// sample i. Samples are solved sequentially in index order on the shared
+// circuit (parallelism belongs one level up, across circuits); each
+// sample's result is bit-identical to a scalar SolveDCFrom call with the
+// same anchors, because it is the same code path.
+func (c *Circuit) SolveDCBatch(samples [][]float64, opts *BatchOptions) *BatchResult {
+	res := &BatchResult{
+		Ops:  make([]*OperatingPoint, len(samples)),
+		Errs: make([]error, len(samples)),
+	}
+	for i, dv := range samples {
+		if len(dv) != len(opts.MOSFETs) {
+			res.Errs[i] = fmt.Errorf("spice: batch sample %d has %d ΔVth values for %d devices", i, len(dv), len(opts.MOSFETs))
+			res.Stats.Skipped++
+			continue
+		}
+		for k, m := range opts.MOSFETs {
+			m.DeltaVth = dv[k]
+		}
+		anchor := nearestAnchor(opts.Anchors, dv)
+		var op *OperatingPoint
+		var err error
+		if anchor != nil {
+			op, err = c.SolveDCFrom(anchor.OP, opts.WarmMaxIter, opts.Guard, opts.DC)
+		} else {
+			op, err = c.SolveDC(opts.DC)
+		}
+		res.Ops[i], res.Errs[i] = op, err
+		switch {
+		case anchor == nil:
+			res.Stats.Cold++
+		case err == nil && op.Strategy() == StrategyWarm:
+			res.Stats.WarmHits++
+		default:
+			res.Stats.Fallbacks++
+		}
+	}
+	return res
+}
+
+// nearestAnchor picks the anchor whose ΔVth label is closest to dv in
+// Euclidean distance, preferring the lowest index on ties so selection
+// is deterministic. Anchors with mismatched dimensionality are skipped.
+func nearestAnchor(anchors []BatchAnchor, dv []float64) *BatchAnchor {
+	var best *BatchAnchor
+	bestD := 0.0
+	for i := range anchors {
+		a := &anchors[i]
+		if len(a.DeltaVth) != len(dv) {
+			continue
+		}
+		d := 0.0
+		for k, v := range dv {
+			diff := v - a.DeltaVth[k]
+			d += diff * diff
+		}
+		if best == nil || d < bestD {
+			best, bestD = a, d
+		}
+	}
+	return best
+}
+
+// TranBatchOptions configures SolveTranBatch.
+type TranBatchOptions struct {
+	// Tran is the per-sample transient configuration (shared).
+	Tran TranOptions
+	// MOSFETs are the shared device templates, matching each sample's
+	// ΔVth vector, as in BatchOptions.
+	MOSFETs []*MOSFET
+}
+
+// SolveTranBatch runs the transient analysis once per sample, applying
+// samples[i] to the shared MOSFET templates first. fn receives the
+// sample index with every accepted time point; returning false stops
+// that sample's run early (the metric-driven early exit) and moves on to
+// the next sample. errs[i] reports sample i's failure, if any.
+//
+// Waveform-driven sources are re-evaluated from t=0 for each sample, so
+// the template needs no reset between samples beyond what SolveTran
+// already restores.
+func (c *Circuit) SolveTranBatch(samples [][]float64, opts *TranBatchOptions, fn func(sample int, p TranPoint) bool) []error {
+	errs := make([]error, len(samples))
+	for i, dv := range samples {
+		if len(dv) != len(opts.MOSFETs) {
+			errs[i] = fmt.Errorf("spice: batch sample %d has %d ΔVth values for %d devices", i, len(dv), len(opts.MOSFETs))
+			continue
+		}
+		for k, m := range opts.MOSFETs {
+			m.DeltaVth = dv[k]
+		}
+		errs[i] = c.SolveTran(opts.Tran, func(p TranPoint) bool { return fn(i, p) })
+	}
+	return errs
+}

@@ -13,6 +13,8 @@ package spice
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // Ground is the reserved name of the reference node (0 V).
@@ -27,6 +29,25 @@ type Circuit struct {
 	vsources   []*VSource // sources that own an MNA branch current
 	capacitors []*Capacitor
 	byName     map[string]Device
+
+	// plan and ws cache the solver's symbolic structure (which unknowns
+	// are actually solved for) and its numeric workspace. Both depend
+	// only on the netlist topology, never on device values, and are
+	// rebuilt lazily after any device or node is added. They make a
+	// Circuit single-goroutine for solving, which has always been the
+	// contract (sweeps mutate source values between solves).
+	plan *solvePlan
+	ws   *newtonWorkspace
+
+	// telReg/telCache memoize the resolved telemetry metric handles for
+	// the last registry seen, so sweep- and batch-heavy callers don't
+	// pay ~10 locked map lookups per solve. solveTick drives the sampled
+	// solve_seconds stopwatch (see startSolveClock). Purely
+	// observational; covered by the same single-goroutine contract as
+	// plan/ws.
+	telReg    *telemetry.Registry
+	telCache  dcTelemetry
+	solveTick uint
 }
 
 // NewCircuit returns an empty circuit.
@@ -45,6 +66,7 @@ func (c *Circuit) Node(name string) int {
 	idx := len(c.nodeNames)
 	c.nodeIndex[name] = idx
 	c.nodeNames = append(c.nodeNames, name)
+	c.plan = nil
 	return idx
 }
 
@@ -71,6 +93,7 @@ func (c *Circuit) add(d Device) {
 	}
 	c.byName[name] = d
 	c.devices = append(c.devices, d)
+	c.plan = nil
 }
 
 // AddResistor connects a linear resistor of the given ohms between nodes

@@ -27,6 +27,9 @@ const (
 	StrategyGmin
 	// StrategySource: rescued by source stepping (supplies ramped from 0).
 	StrategySource
+	// StrategyWarm: converged from a warm start supplied by the batch
+	// kernel (a neighboring sample's solution), skipping the cold path.
+	StrategyWarm
 )
 
 func (s Strategy) String() string {
@@ -37,6 +40,8 @@ func (s Strategy) String() string {
 		return "gmin-stepping"
 	case StrategySource:
 		return "source-stepping"
+	case StrategyWarm:
+		return "warm-start"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -83,6 +88,24 @@ func (op *OperatingPoint) Clone() *OperatingPoint {
 	return &c
 }
 
+// PredictFrom linearly extrapolates the unknown vector one step past op
+// along the secant from prev to op (2·op − prev): the classic
+// continuation predictor for sweeps, where consecutive solutions evolve
+// smoothly with the swept parameter. The result is only an initial
+// guess — hand it to SolveDCFrom. prev must come from the same circuit;
+// mismatched sizes return op itself (predicting is best-effort).
+func (op *OperatingPoint) PredictFrom(prev *OperatingPoint) *OperatingPoint {
+	if prev == nil || len(prev.x) != len(op.x) {
+		return op
+	}
+	p := *op
+	p.x = make([]float64, len(op.x))
+	for i, v := range op.x {
+		p.x[i] = 2*v - prev.x[i]
+	}
+	return &p
+}
+
 // DCOptions tunes the Newton solve. The zero value picks robust defaults.
 type DCOptions struct {
 	// MaxIter bounds Newton iterations per attempt (default 150).
@@ -109,6 +132,12 @@ type DCOptions struct {
 	// "spice" scope and emits fallback warning events. Nil is a no-op:
 	// the solve path pays only a nil check.
 	Telemetry *telemetry.Registry
+	// NoBranchCurrents skips the post-convergence recovery of eliminated
+	// sources' branch currents (they read as zero via VSource.Current).
+	// Node voltages are unaffected bit-for-bit. Sweep-heavy callers that
+	// only consume voltages set this to drop one full device stamp per
+	// solve.
+	NoBranchCurrents bool
 }
 
 func (o *DCOptions) defaults() DCOptions {
@@ -142,13 +171,13 @@ func (o *DCOptions) defaults() DCOptions {
 // the Newton iterations consumed and the residual at convergence.
 func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 	o := opts.defaults()
-	tel := newDCTelemetry(o.Telemetry)
-	sw := tel.solveSeconds.Start()
+	tel := c.dcTel(o.Telemetry)
+	sw, span := c.startSolveClock(tel, o.Telemetry)
 	op, err := c.solveDC(&o)
 	secs := sw.Stop()
 	// With span tracing on, credit the solve to the innermost pipeline
 	// stage (the solver has no context of its own).
-	if span := o.Telemetry.ActiveSpan(); span != nil {
+	if span != nil {
 		span.Agg("spice.solve").Observe(secs)
 	}
 	if err != nil {
@@ -264,12 +293,15 @@ type newtonStats struct {
 }
 
 // newton runs damped Newton iteration in place on x with the given gmin
-// shunt and source scale factor.
+// shunt and source scale factor. It solves only the plan's free unknowns:
+// nodes pinned by single-ended voltage sources are set once up front and
+// their branch currents recovered after convergence, which shrinks the
+// factored system from NumUnknowns to a handful of genuinely nonlinear
+// voltages.
 func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) (newtonStats, error) {
-	n := c.NumUnknowns()
-	nn := c.NumNodes()
-	f := make([]float64, n)
-	j := linalg.NewMatrix(n, n)
+	plan, ws := c.solverState()
+	f, jFull, jRed := ws.f, ws.jFull, ws.jRed
+	neg, dx := ws.neg, ws.dx
 
 	// Temporarily scale sources for source stepping.
 	//reprolint:ignore floateq srcScale is assigned from the stepping schedule, never computed; 1.0 is the exact "no scaling" sentinel
@@ -286,56 +318,74 @@ func (c *Circuit) newton(x []float64, o *DCOptions, gmin, srcScale float64) (new
 		}()
 	}
 
+	// Pin eliminated nodes to their (possibly scaled) source values and
+	// hold their branch currents at zero until recovery. Warm starts may
+	// have seeded nonzero branch currents; they are not unknowns here.
+	for _, pin := range plan.pins {
+		x[pin.node] = pin.sign * pin.vs.E
+		x[pin.vs.branch] = 0
+	}
+
 	for iter := 0; iter < o.MaxIter; iter++ {
 		for i := range f {
 			f[i] = 0
 		}
-		j.Zero()
-		for _, d := range c.devices {
-			d.Stamp(x, f, j)
+		jFull.Zero()
+		for _, d := range plan.active {
+			d.Stamp(x, f, jFull)
 		}
 		// gmin shunts keep the Jacobian nonsingular with off devices.
-		for i := 0; i < nn; i++ {
+		// Pinned rows never enter the factored system, so only free
+		// nodes need them.
+		for a := 0; a < plan.freeNodes; a++ {
+			i := plan.free[a]
 			f[i] += gmin * x[i]
-			j.Add(i, i, gmin)
+			jFull.Add(i, i, gmin)
 		}
 
 		maxRes := 0.0
-		for _, v := range f {
-			if a := math.Abs(v); a > maxRes {
+		for _, i := range plan.free {
+			if a := math.Abs(f[i]); a > maxRes {
 				maxRes = a
 			}
 		}
 
-		lu, err := linalg.FactorLU(j)
-		if err != nil {
+		// Gather the reduced system over the free unknowns.
+		for a, ia := range plan.free {
+			src := jFull.Row(ia)
+			dst := jRed.Row(a)
+			for b, ib := range plan.free {
+				dst[b] = src[ib]
+			}
+			neg[a] = -f[ia]
+		}
+		if err := linalg.FactorInto(&ws.lu, jRed); err != nil {
 			return newtonStats{iters: iter + 1}, fmt.Errorf("spice: singular Jacobian at iteration %d: %w", iter, err)
 		}
-		neg := make([]float64, n)
-		for i := range f {
-			neg[i] = -f[i]
-		}
-		dx := lu.Solve(neg)
+		ws.lu.SolveInto(dx, neg)
 
 		// Damp: limit the largest node-voltage step.
 		maxDx := 0.0
-		for i := 0; i < nn; i++ {
-			if a := math.Abs(dx[i]); a > maxDx {
-				maxDx = a
+		for a := 0; a < plan.freeNodes; a++ {
+			if v := math.Abs(dx[a]); v > maxDx {
+				maxDx = v
 			}
 		}
 		scale := 1.0
 		if maxDx > o.MaxStep {
 			scale = o.MaxStep / maxDx
 		}
-		for i := range x {
-			x[i] += scale * dx[i]
+		for a, ia := range plan.free {
+			x[ia] += scale * dx[a]
 		}
 		if maxDx*scale < o.VTol && maxRes < o.ITol {
+			if !o.NoBranchCurrents {
+				c.recoverPinnedBranches(plan, ws, x)
+			}
 			return newtonStats{iters: iter + 1, residual: maxRes}, nil
 		}
-		for i := range x {
-			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+		for _, ia := range plan.free {
+			if math.IsNaN(x[ia]) || math.IsInf(x[ia], 0) {
 				return newtonStats{iters: iter + 1}, fmt.Errorf("spice: iterate diverged at iteration %d", iter)
 			}
 		}
@@ -359,11 +409,17 @@ func (c *Circuit) Sweep(sourceName string, start, stop float64, steps int, opts 
 	orig := src.E
 	defer func() { src.E = orig }()
 
+	o := opts.defaults()
+	// The span is closed via defer so every exit — error, completion, or
+	// the callback stopping the sweep early — leaves the trace balanced.
+	span := o.Telemetry.StartSpan("spice.sweep")
+	defer span.End()
+
 	var warm *OperatingPoint
 	for i := 0; i < steps; i++ {
 		v := start + (stop-start)*float64(i)/float64(steps-1)
 		src.E = v
-		local := opts.defaults()
+		local := o
 		if warm != nil {
 			local.Warm = warm
 		}

@@ -1,0 +1,116 @@
+package spice
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSolveDCBatch drives the batch kernel with pseudo-random circuit
+// topologies, sample counts and ΔVth mixes derived from the fuzz seed,
+// and checks the kernel's structural invariants:
+//
+//   - never panics, whatever the topology or sample set;
+//   - dimension-mismatched rows produce per-sample errors, not aborts;
+//   - Ops[i] is nil exactly when Errs[i] is non-nil, and the stats
+//     buckets partition the batch;
+//   - caller-owned sample rows are never written (sentinel copies);
+//   - no solution state aliases across samples — each converged
+//     operating point owns its vector, and re-solving any single sample
+//     as a batch of one reproduces it bit for bit (so later samples
+//     cannot have scribbled on earlier results).
+func FuzzSolveDCBatch(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), false)
+	f.Add(int64(7), uint8(0), uint8(0), false)
+	f.Add(int64(42), uint8(8), uint8(4), true)
+	f.Add(int64(-3), uint8(3), uint8(1), true)
+	f.Fuzz(func(t *testing.T, seed int64, nsRaw, ndRaw uint8, badRow bool) {
+		rng := rand.New(rand.NewSource(seed))
+		ns := int(nsRaw) % 9   // 0..8 samples
+		nd := 1 + int(ndRaw)%5 // 1..5 MOSFETs
+		c := NewCircuit()
+		c.AddVSource("vdd", "vdd", "0", 1.0)
+		c.AddResistor("ra", "a", "0", 1e5)
+		c.AddResistor("rb", "b", "0", 1e5)
+		c.AddResistor("rs", "vdd", "a", 1e5)
+		nodes := []string{"0", "vdd", "a", "b"}
+		mosfets := make([]*MOSFET, nd)
+		for i := range mosfets {
+			model, bulk := nmosModel(), "0"
+			if rng.Intn(2) == 1 {
+				model, bulk = pmosModel(), "vdd"
+			}
+			mosfets[i] = c.AddMOSFET(fmt.Sprintf("m%d", i),
+				nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))],
+				nodes[rng.Intn(len(nodes))], bulk, model)
+		}
+
+		var anchors []BatchAnchor
+		if op, err := c.SolveDC(nil); err == nil {
+			anchors = []BatchAnchor{{DeltaVth: make([]float64, nd), OP: op}}
+		}
+		samples := make([][]float64, ns)
+		for i := range samples {
+			row := make([]float64, nd)
+			for j := range row {
+				row[j] = 0.1 * rng.NormFloat64()
+			}
+			samples[i] = row
+		}
+		if badRow && ns > 0 {
+			samples[ns-1] = make([]float64, nd+1)
+		}
+		sentinel := make([][]float64, ns)
+		for i, row := range samples {
+			sentinel[i] = append([]float64(nil), row...)
+		}
+
+		opts := &BatchOptions{MOSFETs: mosfets, Anchors: anchors}
+		res := c.SolveDCBatch(samples, opts)
+
+		if len(res.Ops) != ns || len(res.Errs) != ns {
+			t.Fatalf("result sized %d/%d for %d samples", len(res.Ops), len(res.Errs), ns)
+		}
+		if got := res.Stats.WarmHits + res.Stats.Fallbacks + res.Stats.Cold + res.Stats.Skipped; got != ns {
+			t.Fatalf("stats buckets sum to %d, want %d (%+v)", got, ns, res.Stats)
+		}
+		for i := range samples {
+			if (res.Ops[i] == nil) != (res.Errs[i] != nil) {
+				t.Fatalf("sample %d: op/err disagree: %v / %v", i, res.Ops[i], res.Errs[i])
+			}
+			if len(samples[i]) != len(sentinel[i]) {
+				t.Fatalf("sample %d: row resized", i)
+			}
+			for j := range samples[i] {
+				if samples[i][j] != sentinel[i][j] {
+					t.Fatalf("sample %d coordinate %d mutated", i, j)
+				}
+			}
+		}
+		if badRow && ns > 0 && res.Errs[ns-1] == nil {
+			t.Fatal("dimension-mismatched row did not error")
+		}
+		for i := range res.Ops {
+			for j := i + 1; j < len(res.Ops); j++ {
+				if res.Ops[i] != nil && res.Ops[j] != nil && &res.Ops[i].x[0] == &res.Ops[j].x[0] {
+					t.Fatalf("samples %d and %d share solution storage", i, j)
+				}
+			}
+		}
+		names := c.NodeNames()
+		for i, op := range res.Ops {
+			if op == nil {
+				continue
+			}
+			single := c.SolveDCBatch(samples[i:i+1], opts)
+			if single.Errs[0] != nil {
+				t.Fatalf("sample %d: batch converged but re-solve failed: %v", i, single.Errs[0])
+			}
+			for _, n := range names {
+				if got, want := single.Ops[0].Voltage(n), op.Voltage(n); got != want {
+					t.Fatalf("sample %d node %s: re-solve %v != batch %v", i, n, got, want)
+				}
+			}
+		}
+	})
+}

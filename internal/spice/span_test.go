@@ -1,0 +1,92 @@
+package spice
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// assertNoRunningSpans fails if any span in the trace is still open —
+// the regression the early-exit paths used to leak.
+func assertNoRunningSpans(t *testing.T, tr *telemetry.Trace) {
+	t.Helper()
+	for _, s := range tr.Snapshot() {
+		if s.Running {
+			t.Errorf("span %q leaked open", s.Name)
+		}
+	}
+}
+
+// TestSweepEarlyExitClosesSpan: a sweep callback returning false stops
+// the sweep mid-run; the "spice.sweep" span must still be closed, not
+// left dangling in the trace.
+func TestSweepEarlyExitClosesSpan(t *testing.T) {
+	reg := telemetry.New()
+	tr := telemetry.NewTrace()
+	reg.SetTrace(tr)
+	c, _ := inverterChain()
+	opts := &DCOptions{Telemetry: reg}
+	calls := 0
+	err := c.Sweep("vin", 0, 1, 11, opts, func(v float64, op *OperatingPoint) bool {
+		calls++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("sweep ran %d points after an early exit", calls)
+	}
+	assertNoRunningSpans(t, tr)
+}
+
+// TestTranEarlyExitClosesSpan: same contract for the transient span
+// when the per-point callback aborts the run.
+func TestTranEarlyExitClosesSpan(t *testing.T) {
+	reg := telemetry.New()
+	tr := telemetry.NewTrace()
+	reg.SetTrace(tr)
+	c := NewCircuit()
+	c.AddVSource("vin", "in", "0", 1.0)
+	c.AddResistor("r", "in", "n", 1e3)
+	c.AddCapacitor("c", "n", "0", 1e-9)
+	opts := TranOptions{Stop: 1e-5, Step: 1e-7, DC: &DCOptions{Telemetry: reg}}
+	calls := 0
+	err := c.SolveTran(opts, func(p TranPoint) bool {
+		calls++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("transient ran %d points after an early exit", calls)
+	}
+	assertNoRunningSpans(t, tr)
+}
+
+// TestSweepErrorExitClosesSpan: a sweep that dies on an unsolvable
+// point (every free node driven to a singular system) must also close
+// its span on the error path.
+func TestSweepErrorExitClosesSpan(t *testing.T) {
+	reg := telemetry.New()
+	tr := telemetry.NewTrace()
+	reg.SetTrace(tr)
+	c := NewCircuit()
+	c.AddVSource("vin", "in", "0", 0)
+	// A floating node with no DC path to ground: the gmin shunt keeps
+	// the matrix formally nonsingular, but an absurd MaxIter budget of
+	// one iteration forces the escalation ladder to exhaust.
+	c.AddResistor("r", "in", "n", 1e3)
+	c.AddMOSFET("m", "n", "n", "0", "0", nmosModel())
+	opts := &DCOptions{Telemetry: reg, MaxIter: 1}
+	err := c.Sweep("vin", 0, 1, 5, opts, func(v float64, op *OperatingPoint) bool { return true })
+	if err == nil {
+		t.Skip("circuit converged in one iteration; error path not reachable here")
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("sweep failed with unexpected error: %v", err)
+	}
+	assertNoRunningSpans(t, tr)
+}

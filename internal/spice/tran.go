@@ -92,6 +92,16 @@ type TranOptions struct {
 	// circuit starts from a DC solve with these nodes pinned, then
 	// releases them.
 	InitialConditions map[string]float64
+	// CoarseStep/CoarseUntil enable a two-rate (adaptive) schedule: when
+	// both are positive and CoarseStep > Step, the integrator walks from
+	// t = 0 to (approximately) CoarseUntil with CoarseStep, then
+	// finishes with Step. The intended use is a known-quiescent lead-in
+	// — e.g. an SRAM access transient before the wordline edge — where
+	// nothing moves and fine resolution is wasted. The coarse segment
+	// rounds to whole coarse steps, so set CoarseUntil at or before the
+	// first waveform breakpoint.
+	CoarseStep  float64
+	CoarseUntil float64
 }
 
 // TranPoint is the solution at one time point.
@@ -117,6 +127,10 @@ func (c *Circuit) SolveTran(opts TranOptions, fn func(TranPoint) bool) error {
 	// via large gmin is fragile; instead solve with the guess and pin
 	// capacitor history directly).
 	dc := opts.DC.defaults()
+	// Closed via defer so an early-exiting callback (fn returning false)
+	// cannot leave the trace with an open span.
+	span := dc.Telemetry.StartSpan("spice.tran")
+	defer span.End()
 	for _, src := range c.vsources {
 		if src.Waveform != nil {
 			src.E = src.Waveform(0)
@@ -152,48 +166,74 @@ func (c *Circuit) SolveTran(opts TranOptions, fn func(TranPoint) bool) error {
 		}
 	}()
 
-	h := opts.Step
-	steps := int(opts.Stop/h + 0.5)
-	for n := 1; n <= steps; n++ {
-		t := float64(n) * h
-		for _, src := range c.vsources {
-			if src.Waveform != nil {
-				src.E = src.Waveform(t)
+	// The step schedule: one fixed-step segment by default; a coarse
+	// lead-in segment followed by the fine segment when the two-rate
+	// options are set. Companion conductances are rebuilt per step from
+	// the segment's step size, so a rate change needs no special
+	// handling beyond the history already kept in states.
+	type segment struct {
+		t0    float64 // segment start time
+		h     float64 // step size
+		steps int
+	}
+	segs := []segment{{t0: 0, h: opts.Step, steps: int(opts.Stop/opts.Step + 0.5)}}
+	if opts.CoarseStep > opts.Step && opts.CoarseUntil > 0 && opts.CoarseUntil < opts.Stop {
+		coarse := int(opts.CoarseUntil / opts.CoarseStep)
+		if coarse >= 1 {
+			t1 := float64(coarse) * opts.CoarseStep
+			fine := int((opts.Stop-t1)/opts.Step + 0.5)
+			segs = []segment{
+				{t0: 0, h: opts.CoarseStep, steps: coarse},
+				{t0: t1, h: opts.Step, steps: fine},
 			}
 		}
-		// The DC solution carries no capacitor-current history, so the
-		// first step always uses backward Euler (which needs none);
-		// trapezoidal integration takes over once a consistent branch
-		// current exists. This is the standard breakpoint treatment.
-		method := opts.Method
-		if n == 1 {
-			method = BackwardEuler
-		}
-		for k, cap := range c.capacitors {
-			cap.active = true
-			switch method {
-			case Trapezoidal:
-				cap.geq = 2 * cap.C / h
-				cap.ieq = cap.geq*states[k].v + states[k].i
-			default: // backward Euler
-				cap.geq = cap.C / h
-				cap.ieq = cap.geq * states[k].v
+	}
+
+	first := true
+	for _, seg := range segs {
+		h := seg.h
+		for n := 1; n <= seg.steps; n++ {
+			t := seg.t0 + float64(n)*h
+			for _, src := range c.vsources {
+				if src.Waveform != nil {
+					src.E = src.Waveform(t)
+				}
 			}
-		}
-		local := dc
-		local.Warm = op
-		next, err := c.SolveDC(&local)
-		if err != nil {
-			return fmt.Errorf("spice: transient step at t=%.3g: %w", t, err)
-		}
-		for k, cap := range c.capacitors {
-			v := voltageAt(next.x, cap.p) - voltageAt(next.x, cap.m)
-			states[k].i = cap.geq*v - cap.ieq
-			states[k].v = v
-		}
-		op = next
-		if !fn(TranPoint{T: t, OP: op}) {
-			return nil
+			// The DC solution carries no capacitor-current history, so the
+			// first step always uses backward Euler (which needs none);
+			// trapezoidal integration takes over once a consistent branch
+			// current exists. This is the standard breakpoint treatment.
+			method := opts.Method
+			if first {
+				method = BackwardEuler
+			}
+			for k, cap := range c.capacitors {
+				cap.active = true
+				switch method {
+				case Trapezoidal:
+					cap.geq = 2 * cap.C / h
+					cap.ieq = cap.geq*states[k].v + states[k].i
+				default: // backward Euler
+					cap.geq = cap.C / h
+					cap.ieq = cap.geq * states[k].v
+				}
+			}
+			local := dc
+			local.Warm = op
+			next, err := c.SolveDC(&local)
+			if err != nil {
+				return fmt.Errorf("spice: transient step at t=%.3g: %w", t, err)
+			}
+			for k, cap := range c.capacitors {
+				v := voltageAt(next.x, cap.p) - voltageAt(next.x, cap.m)
+				states[k].i = cap.geq*v - cap.ieq
+				states[k].v = v
+			}
+			op = next
+			first = false
+			if !fn(TranPoint{T: t, OP: op}) {
+				return nil
+			}
 		}
 	}
 	return nil
@@ -216,9 +256,17 @@ func (c *Circuit) solveWithPinnedNodes(dc *DCOptions, pins map[string]float64) (
 			ps = append(ps, nodePin{idx: idx, v: v})
 		}
 	}
+	// The pin device is appended outside c.add, so the cached solve plan
+	// must be invalidated by hand — both for the pinned solve (the plan's
+	// active-device list must include the pins) and after removal (it
+	// must not keep stamping them).
 	pinDev := &pinStamp{pins: ps, g: 1e6}
 	c.devices = append(c.devices, pinDev)
-	defer func() { c.devices = c.devices[:len(c.devices)-1] }()
+	c.plan = nil
+	defer func() {
+		c.devices = c.devices[:len(c.devices)-1]
+		c.plan = nil
+	}()
 
 	local := *dc
 	if local.InitialGuess == nil {

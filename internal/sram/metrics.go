@@ -3,8 +3,10 @@ package sram
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mc"
+	"repro/internal/spice"
 	"repro/internal/telemetry"
 )
 
@@ -46,6 +48,10 @@ func (k MetricKind) String() string {
 // sample fails when the margin (metric value minus Spec) is negative.
 // Variation coordinates are standard-Normal; coordinate j drives
 // transistor Which[j] with ΔVth = SigmaVth·x_j.
+//
+// Metrics are safe for concurrent use and must not be copied after first
+// use: evaluation leans on a shared engine free list and a once-computed
+// warm-start anchor pool (see plan.go).
 type Metric struct {
 	Cell *Cell
 	Kind MetricKind
@@ -58,6 +64,14 @@ type Metric struct {
 	// Scale converts the raw margin to a well-conditioned magnitude for
 	// response-surface fitting (default 1).
 	Scale float64
+
+	// Engine free list and the deterministic warm-start anchors
+	// (plan.go). Zero values are ready to use, keeping literal
+	// construction working.
+	mu         sync.Mutex
+	engines    []*metricEngine
+	anchorOnce sync.Once
+	anchors    []spice.BatchAnchor
 }
 
 // AllTransistors is the full 6-dimensional variation space.
@@ -95,24 +109,44 @@ func (m *Metric) Dim() int { return len(m.Which) }
 // failures with a finite, physically-grounded worst-case raw value
 // (errorValue); keeping the margin finite protects the response-surface
 // fits in Algorithm 4 from being poisoned by an occasional hard corner.
+//
+// Value is literally ValueBatch with a batch of one — the same engine
+// code against the same anchor pool — which is what makes batched and
+// scalar evaluation bit-identical per sample.
 func (m *Metric) Value(x []float64) float64 {
-	if len(x) != len(m.Which) {
-		panic(fmt.Sprintf("sram: metric got %d coordinates, want %d", len(x), len(m.Which)))
+	var out [1]float64
+	xs := [1][]float64{x}
+	m.ValueBatch(xs[:], out[:])
+	return out[0]
+}
+
+// ValueBatch implements mc.BatchMetric: margins for a whole batch of
+// samples, evaluated on one reusable engine (prebuilt netlist templates,
+// cached solver workspaces, nominal-corner warm starts). out must have
+// at least len(xs) entries. Each sample's result depends only on its own
+// coordinates; see the determinism contract in plan.go.
+func (m *Metric) ValueBatch(xs [][]float64, out []float64) {
+	if len(out) < len(xs) {
+		panic(fmt.Sprintf("sram: batch output length %d < %d samples", len(out), len(xs)))
 	}
-	var dvth [NumTransistors]float64
-	for j, tr := range m.Which {
-		dvth[tr] = m.Cell.SigmaVth * x[j]
-	}
-	raw, err := m.raw(dvth)
-	if err != nil || math.IsNaN(raw) || math.IsInf(raw, 0) {
-		raw = m.errorValue()
-	}
+	out = out[:len(xs)]
+	m.ensureAnchors()
+	e := m.getEngine()
+	defer m.putEngine(e)
+	rows := e.dvthRows(m, xs)
+	errs := make([]error, len(xs))
+	m.rawBatch(e, rows, out, errs)
 	scale := m.Scale
 	//reprolint:ignore floateq Scale is user-assigned configuration, never computed; exact 0 is the unset sentinel
 	if scale == 0 {
 		scale = 1
 	}
-	return (raw - m.Spec) * scale
+	for i, raw := range out {
+		if errs[i] != nil || math.IsNaN(raw) || math.IsInf(raw, 0) {
+			raw = m.errorValue()
+		}
+		out[i] = (raw - m.Spec) * scale
+	}
 }
 
 // errorValue is the raw metric value substituted when a simulation fails
@@ -128,23 +162,6 @@ func (m *Metric) errorValue() float64 {
 	}
 }
 
-func (m *Metric) raw(dvth [NumTransistors]float64) (float64, error) {
-	switch m.Kind {
-	case RNM:
-		return m.Cell.ReadSNM(dvth)
-	case WNM:
-		return m.Cell.WriteMargin(dvth)
-	case ReadCurrent:
-		return m.Cell.ReadCurrent(dvth)
-	case Hold:
-		return m.Cell.HoldSNM(dvth)
-	case DualRead:
-		return m.Cell.DualReadCurrent(dvth)
-	default:
-		return 0, fmt.Errorf("sram: unknown metric kind %v", m.Kind)
-	}
-}
-
 // SetTelemetry threads a telemetry registry into the cell's SPICE solves
 // (solver iteration counts, fallback strategies, solve latencies). The
 // top-level flow calls it when run telemetry is enabled; it is purely
@@ -154,4 +171,7 @@ func (m *Metric) SetTelemetry(reg *telemetry.Registry) { m.Cell.Telemetry = reg 
 // SetTelemetry is the TranMetric counterpart of Metric.SetTelemetry.
 func (m *TranMetric) SetTelemetry(reg *telemetry.Registry) { m.Cell.Telemetry = reg }
 
-var _ mc.Metric = (*Metric)(nil)
+var (
+	_ mc.BatchMetric = (*Metric)(nil)
+	_ mc.BatchMetric = (*TranMetric)(nil)
+)

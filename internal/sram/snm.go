@@ -46,26 +46,11 @@ func (c *curve) at(x float64) float64 {
 // curves overlap — exactly the margin polarity the failure indicator
 // needs. vdd scales the search ranges.
 func eyeSquare(g1, g2 *curve, lobe int, vdd float64) float64 {
-	f := func(b, s float64) float64 {
-		if lobe == 0 {
-			return g1.at(g2.at(b)+s) - b - s
-		}
-		return g2.at(g1.at(b)+s) - b - s
+	outer, inner := g1, g2
+	if lobe == 1 {
+		outer, inner = g2, g1
 	}
-	sAt := func(b float64) float64 {
-		lo, hi := -2*vdd, 2*vdd
-		// h is strictly decreasing in s (dh/ds ≤ −1); bracket is
-		// guaranteed because curves are clamped to [0, vdd].
-		for i := 0; i < 60; i++ {
-			mid := 0.5 * (lo + hi)
-			if f(b, mid) > 0 {
-				lo = mid
-			} else {
-				hi = mid
-			}
-		}
-		return 0.5 * (lo + hi)
-	}
+	sAt := func(b float64) float64 { return eyeSide(outer, inner, b) }
 	// Coarse scan of the square's base coordinate followed by ternary
 	// refinement around the best cell.
 	const coarse = 81
@@ -77,7 +62,17 @@ func eyeSquare(g1, g2 *curve, lobe int, vdd float64) float64 {
 		}
 	}
 	step := vdd / float64(coarse-1)
+	// Clamp the refinement bracket to the physical base range: outside
+	// [0, vdd] the clamped curves make sAt report spurious positive
+	// sides (the flat rails overlap trivially), which the exact root
+	// finder would otherwise faithfully maximize.
 	lo, hi := bestB-step, bestB+step
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > vdd {
+		hi = vdd
+	}
 	for i := 0; i < 40; i++ {
 		m1 := lo + (hi-lo)/3
 		m2 := hi - (hi-lo)/3
@@ -91,6 +86,50 @@ func eyeSquare(g1, g2 *curve, lobe int, vdd float64) float64 {
 		bestS = s
 	}
 	return bestS
+}
+
+// eyeSide returns the exact root of h(s) = outer.at(inner.at(b)+s) − b − s,
+// the largest square side anchored at base coordinate b. h is strictly
+// decreasing in s (dh/ds ≤ −1, curves monotone decreasing), and with the
+// substitution u = inner.at(b) + s the root condition becomes
+// φ(u) = outer.at(u) − u + (inner.at(b) − b) = 0 — piecewise linear and
+// strictly decreasing in u, with its knot values readable directly off the
+// sample arrays. A binary search over the knots followed by one linear
+// solve replaces the 60-round bisection this routine previously ran (and
+// the ~120 interpolations it cost); eyeSquare calls sAt a few hundred
+// times per eye, so this is the dominant cost of every noise-margin
+// metric evaluation.
+func eyeSide(outer, inner *curve, b float64) float64 {
+	a := inner.at(b)
+	c := a - b // φ(u) = outer.at(u) − u + c
+	xs, ys := outer.xs, outer.ys
+	n := len(xs)
+	// Beyond the sampled range the curve clamps flat, so φ is linear with
+	// slope −1: the root is read off directly.
+	if ys[0]-xs[0]+c < 0 {
+		return ys[0] - b // u = ys[0] + c, s = u − a
+	}
+	if ys[n-1]-xs[n-1]+c > 0 {
+		return ys[n-1] + c - a
+	}
+	// Largest knot k with φ(xs[k]) ≥ 0; the root lies in [xs[k], xs[k+1]].
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ys[mid]-xs[mid]+c >= 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	x0, x1 := xs[lo], xs[hi]
+	y0, y1 := ys[lo], ys[hi]
+	m := (y1 - y0) / (x1 - x0)
+	// φ on the segment: y0 + m(u−x0) − u + c = 0. The slope m is ≤ 0 for
+	// a monotone-decreasing curve, so 1 − m ≥ 1 and the division is
+	// well-conditioned even across a near-vertical VTC transition.
+	u := (y0 - m*x0 + c) / (1 - m)
+	return u - a
 }
 
 // Curve is a sampled transfer curve exposed to external consumers (the

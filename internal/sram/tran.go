@@ -3,6 +3,7 @@ package sram
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/spice"
 )
@@ -166,6 +167,10 @@ func (c *Cell) WriteDelay(spec *TranSpec, dvth [NumTransistors]float64) (float64
 // (fail when the cell is slower than Spec). Coordinates map to
 // transistors through Which with ΔVth = SigmaVth·x, like the static
 // Metric.
+//
+// Like Metric, a TranMetric is safe for concurrent use and must not be
+// copied after first use: batched evaluation reuses transient test
+// benches from a free list.
 type TranMetric struct {
 	Cell *Cell
 	// Kind selects AccessTime ("access") or WriteDelay ("write").
@@ -179,42 +184,181 @@ type TranMetric struct {
 	// Scale converts seconds to well-conditioned units for response
 	// surfaces (default 1e12: picoseconds).
 	Scale float64
+
+	mu      sync.Mutex
+	engines []*tranEngine
 }
 
 // Dim implements mc.Metric.
 func (m *TranMetric) Dim() int { return len(m.Which) }
 
-// Value implements mc.Metric.
+// Value implements mc.Metric: ValueBatch with a batch of one, so scalar
+// and batched evaluation share one code path (and one result).
 func (m *TranMetric) Value(x []float64) float64 {
-	if len(x) != len(m.Which) {
-		panic(fmt.Sprintf("sram: tran metric got %d coordinates, want %d", len(x), len(m.Which)))
-	}
-	var dvth [NumTransistors]float64
-	for j, tr := range m.Which {
-		dvth[tr] = m.Cell.SigmaVth * x[j]
-	}
-	var (
-		delay float64
-		err   error
-	)
+	var out [1]float64
+	xs := [1][]float64{x}
+	m.ValueBatch(xs[:], out[:])
+	return out[0]
+}
+
+// tranEngine is one worker's reusable transient test bench: the cell
+// with capacitive bitlines built once, re-biased per sample by the batch
+// kernel. The transient itself needs no warm-start anchors — every step
+// already warm-chains from the previous one.
+type tranEngine struct {
+	ckt    *spice.Circuit
+	ms     [NumTransistors]*spice.MOSFET
+	rowBuf []float64
+	rows   [][]float64
+	err    error
+}
+
+func (m *TranMetric) newEngine(s TranSpec) *tranEngine {
+	e := &tranEngine{}
 	switch m.Kind {
 	case "access":
-		delay, err = m.Cell.AccessTime(m.Bench, dvth)
+		e.ckt = m.Cell.buildTran(s, [NumTransistors]float64{}, false, 0)
 	case "write":
-		delay, err = m.Cell.WriteDelay(m.Bench, dvth)
+		e.ckt = m.Cell.buildTran(s, [NumTransistors]float64{}, true, 0)
 	default:
-		err = errors.New("sram: unknown tran metric kind")
+		e.err = errors.New("sram: unknown tran metric kind")
+		return e
 	}
-	if err != nil {
-		// Non-convergence means the cell is broken: maximal delay.
-		delay = m.Bench.defaults().Stop
+	for i, name := range [NumTransistors]string{"m1", "m2", "m3", "m4", "m5", "m6"} {
+		mos, err := e.ckt.MOSFETByName(name)
+		if err != nil {
+			e.err = err
+			return e
+		}
+		e.ms[i] = mos
+	}
+	return e
+}
+
+func (m *TranMetric) getEngine(s TranSpec) *tranEngine {
+	m.mu.Lock()
+	if n := len(m.engines); n > 0 {
+		e := m.engines[n-1]
+		m.engines = m.engines[:n-1]
+		m.mu.Unlock()
+		return e
+	}
+	m.mu.Unlock()
+	return m.newEngine(s)
+}
+
+func (m *TranMetric) putEngine(e *tranEngine) {
+	m.mu.Lock()
+	m.engines = append(m.engines, e)
+	m.mu.Unlock()
+}
+
+// ValueBatch implements mc.BatchMetric: margins for a batch of samples on
+// one reusable test bench. The transient kernel adds a two-rate step
+// schedule — coarse steps across the quiescent pre-wordline lead-in,
+// fine steps once the cell is active — and the crossing detector stops
+// each sample's integration as soon as its delay is resolved.
+func (m *TranMetric) ValueBatch(xs [][]float64, out []float64) {
+	if len(out) < len(xs) {
+		panic(fmt.Sprintf("sram: batch output length %d < %d samples", len(out), len(xs)))
+	}
+	out = out[:len(xs)]
+	s := m.Bench.defaults()
+	e := m.getEngine(s)
+	defer m.putEngine(e)
+	e.rowBuf, e.rows = buildDvthRows(e.rowBuf, e.rows, m.Which, m.Cell.SigmaVth, xs, "tran metric")
+
+	delays := make([]float64, len(xs))
+	var errs []error
+	if e.err == nil {
+		errs = m.runTranBatch(e, s, delays)
 	}
 	scale := m.Scale
 	//reprolint:ignore floateq Scale is user-assigned configuration, never computed; exact 0 is the unset sentinel
 	if scale == 0 {
 		scale = 1e12
 	}
-	return (m.Spec - delay) * scale
+	for i := range out {
+		delay := delays[i]
+		if e.err != nil || errs[i] != nil {
+			// Non-convergence means the cell is broken: maximal delay.
+			delay = s.Stop
+		}
+		out[i] = (m.Spec - delay) * scale
+	}
+}
+
+// runTranBatch integrates every sample's transient on the engine's bench
+// and extracts the per-sample delay (crossing time minus the WL edge,
+// interpolated; the remaining window on no crossing). Returns per-sample
+// solve errors.
+func (m *TranMetric) runTranBatch(e *tranEngine, s TranSpec, delays []float64) []error {
+	c := m.Cell
+	opts := spice.TranBatchOptions{
+		Tran: spice.TranOptions{
+			Stop: s.Stop, Step: s.Step, Method: spice.BackwardEuler,
+			// Only node voltages are read, per step and per crossing.
+			DC: &spice.DCOptions{Telemetry: c.Telemetry, NoBranchCurrents: true},
+			// Nothing moves before the word line rises, so the lead-in is
+			// integrated at a fifth of the resolution; the fine step takes
+			// over exactly at the WL edge (the first waveform breakpoint).
+			CoarseStep:  s.WLEdge / 5,
+			CoarseUntil: s.WLEdge,
+		},
+		MOSFETs: e.ms[:],
+	}
+	// Per-sample crossing state, reset when the kernel moves to the next
+	// sample. The detector mirrors AccessTime/WriteDelay exactly,
+	// including the linear interpolation that keeps the metric smooth.
+	cur := -1
+	var prevT, prevV float64
+	for i := range delays {
+		delays[i] = s.Stop - s.WLEdge
+	}
+	var fn func(i int, p spice.TranPoint) bool
+	switch m.Kind {
+	case "access":
+		opts.Tran.InitialConditions = map[string]float64{
+			"bl": c.VDD, "blb": c.VDD, "q": 0, "qb": c.VDD,
+		}
+		fn = func(i int, p spice.TranPoint) bool {
+			if i != cur {
+				cur, prevT, prevV = i, 0, 0
+			}
+			d := p.OP.Voltage("blb") - p.OP.Voltage("bl")
+			if p.T > s.WLEdge && d >= s.Sense {
+				t := p.T
+				if d > prevV {
+					t = prevT + (s.Sense-prevV)*(p.T-prevT)/(d-prevV)
+				}
+				delays[i] = t - s.WLEdge
+				return false
+			}
+			prevT, prevV = p.T, d
+			return true
+		}
+	case "write":
+		opts.Tran.InitialConditions = map[string]float64{
+			"q": c.VDD, "qb": 0, "bl": 0, "blb": c.VDD,
+		}
+		fn = func(i int, p spice.TranPoint) bool {
+			if i != cur {
+				cur, prevT, prevV = i, 0, c.VDD
+			}
+			q := p.OP.Voltage("q")
+			if p.T > s.WLEdge && q < 0.5*c.VDD {
+				t := p.T
+				if q < prevV {
+					t = prevT + (prevV-0.5*c.VDD)*(p.T-prevT)/(prevV-q)
+				}
+				delays[i] = t - s.WLEdge
+				return false
+			}
+			prevT, prevV = p.T, q
+			return true
+		}
+	}
+	return e.ckt.SolveTranBatch(e.rows, &opts, fn)
 }
 
 // AccessTimeWorkload is the dynamic counterpart of the read-current

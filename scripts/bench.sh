@@ -9,9 +9,12 @@
 #   -label NAME  output file label (BENCH_<NAME>.json; default "local")
 #   -out DIR     output directory (default "bench-out")
 #
-# Compare the fresh file against the committed BENCH_seed.json to spot
-# throughput or latency regressions; sims_per_second and the solve
-# latency quantiles are the guarded numbers.
+# After the schema check, the readcurrent rows are gated against the
+# committed baseline (BENCH_batch.json, falling back to BENCH_seed.json):
+# a sims_per_second drop of more than BENCH_GATE_PCT percent (default 10)
+# on any row present in both files fails the script. Set BENCH_GATE=off
+# to record numbers without gating, or BENCH_BASELINE to gate against a
+# different file.
 set -euo pipefail
 
 QUICK=""
@@ -70,6 +73,14 @@ for i, r in enumerate(doc["runs"]):
           f"{where} throughput not positive")
     check(r["solve_p50_seconds"] <= r["solve_p99_seconds"],
           f"{where} p50 > p99")
+    # Batch-kernel telemetry (repro-bench/v1 additions): batch count and
+    # warm-start rates, the latter proper fractions.
+    check(isinstance(r.get("kernel_batches"), int) and r["kernel_batches"] >= 0,
+          f"{where}.kernel_batches = {r.get('kernel_batches')!r}")
+    for key in ("warm_hit_rate", "warm_fallback_rate"):
+        v = r.get(key)
+        check(isinstance(v, (int, float)) and math.isfinite(v) and 0 <= v <= 1,
+              f"{where}.{key} = {v!r}")
     # Optional nullable fields must be numeric when present.
     for key in ("relerr99", "golden_pf", "rel_error_vs_golden", "rhat"):
         v = r.get(key)
@@ -78,5 +89,60 @@ for i, r in enumerate(doc["runs"]):
 
 print(f"schema OK: {path} ({len(doc['runs'])} runs)")
 PY
+
+if [ "${BENCH_GATE:-on}" = "off" ]; then
+  echo "== gate disabled (BENCH_GATE=off)"
+else
+  BASELINE="${BENCH_BASELINE:-}"
+  if [ -z "$BASELINE" ]; then
+    if [ -f BENCH_batch.json ]; then BASELINE="BENCH_batch.json"
+    else BASELINE="BENCH_seed.json"; fi
+  fi
+  if [ ! -f "$BASELINE" ]; then
+    echo "== no baseline ($BASELINE missing); skipping regression gate"
+  else
+    echo "== gating readcurrent throughput against $BASELINE (tolerance ${BENCH_GATE_PCT:-10}%)"
+    python3 - "$FILE" "$BASELINE" "${BENCH_GATE_PCT:-10}" <<'PY'
+import json, sys
+
+cur_path, base_path, pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(cur_path) as f:
+    cur = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+# Gate readcurrent rows: the 2-D workload is the paper's headline
+# benchmark and the least noisy. The batch-kernel row is gated
+# unconditionally — its per-sim cost is independent of the sample
+# budget, so quick and full runs are comparable. Estimator rows are
+# startup-dominated under -quick (a ~5k-sample run spends a visible
+# fraction of its wall time on anchors and fitting), so they are gated
+# only when both files ran in the same mode.
+floor = 1 - pct / 100
+modes_match = bool(cur.get("quick")) == bool(base.get("quick"))
+baseline = {(r["workload"], r["method"]): r["sims_per_second"]
+            for r in base["runs"] if r["workload"] == "readcurrent"}
+failures, compared = [], 0
+for r in cur["runs"]:
+    key = (r["workload"], r["method"])
+    want = baseline.get(key)
+    if want is None:
+        continue
+    compared += 1
+    gated = key[1] == "batch-kernel" or modes_match
+    got = r["sims_per_second"]
+    verdict = "ok" if gated else "info only (quick/full mode mismatch)"
+    if gated and got < floor * want:
+        verdict = "REGRESSION"
+        failures.append(key)
+    print(f"  {key[0]}/{key[1]}: {got:,.0f} sims/s vs baseline {want:,.0f} ({got/want:.2f}x) {verdict}")
+if compared == 0:
+    print(f"  no readcurrent rows shared with {base_path}; nothing gated")
+if failures:
+    names = ", ".join("/".join(k) for k in failures)
+    sys.exit(f"throughput regression >{pct:.0f}% vs {base_path}: {names}")
+PY
+  fi
+fi
 
 echo "== done: $FILE"
