@@ -39,6 +39,7 @@ func main() {
 		reportOut  = flag.String("report", "", "write the statistical run-report (JSON) to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run")
 		stats      = flag.Bool("stats", false, "print the run-telemetry metric table after the run")
+		watch      = flag.Bool("watch", false, "render live progress (stage, samples, running Pf, sims/s, ETA) as an in-place status line on stderr")
 	)
 	flag.Parse()
 
@@ -56,6 +57,18 @@ func main() {
 		fatal(err)
 	}
 
+	// -watch rides the same live event bus the server streams over SSE:
+	// a registry (created on demand), a bus on it, and a renderer
+	// goroutine turning "progress" events into one in-place status line.
+	reg := cli.Registry
+	var watchStop func()
+	if *watch {
+		if reg == nil {
+			reg = telemetry.New()
+		}
+		watchStop = startWatch(reg)
+	}
+
 	// Ctrl-C cancels the run at the next evaluation chunk; a second
 	// ctrl-C kills the process outright (NotifyContext stops catching
 	// once cancelled).
@@ -66,8 +79,11 @@ func main() {
 	res, err := repro.EstimateContext(ctx, metric, repro.Options{
 		Method: method, K: *k, N: *n, Target: *target,
 		Seed: *seed, Quadratic: *quadratic, Workers: *workers,
-		Mixture: *mixture, Telemetry: cli.Registry,
+		Mixture: *mixture, Telemetry: reg,
 	})
+	if watchStop != nil {
+		watchStop()
+	}
 	if errors.Is(err, context.Canceled) {
 		cli.Close()
 		fmt.Fprintf(os.Stderr, "sramfail: interrupted after %d simulations\n", res.TotalSims)
@@ -115,11 +131,79 @@ func main() {
 
 	if cli.Registry != nil {
 		fmt.Println()
+		// The footer's throughput comes from the same "progress" scope
+		// estimator that feeds the SSE streams and the server's status
+		// JSON, so every surface agrees on the rate.
+		if rate := cli.Registry.Scope("progress").Gauge("sims_per_sec").Value(); rate > 0 {
+			fmt.Printf("stage throughput  %.0f samples/s (live estimator)\n\n", rate)
+		}
 		cli.Registry.WriteTable(os.Stdout)
 	}
 	if err := cli.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// startWatch installs a live event bus on reg and starts the terminal
+// renderer: each "progress" event overwrites one stderr status line.
+// The returned stop function ends the stream, waits for the renderer,
+// and finishes the line so the result table starts on a fresh row.
+func startWatch(reg *telemetry.Registry) func() {
+	bus := reg.Bus()
+	if bus == nil {
+		bus = telemetry.NewBus(0)
+		reg.SetBus(bus)
+	}
+	sub := bus.Subscribe(256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wrote := false
+		for ev := range sub.Events() {
+			if ev.Name != "progress" {
+				continue
+			}
+			stage, _ := ev.Fields["stage"].(string)
+			n := watchNum(ev.Fields, "n")
+			total := watchNum(ev.Fields, "total")
+			line := fmt.Sprintf("%s %d/%d", stage, int(n), int(total))
+			if pf, ok := ev.Fields["pf"]; ok {
+				line += fmt.Sprintf("  pf %.3g", watchFloat(pf))
+				if re := watchNum(ev.Fields, "relerr99"); !math.IsInf(re, 0) && re > 0 {
+					line += fmt.Sprintf(" ±%.1f%%", 100*re)
+				}
+			}
+			line += fmt.Sprintf("  %.0f sims/s  eta %.1fs", watchNum(ev.Fields, "sims_per_sec"), watchNum(ev.Fields, "eta_seconds"))
+			// \r + clear-to-end keeps a shrinking line from leaving
+			// stale characters behind.
+			fmt.Fprintf(os.Stderr, "\r\x1b[K%s", line)
+			wrote = true
+		}
+		if wrote {
+			fmt.Fprint(os.Stderr, "\n")
+		}
+	}()
+	return func() {
+		sub.Close()
+		<-done
+	}
+}
+
+// watchNum reads a numeric progress field (0 when absent).
+func watchNum(fields map[string]any, key string) float64 {
+	return watchFloat(fields[key])
+}
+
+func watchFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -11,12 +11,20 @@
 //	curl -s localhost:8080/v1/jobs/j000001            # live progress
 //	curl -s -X DELETE localhost:8080/v1/jobs/j000001  # cancel
 //
+// The live observability plane is on by default (-event-ring 256): each
+// job carries a private event bus whose stream is served as Server-Sent
+// Events on /v1/jobs/{id}/events (all jobs merged: /v1/events), a
+// watchdog turns mid-run statistical pathologies into health.* events,
+// and the last -event-ring events per job form a flight recorder dumped
+// to -flight-dir on job failure, watchdog alert, or SIGQUIT.
+//
 // SIGINT/SIGTERM drains gracefully: new submissions are rejected with
 // 503, running jobs get -drain-timeout to finish, then are cancelled
 // (their partial simulation cost is preserved in the final snapshot).
 // The -telemetry JSONL event log and the -trace span file are flushed
 // after the drain completes, so the last events of in-flight jobs are
-// never lost.
+// never lost. SIGQUIT does not kill the server: it dumps flight
+// recorders and keeps serving.
 package main
 
 import (
@@ -45,18 +53,40 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
 	teleOut := flag.String("telemetry", "", "write structured run events (JSONL) to this file, flushed on drain")
 	traceOut := flag.String("trace", "", "write the server's span trace to this file on shutdown (Chrome trace JSON, or JSONL with a .jsonl suffix)")
+	eventRing := flag.Int("event-ring", 256, "per-job live-event ring size (SSE resume window and flight recorder; 0 disables event streaming)")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (JSONL) into this directory on job failure, watchdog alert, or SIGQUIT")
+	retention := flag.Duration("retention", 0, "garbage-collect terminal jobs this long after they finish (0 = keep forever)")
+	heartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "SSE comment-heartbeat period")
 	flag.Parse()
 
-	if err := run(*addr, *queue, *executors, *jobTimeout, *drainTimeout, *teleOut, *traceOut); err != nil {
+	cfg := serverConfig{
+		addr: *addr, queue: *queue, executors: *executors,
+		jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+		teleOut: *teleOut, traceOut: *traceOut,
+		eventRing: *eventRing, flightDir: *flightDir,
+		retention: *retention, heartbeat: *heartbeat,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sramserverd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Duration, teleOut, traceOut string) error {
+type serverConfig struct {
+	addr                     string
+	queue, executors         int
+	jobTimeout, drainTimeout time.Duration
+	teleOut, traceOut        string
+	eventRing                int
+	flightDir                string
+	retention                time.Duration
+	heartbeat                time.Duration
+}
+
+func run(cfg serverConfig) error {
 	// The CLI bundle owns the JSONL event sink and the span-trace file;
 	// closing it after the drain is what guarantees the flush.
-	cli, err := telemetry.StartCLI(teleOut, traceOut, "", false)
+	cli, err := telemetry.StartCLI(cfg.teleOut, cfg.traceOut, "", false)
 	if err != nil {
 		return err
 	}
@@ -64,11 +94,21 @@ func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Durati
 	if reg == nil {
 		reg = telemetry.New()
 	}
+	if cfg.flightDir != "" {
+		if err := os.MkdirAll(cfg.flightDir, 0o755); err != nil {
+			cli.Close()
+			return err
+		}
+	}
 	mgr := jobs.NewManager(jobs.Config{
-		QueueSize:  queue,
-		Executors:  executors,
-		JobTimeout: jobTimeout,
+		QueueSize:  cfg.queue,
+		Executors:  cfg.executors,
+		JobTimeout: cfg.jobTimeout,
 		Registry:   reg,
+		EventRing:  cfg.eventRing,
+		FlightDir:  cfg.flightDir,
+		Retention:  cfg.retention,
+		Heartbeat:  cfg.heartbeat,
 	})
 
 	mux := http.NewServeMux()
@@ -79,7 +119,7 @@ func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Durati
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		cli.Close()
 		return err
@@ -88,6 +128,18 @@ func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Durati
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT is the operator's "what is going on in there": dump every
+	// flight recorder to -flight-dir and keep serving.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			paths := mgr.DumpFlight("sigquit")
+			fmt.Fprintf(os.Stderr, "sramserverd: SIGQUIT — %d flight dump(s) written to %s\n", len(paths), cfg.flightDir)
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -102,8 +154,8 @@ func run(addr string, queue, executors int, jobTimeout, drainTimeout time.Durati
 	}
 	stop() // restore default signal handling: a second signal kills hard
 
-	fmt.Fprintf(os.Stderr, "sramserverd: draining (up to %s)\n", drainTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	fmt.Fprintf(os.Stderr, "sramserverd: draining (up to %s)\n", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// Stop accepting HTTP first so in-flight requests finish, then let
 	// the manager run the queue down (or cancel at the deadline).

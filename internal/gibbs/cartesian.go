@@ -53,7 +53,7 @@ func CartesianChainContext(ctx context.Context, metric mc.Metric, start []float6
 	defer span.End()
 	span.SetAttr("coord", Cartesian.String())
 	updateAgg, probeAgg := span.Agg("update"), span.Agg("probe")
-	ct := newChainTelemetry(o.Telemetry, cartesianCoordNames(dim))
+	ct := newChainTelemetry(o.Telemetry, cartesianCoordNames(dim), k)
 	samples := make([][]float64, 0, k)
 	m := 0
 	for len(samples) < k {

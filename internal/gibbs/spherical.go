@@ -92,7 +92,7 @@ func SphericalChainContext(ctx context.Context, metric mc.Metric, start []float6
 	defer span.End()
 	span.SetAttr("coord", Spherical.String())
 	updateAgg, probeAgg := span.Agg("update"), span.Agg("probe")
-	ct := newChainTelemetry(o.Telemetry, sphericalCoordNames(dim))
+	ct := newChainTelemetry(o.Telemetry, sphericalCoordNames(dim), k)
 	samples := make([][]float64, 0, k)
 	record := func() { samples = append(samples, cur()) }
 

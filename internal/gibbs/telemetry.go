@@ -2,6 +2,7 @@ package gibbs
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -37,7 +38,26 @@ type chainTelemetry struct {
 
 	nUpdates, nResampled, nRecovered, nKept int
 	byCoord                                 []int64
+
+	// Stage-1 progress: the chain produces one sample per coordinate
+	// update, so nUpdates doubles as the samples-done count against the
+	// target K. Every progressStride updates a "progress" event goes
+	// out with the measured update throughput and the ETA to K, and the
+	// shared "progress" scope gauges are refreshed (the same gauges the
+	// second stage writes — the job status API reads whichever stage is
+	// live).
+	target  int
+	start   time.Time
+	nProbes int64
+	gRate   *telemetry.Gauge
+	gETA    *telemetry.Gauge
+	gN      *telemetry.Gauge
+	gTotal  *telemetry.Gauge
 }
+
+// progressStride throttles stage-1 progress events: one per this many
+// coordinate updates (a K=1000 chain emits ~31).
+const progressStride = 32
 
 // cartesianCoordNames labels Algorithm 1's coordinates x0..x{M-1};
 // sphericalCoordNames labels Algorithm 2's redundant set r, a0..a{M-1}.
@@ -58,11 +78,12 @@ func sphericalCoordNames(dim int) []string {
 	return names
 }
 
-func newChainTelemetry(reg *telemetry.Registry, coordNames []string) *chainTelemetry {
+func newChainTelemetry(reg *telemetry.Registry, coordNames []string, target int) *chainTelemetry {
 	if reg == nil {
 		return nil
 	}
 	s := reg.Scope("gibbs")
+	prog := reg.Scope("progress")
 	ct := &chainTelemetry{
 		reg:        reg,
 		coordNames: coordNames,
@@ -72,10 +93,17 @@ func newChainTelemetry(reg *telemetry.Registry, coordNames []string) *chainTelem
 		kept:       s.Counter("kept_total"),
 		probes:     s.Histogram("probes_per_update", probeBuckets),
 		byCoord:    make([]int64, len(coordNames)),
+		target:     target,
+		start:      time.Now(),
+		gRate:      prog.Gauge("sims_per_sec"),
+		gETA:       prog.Gauge("eta_seconds"),
+		gN:         prog.Gauge("n"),
+		gTotal:     prog.Gauge("total"),
 	}
 	for _, n := range coordNames {
 		ct.perCoord = append(ct.perCoord, s.Counter("coord_"+n+"_resampled_total"))
 	}
+	ct.gTotal.Set(float64(target))
 	return ct
 }
 
@@ -102,6 +130,37 @@ func (t *chainTelemetry) update(coord int, st intervalStatus, probes int) {
 			t.recovered.Inc()
 		}
 	}
+	t.nProbes += int64(probes)
+	if t.nUpdates%progressStride == 0 {
+		t.progress()
+	}
+}
+
+// progress publishes a throttled stage-1 snapshot: the chain's position
+// against its sample target, the measured simulation throughput (the
+// interval search runs several simulations per update, so sims/sec is
+// tallied from probe counts, not updates), and the finite ETA to the
+// target. Reads only the wall clock and tallies — the chain's random
+// stream is untouched.
+func (t *chainTelemetry) progress() {
+	elapsed := time.Since(t.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(t.nProbes) / elapsed
+	}
+	eta := 0.0
+	if t.nUpdates > 0 && t.target > t.nUpdates {
+		perUpdate := elapsed / float64(t.nUpdates)
+		eta = float64(t.target-t.nUpdates) * perUpdate
+	}
+	t.gN.Set(float64(t.nUpdates))
+	t.gRate.Set(rate)
+	t.gETA.Set(eta)
+	t.reg.Emit("progress", map[string]any{
+		"stage": "stage1", "n": t.nUpdates, "total": t.target,
+		"resampled": t.nResampled, "sims": t.nProbes,
+		"sims_per_sec": rate, "eta_seconds": eta,
+	})
 }
 
 // done computes the mixing diagnostics of the finished chain and emits
@@ -126,6 +185,7 @@ func (t *chainTelemetry) done(coord Coord, samples [][]float64) {
 		"coords":             t.coordNames,
 		"resampled_by_coord": t.byCoord,
 	}
+	t.gETA.Set(0)
 	s := t.reg.Scope("gibbs")
 	s.Gauge("chain_acceptance").Set(acceptance)
 	if ess, err := EffectiveSampleSize(samples); err == nil {

@@ -18,6 +18,8 @@ import (
 //	GET    /v1/jobs/{id}/metrics  the job's telemetry (Prometheus text)
 //	GET    /v1/jobs/{id}/report   the finished job's statistical run-report (JSON)
 //	GET    /v1/jobs/{id}/trace    the job's span trace (Chrome trace JSON; ?format=jsonl for span JSONL)
+//	GET    /v1/jobs/{id}/events   the job's live event stream (SSE; see sse.go)
+//	GET    /v1/events           the server-global event stream (SSE)
 //	GET    /v1/methods          the estimator registry
 //	GET    /v1/workloads        the workload registry
 //	GET    /metrics             the server-wide telemetry (Prometheus text)
@@ -119,6 +121,8 @@ func Handler(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		trace.WriteChromeTrace(w)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleJobEvents)
+	mux.HandleFunc("GET /v1/events", m.handleGlobalEvents)
 	mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
 		type method struct {
 			Name        string `json:"name"`

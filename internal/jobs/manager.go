@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,8 +93,12 @@ func (r Request) options() repro.Options {
 	}
 }
 
-// Progress is a live snapshot of a running job's second stage, read
-// from the estimator's chunk-boundary telemetry gauges.
+// Progress is a live snapshot of a running job, read from the
+// estimator's chunk-boundary telemetry gauges: the second-stage running
+// estimate plus the throughput numbers ("progress" scope) the stage
+// publishes alongside it. SimsPerSec and ETASeconds come from the same
+// estimator that feeds the SSE progress events and the CLI -stats
+// footer, so every surface reports one consistent rate.
 type Progress struct {
 	// Stage2N is the number of second-stage samples consumed so far.
 	Stage2N int `json:"stage2_n"`
@@ -100,6 +106,10 @@ type Progress struct {
 	// error; RelErr99 is null until the estimate is non-zero.
 	Pf       float64  `json:"pf"`
 	RelErr99 *float64 `json:"rel_err99"`
+	// SimsPerSec is the measured sampling throughput of the live stage;
+	// ETASeconds is the finite remaining-work estimate derived from it.
+	SimsPerSec float64 `json:"sims_per_sec,omitempty"`
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
 }
 
 // Result is the wire form of repro.Result: scalar fields only — traces,
@@ -130,9 +140,15 @@ type Snapshot struct {
 	// Sims is the live count of transistor-level simulations consumed,
 	// including first-stage and Gibbs-chain probes.
 	Sims int64 `json:"sims"`
-	// Progress is present while the job runs and a second stage has
-	// started publishing.
+	// Progress is present while the job runs and a stage has started
+	// publishing.
 	Progress *Progress `json:"progress,omitempty"`
+	// Health lists the watchdog alerts fired so far (absent while
+	// healthy or when the event bus is disabled).
+	Health []telemetry.Alert `json:"health,omitempty"`
+	// FlightDump is the path of the flight-recorder dump, once one was
+	// written for this job.
+	FlightDump string `json:"flight_dump,omitempty"`
 	// Result is present once State is done. Elapsed is wall-clock
 	// seconds from start to finish (or to now while running).
 	Result  *Result `json:"result,omitempty"`
@@ -154,8 +170,22 @@ type Job struct {
 	// reg is the job's private telemetry registry, serving the per-job
 	// metrics endpoint and the Progress gauges.
 	reg *telemetry.Registry
+	// bus is the job's private event bus (nil when the manager runs with
+	// events disabled): every event the run emits fans out to SSE
+	// subscribers and is retained in the flight-recorder ring, and a
+	// tagged copy forwards to the manager's global bus.
+	bus *telemetry.Bus
+	// watchdog evaluates the job's streamed telemetry mid-run (nil when
+	// events are disabled).
+	watchdog *telemetry.Watchdog
+
+	// flightOnce guards the automatic flight dump (job failure or first
+	// watchdog alert — whichever fires first wins).
+	flightOnce sync.Once
+	flightDir  string
 
 	mu        sync.Mutex
+	flight    string // path of the written flight dump, under mu
 	state     State
 	cancel    context.CancelFunc // set when the job starts running
 	cancelled bool               // cancel requested (possibly while queued)
@@ -177,6 +207,36 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // Telemetry returns the job's private registry (live during the run,
 // final afterwards).
 func (j *Job) Telemetry() *telemetry.Registry { return j.reg }
+
+// Events returns the job's private event bus, or nil when the manager
+// runs with the event plane disabled. Subscribe to it for the job's
+// live event stream; its ring retains the run's last events (the SSE
+// resume window and the flight recorder).
+func (j *Job) Events() *telemetry.Bus { return j.bus }
+
+// dumpFlight writes the job's retained event ring as JSONL to the
+// manager's flight directory, at most once per job (the first trigger —
+// watchdog alert or failure — wins). No-op without a bus or a flight
+// directory.
+func (j *Job) dumpFlight(reason string) {
+	if j.bus == nil || j.flightDir == "" {
+		return
+	}
+	j.flightOnce.Do(func() {
+		path := filepath.Join(j.flightDir, fmt.Sprintf("%s-%s.jsonl", j.id, reason))
+		f, err := os.Create(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		if err := j.bus.WriteJSONL(f); err != nil {
+			return
+		}
+		j.mu.Lock()
+		j.flight = path
+		j.mu.Unlock()
+	})
+}
 
 // Report returns the finished job's statistical run-report, or nil while
 // the job has not completed successfully.
@@ -220,14 +280,26 @@ func (j *Job) Snapshot() Snapshot {
 	}
 	if j.state == StateRunning {
 		mcScope := j.reg.Scope("mc")
+		prog := j.reg.Scope("progress")
 		if n := int(mcScope.Gauge("stage2_n").Value()); n > 0 {
 			s.Progress = &Progress{
-				Stage2N:  n,
-				Pf:       mcScope.Gauge("stage2_pf").Value(),
-				RelErr99: finitePtr(mcScope.Gauge("stage2_relerr99").Value()),
+				Stage2N:    n,
+				Pf:         mcScope.Gauge("stage2_pf").Value(),
+				RelErr99:   finitePtr(mcScope.Gauge("stage2_relerr99").Value()),
+				SimsPerSec: prog.Gauge("sims_per_sec").Value(),
+				ETASeconds: prog.Gauge("eta_seconds").Value(),
+			}
+		} else if prog.Gauge("n").Value() > 0 {
+			// First stage live: no running estimate yet, but the
+			// throughput estimator already reports rate and ETA.
+			s.Progress = &Progress{
+				SimsPerSec: prog.Gauge("sims_per_sec").Value(),
+				ETASeconds: prog.Gauge("eta_seconds").Value(),
 			}
 		}
 	}
+	s.Health = j.watchdog.Alerts()
+	s.FlightDump = j.flight
 	if j.state == StateDone && j.result != nil {
 		r := j.result
 		s.Result = &Result{
@@ -262,9 +334,31 @@ type Config struct {
 	// repro.WorkloadByName. Tests inject synthetic workloads here.
 	Resolve func(workload string) (repro.Metric, error)
 	// Registry, when non-nil, receives the manager's own metrics under
-	// scope "jobs" (submission counters, queue depth, running gauge).
+	// scope "jobs" (submission counters, queue depth, running gauge),
+	// plus per-job mirror gauges under scope "job_<id>" while the event
+	// plane is enabled.
 	Registry *telemetry.Registry
+	// EventRing enables the live event plane: each job gets a private
+	// event bus retaining the last EventRing events (the SSE resume
+	// window and the flight recorder), forwarding tagged copies to a
+	// server-global bus, and a health watchdog evaluates the stream
+	// mid-run. Zero disables all of it — no buses, no watchdog, no SSE
+	// payloads — restoring the pre-observability behavior exactly.
+	EventRing int
+	// FlightDir, when non-empty, is where flight-recorder dumps are
+	// written (on job failure, first watchdog alert, or SIGQUIT via
+	// DumpFlight). The directory must exist.
+	FlightDir string
+	// Retention, when positive, garbage-collects terminal jobs this long
+	// after they finish: the job disappears from the table and its
+	// per-job metrics scope is dropped from Registry.
+	Retention time.Duration
+	// Heartbeat is the SSE comment-heartbeat period (default 15s).
+	Heartbeat time.Duration
 }
+
+// minSweep bounds how often the retention sweeper wakes up.
+const minSweep = 100 * time.Millisecond
 
 // Manager owns the queue, the executor pool and the job table.
 type Manager struct {
@@ -281,6 +375,18 @@ type Manager struct {
 
 	seq atomic.Int64
 	wg  sync.WaitGroup
+
+	// bus is the server-global event bus (nil with EventRing 0): every
+	// job's events arrive here tagged with the job ID, and the global
+	// SSE stream serves it. ownBus records whether the manager created
+	// it (and must close it on Drain) or inherited one from cfg.Registry.
+	bus    *telemetry.Bus
+	ownBus bool
+
+	gcStop     chan struct{}
+	gcDone     chan struct{}
+	mirrorDone chan struct{}
+	stopOnce   sync.Once
 
 	// "jobs" scope instruments on cfg.Registry (nil-safe).
 	submitted, completed, failed, cancelled, rejected *telemetry.Counter
@@ -299,6 +405,9 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Resolve == nil {
 		cfg.Resolve = repro.WorkloadByName
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
@@ -306,6 +415,32 @@ func NewManager(cfg Config) *Manager {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		queue:      make(chan *Job, cfg.QueueSize),
+		gcStop:     make(chan struct{}),
+		gcDone:     make(chan struct{}),
+		mirrorDone: make(chan struct{}),
+	}
+	if cfg.EventRing > 0 {
+		// Reuse a bus the caller already installed on the registry (the
+		// caller then owns its lifecycle); otherwise create and own one.
+		if b := cfg.Registry.Bus(); b != nil {
+			m.bus = b
+		} else {
+			m.bus = telemetry.NewBus(cfg.EventRing)
+			m.ownBus = true
+			cfg.Registry.SetBus(m.bus)
+		}
+	}
+	// One mirror goroutine keeps the per-job "job_<id>" scopes in the
+	// server-wide registry fresh from the tagged event stream.
+	if m.bus != nil && cfg.Registry != nil {
+		go m.mirror(m.bus.Subscribe(256))
+	} else {
+		close(m.mirrorDone)
+	}
+	if cfg.Retention > 0 {
+		go m.sweep()
+	} else {
+		close(m.gcDone)
 	}
 	scope := cfg.Registry.Scope("jobs")
 	m.submitted = scope.Counter("submitted_total")
@@ -347,13 +482,14 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	}
 
 	job := &Job{
-		id:      fmt.Sprintf("j%06d", m.seq.Add(1)),
-		req:     req,
-		counter: mc.NewCounter(metric),
-		reg:     telemetry.New(),
-		state:   StateQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:        fmt.Sprintf("j%06d", m.seq.Add(1)),
+		req:       req,
+		counter:   mc.NewCounter(metric),
+		reg:       telemetry.New(),
+		flightDir: m.cfg.FlightDir,
+		state:     StateQueued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	// Every job records a span trace on its private registry: the
 	// estimate pipeline nests its stage spans under it, and the
@@ -363,6 +499,14 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	// into the server's JSONL sink, when one is installed; the shared
 	// sink's sequence numbers give a total order across jobs.
 	job.reg.SetSink(m.cfg.Registry.Sink())
+	// With the event plane on, the same events also fan out live: into
+	// the job's private bus (SSE per-job stream + flight ring) and, with
+	// a {"job": id} tag merged in, the server-global bus.
+	if m.bus != nil {
+		job.bus = telemetry.NewBus(m.cfg.EventRing).
+			WithParent(m.bus, map[string]any{"job": job.id})
+		job.reg.SetBus(job.bus)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -380,7 +524,10 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.order = append(m.order, job.id)
 	m.submitted.Inc()
 	m.queueDepth.Set(float64(len(m.queue)))
-	m.cfg.Registry.Emit("job.submitted", map[string]any{
+	// Emitting on the job's registry reaches the shared sink and, when
+	// enabled, the job bus (so a per-job SSE stream sees its own
+	// lifecycle from the first event) plus the tagged global bus.
+	job.reg.Emit("job.submitted", map[string]any{
 		"job": job.id, "workload": req.Workload, "method": req.Method, "seed": req.Seed,
 	})
 	return job, nil
@@ -459,14 +606,208 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.wg.Wait()
 		close(idle)
 	}()
+	var err error
 	select {
 	case <-idle:
-		return nil
 	case <-ctx.Done():
 		m.baseCancel()
 		<-idle
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Executors are idle: tear the observability plane down — stop the
+	// sweeper and mirror, and close the global bus (ending every SSE
+	// stream) if the manager created it.
+	m.stopOnce.Do(func() { close(m.gcStop) })
+	<-m.gcDone
+	if m.ownBus {
+		m.bus.Close()
+	}
+	<-m.mirrorDone
+	return err
+}
+
+// Bus returns the server-global event bus (nil when the event plane is
+// disabled): every job's events, tagged with {"job": id}.
+func (m *Manager) Bus() *telemetry.Bus { return m.bus }
+
+// Heartbeat returns the configured SSE heartbeat period.
+func (m *Manager) Heartbeat() time.Duration { return m.cfg.Heartbeat }
+
+// Remove deletes a terminal job from the table and drops its per-job
+// mirror scope from the server-wide registry, so /metrics stops
+// mentioning it. Removing a non-terminal job is an error; removing an
+// unknown ID reports ErrNotFound.
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	job.mu.Lock()
+	state := job.state
+	job.mu.Unlock()
+	if !state.Terminal() {
+		m.mu.Unlock()
+		return fmt.Errorf("jobs: job %q is %s — cancel it before removing", id, state)
+	}
+	delete(m.jobs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	// Drop the job's mirror metrics from /metrics and free its bus
+	// subscribers (any still-attached SSE replay stream ends).
+	m.cfg.Registry.DropScope("job_" + id)
+	job.bus.Close()
+	return nil
+}
+
+// sweep garbage-collects terminal jobs older than cfg.Retention.
+func (m *Manager) sweep() {
+	defer close(m.gcDone)
+	period := max(m.cfg.Retention/4, minSweep)
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.gcStop:
+			return
+		case <-ticker.C:
+			m.sweepOnce(time.Now())
+		}
+	}
+}
+
+// sweepOnce removes every terminal job that finished before
+// now−Retention.
+func (m *Manager) sweepOnce(now time.Time) {
+	cutoff := now.Add(-m.cfg.Retention)
+	m.mu.Lock()
+	var expired []string
+	for id, job := range m.jobs {
+		job.mu.Lock()
+		if job.state.Terminal() && !job.finished.IsZero() && job.finished.Before(cutoff) {
+			expired = append(expired, id)
+		}
+		job.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, id := range expired {
+		m.Remove(id)
+	}
+}
+
+// mirror keeps per-job "job_<id>" scopes on the server-wide registry
+// fresh from the tagged global event stream, so one /metrics scrape
+// shows every live job's position without touching the per-job
+// registries. Runs until the bus closes or the manager drains; Remove
+// drops the scopes it creates.
+func (m *Manager) mirror(sub *telemetry.Subscription) {
+	defer close(m.mirrorDone)
+	for {
+		select {
+		case <-m.gcStop:
+			sub.Close()
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			m.mirrorEvent(ev)
+		}
+	}
+}
+
+// mirrorEvent projects one tagged event onto the job's mirror scope.
+func (m *Manager) mirrorEvent(ev telemetry.Event) {
+	id, _ := ev.Fields["job"].(string)
+	if id == "" {
+		return
+	}
+	// Skip jobs already removed — recreating the scope would leak it.
+	m.mu.Lock()
+	_, tracked := m.jobs[id]
+	m.mu.Unlock()
+	if !tracked {
+		return
+	}
+	s := m.cfg.Registry.Scope("job_" + id)
+	switch ev.Name {
+	case "progress":
+		if n, ok := numEventField(ev.Fields, "n"); ok {
+			s.Gauge("progress_n").Set(n)
+		}
+		if v, ok := numEventField(ev.Fields, "pf"); ok {
+			s.Gauge("pf").Set(v)
+		}
+		if v, ok := numEventField(ev.Fields, "sims_per_sec"); ok {
+			s.Gauge("sims_per_sec").Set(v)
+		}
+		if v, ok := numEventField(ev.Fields, "eta_seconds"); ok {
+			s.Gauge("eta_seconds").Set(v)
+		}
+	case "job.submitted":
+		s.Gauge("state").Set(0)
+	case "job.done":
+		s.Gauge("state").Set(1)
+		if v, ok := numEventField(ev.Fields, "sims"); ok {
+			s.Gauge("sims").Set(v)
+		}
+	}
+}
+
+// DumpFlight writes flight-recorder dumps for the global bus and every
+// tracked job that has one, returning the written paths. This is the
+// SIGQUIT hook: unlike the per-job automatic dump it is not
+// once-guarded, so an operator can trigger it repeatedly. No-op without
+// a FlightDir or with the event plane disabled.
+func (m *Manager) DumpFlight(reason string) []string {
+	if m.cfg.FlightDir == "" || m.bus == nil {
+		return nil
+	}
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	var paths []string
+	write := func(name string, bus *telemetry.Bus) {
+		path := filepath.Join(m.cfg.FlightDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		if bus.WriteJSONL(f) == nil {
+			paths = append(paths, path)
+		}
+	}
+	write(fmt.Sprintf("server-%s.jsonl", reason), m.bus)
+	for _, job := range jobs {
+		if job.bus != nil {
+			write(fmt.Sprintf("%s-%s.jsonl", job.id, reason), job.bus)
+		}
+	}
+	return paths
+}
+
+// numEventField extracts a numeric field from a decoded event payload,
+// tolerating the int/int64/float64 mix publishers use.
+func numEventField(fields map[string]any, key string) (float64, bool) {
+	switch v := fields[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
 }
 
 // executor pulls jobs off the queue until Drain closes it.
@@ -482,13 +823,17 @@ func (m *Manager) executor() {
 func (m *Manager) run(job *Job) {
 	job.mu.Lock()
 	if job.cancelled {
-		// Cancelled while queued: terminal without running.
+		// Cancelled while queued: terminal without running. The job
+		// still gets its terminal event so event streams see it end.
 		job.state = StateCancelled
 		job.err = context.Canceled
 		job.finished = time.Now()
-		close(job.done)
 		job.mu.Unlock()
 		m.cancelled.Inc()
+		job.reg.Emit("job.done", map[string]any{
+			"job": job.id, "state": string(StateCancelled), "error": context.Canceled.Error(),
+		})
+		close(job.done)
 		return
 	}
 	ctx := m.baseCtx
@@ -504,6 +849,11 @@ func (m *Manager) run(job *Job) {
 	job.cancel = cancel
 	job.state = StateRunning
 	job.started = time.Now()
+	// The watchdog rides the job's private bus (nil bus → nil watchdog,
+	// fully inert); its first alert dumps the flight recorder.
+	job.watchdog = telemetry.StartWatchdog(job.reg, telemetry.WatchdogConfig{
+		OnAlert: func(a telemetry.Alert) { job.dumpFlight("alert-" + a.Kind) },
+	})
 	job.mu.Unlock()
 	m.running.Set(m.running.Value() + 1)
 	defer m.running.Set(m.running.Value() - 1)
@@ -516,6 +866,7 @@ func (m *Manager) run(job *Job) {
 	opts.Telemetry = job.reg
 	res, err := repro.EstimateContext(ctx, job.counter, opts)
 
+	job.watchdog.Stop()
 	job.mu.Lock()
 	job.result = res
 	job.err = err
@@ -532,7 +883,6 @@ func (m *Manager) run(job *Job) {
 		m.failed.Inc()
 	}
 	state := job.state
-	close(job.done)
 	job.mu.Unlock()
 
 	fields := map[string]any{"job": job.id, "state": string(state)}
@@ -543,7 +893,15 @@ func (m *Manager) run(job *Job) {
 	if err != nil {
 		fields["error"] = err.Error()
 	}
-	m.cfg.Registry.Emit("job.done", fields)
+	// The terminal event goes out on the job's registry — sink, job bus
+	// (every per-job SSE stream ends on it) and tagged global bus —
+	// before the flight dump and the done close, so the dump's ring ends
+	// on job.done and a waiter that saw done can rely on both.
+	job.reg.Emit("job.done", fields)
+	if state == StateFailed {
+		job.dumpFlight("failed")
+	}
+	close(job.done)
 }
 
 // finitePtr returns &v for finite v and nil otherwise, so JSON encoding

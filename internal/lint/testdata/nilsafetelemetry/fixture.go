@@ -64,3 +64,49 @@ func (m Meter) Snapshot() float64 { return m.v }
 
 // A blank receiver cannot be dereferenced.
 func (_ *Meter) Hint() string { return "meter" }
+
+// Feed mimics the event-bus shape: a pub/sub handle whose exported
+// surface (publish, subscribe, drain) must all be reachable through a
+// nil pointer without panicking — a subscriber on a disabled plane gets
+// a closed stream, not a crash.
+type Feed struct {
+	events []string
+	closed bool
+}
+
+// Post carries the canonical guard before touching the slice.
+func (f *Feed) Post(event string) {
+	if f == nil {
+		return
+	}
+	f.events = append(f.events, event)
+}
+
+// Listen guards even though it could "just return a value": the closed
+// check dereferences the receiver.
+func (f *Feed) Listen(from int) []string {
+	if f == nil || from < 0 {
+		return nil
+	}
+	if f.closed {
+		return nil
+	}
+	return f.events[from:]
+}
+
+// want[+2] nilsafetelemetry `exported method Drain on pointer receiver \*Feed`
+// Drain validates its argument before the receiver — the guard is late.
+func (f *Feed) Drain(limit int) []string {
+	if limit <= 0 {
+		return nil
+	}
+	if f == nil {
+		return nil
+	}
+	return f.events[:min(limit, len(f.events))]
+}
+
+// want[+1] nilsafetelemetry `exported method Shutdown on pointer receiver \*Feed`
+func (f *Feed) Shutdown() {
+	f.closed = true
+}

@@ -220,36 +220,6 @@ func pushWeights(run *stat.Running, batch []isWeight, failures *int, tw *topWeig
 	return trace
 }
 
-// estimatorProgress publishes the running estimate between chunks: the
-// stage2_* gauges (for live /metrics scrapes) and an
-// "estimator.progress" event. It runs outside the hot sample loop and
-// only when telemetry is attached to the evaluator.
-func estimatorProgress(ev *Evaluator, run *stat.Running, failures int) {
-	reg := ev.Telemetry()
-	if reg == nil {
-		return
-	}
-	s := reg.Scope("mc")
-	s.Gauge("stage2_n").Set(float64(run.N()))
-	s.Gauge("stage2_pf").Set(run.Mean())
-	s.Gauge("stage2_relerr99").Set(run.RelErr99())
-	reg.Emit("estimator.progress", map[string]any{
-		"n": run.N(), "pf": run.Mean(), "relerr99": run.RelErr99(), "failures": failures,
-	})
-}
-
-// estimatorDone emits the closing event of an estimation stage.
-func estimatorDone(ev *Evaluator, res *Result) {
-	reg := ev.Telemetry()
-	if reg == nil {
-		return
-	}
-	reg.Emit("estimator.done", map[string]any{
-		"n": res.N, "pf": res.Pf, "relerr99": res.RelErr99,
-		"failures": res.Failures, "weight_ess": res.WeightESS,
-	})
-}
-
 // ImportanceSample estimates Pf by sampling the distorted distribution g
 // and averaging the weights I(x)·f(x)/g(x) (paper eqs. 7 and 33); f is
 // the standard Normal of eq. (1). The simulations run on ev's worker
@@ -280,6 +250,7 @@ func ImportanceSampleContext(ctx context.Context, ev *Evaluator, g Distortion, n
 	chunkAgg := span.Agg("chunk")
 	draw, post := isJob(g)
 	seed := rng.Int63()
+	prog := newStageProgress(ev.Telemetry(), "stage2", n)
 	var run stat.Running
 	failures := 0
 	var tw topWeights
@@ -293,12 +264,12 @@ func ImportanceSampleContext(ctx context.Context, ev *Evaluator, g Distortion, n
 		batch := MapBatch(ev, seed, start, count, draw, post)
 		chunkAgg.Observe(time.Since(t0).Seconds())
 		trace = pushWeights(&run, batch, &failures, &tw, traceEvery, trace)
-		estimatorProgress(ev, &run, failures)
+		prog.publishRun(&run, failures, &tw)
 	}
 	res := resultFrom(&run, failures, trace)
 	res.MaxWeight, res.TopWeights = tw.max(), tw.w
 	span.SetAttr("failures", res.Failures)
-	estimatorDone(ev, &res)
+	prog.done(&res)
 	return res, nil
 }
 
@@ -337,6 +308,7 @@ func ImportanceSampleUntilContext(ctx context.Context, ev *Evaluator, g Distorti
 	chunkAgg := span.Agg("chunk")
 	draw, post := isJob(g)
 	seed := rng.Int63()
+	prog := newStageProgress(ev.Telemetry(), "stage2", maxN)
 	var run stat.Running
 	failures := 0
 	var tw topWeights
@@ -349,7 +321,7 @@ func ImportanceSampleUntilContext(ctx context.Context, ev *Evaluator, g Distorti
 		batch := MapBatch(ev, seed, start, count, draw, post)
 		chunkAgg.Observe(time.Since(t0).Seconds())
 		pushWeights(&run, batch, &failures, &tw, 0, nil)
-		estimatorProgress(ev, &run, failures)
+		prog.publishRun(&run, failures, &tw)
 		if run.N() >= minN && run.RelErr99() <= target {
 			break
 		}
@@ -357,6 +329,6 @@ func ImportanceSampleUntilContext(ctx context.Context, ev *Evaluator, g Distorti
 	res := resultFrom(&run, failures, nil)
 	res.MaxWeight, res.TopWeights = tw.max(), tw.w
 	span.SetAttr("failures", res.Failures)
-	estimatorDone(ev, &res)
+	prog.done(&res)
 	return res, nil
 }

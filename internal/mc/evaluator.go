@@ -62,7 +62,7 @@ var chunkSecondsBuckets = telemetry.ExpBuckets(1e-6, 10, 8) // 1µs .. 10s
 // WithTelemetry attaches a telemetry registry to the evaluator and
 // returns it (nil-safe on both sides, so callers can chain it
 // unconditionally). Telemetry only observes: throughput counters, the
-// chunk-latency histogram and estimator-progress events never touch the
+// chunk-latency histogram and progress events never touch the
 // samples, so estimates are bit-identical with telemetry on or off.
 func (e *Evaluator) WithTelemetry(reg *telemetry.Registry) *Evaluator {
 	if e == nil || reg == nil {

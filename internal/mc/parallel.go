@@ -56,6 +56,7 @@ func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, wo
 		return x
 	}
 	post := func(_ int, _ []float64, v float64) bool { return v < 0 }
+	prog := newStageProgress(reg, "stage2", n)
 	failures := 0
 	done := 0
 	for start := 0; start < n; start += mcChunk {
@@ -72,11 +73,12 @@ func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, wo
 			}
 		}
 		done += count
-		if reg != nil {
-			reg.Emit("estimator.progress", map[string]any{
-				"n": done, "pf": float64(failures) / float64(done), "failures": failures,
-			})
+		pf := float64(failures) / float64(done)
+		relerr := math.Inf(1)
+		if failures > 0 && done > 1 {
+			relerr = stat.Z99 * sqrt(pf*(1-pf)/float64(done)) / pf
 		}
+		prog.publish(done, failures, pf, relerr, 0)
 	}
 	// Bernoulli tally: mean p, variance p(1−p)/n.
 	p := float64(failures) / float64(n)
@@ -88,7 +90,9 @@ func ParallelMCContext(ctx context.Context, metric Metric, n int, seed int64, wo
 	if p > 0 {
 		rel = stat.Z99 * se / p
 	}
-	return Result{Pf: p, StdErr: se, RelErr99: rel, N: n, Failures: failures, WeightESS: float64(failures)}, nil
+	res := Result{Pf: p, StdErr: se, RelErr99: rel, N: n, Failures: failures, WeightESS: float64(failures)}
+	prog.done(&res)
+	return res, nil
 }
 
 func sqrt(v float64) float64 {

@@ -21,7 +21,7 @@ import (
 //	seq    monotonically increasing sequence number (0-based)
 //	t_ms   wall milliseconds since the sink was created
 //	event  the event name, dot-namespaced by layer ("spice.fallback",
-//	       "gibbs.chain", "estimator.progress", "run.done", …)
+//	       "gibbs.chain", "progress", "run.done", …)
 //
 // merged with the caller's fields. Non-finite float64 values (the
 // relative error is +Inf until the first failure lands) are replaced by

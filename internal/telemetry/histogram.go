@@ -152,8 +152,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 			cum += c
 			continue
 		}
+		// Interpolation edges: the bucket's bounds, tightened by the
+		// observed min/max (every observation lies inside [min, max], so
+		// the tighter edge is always valid). For a single observation or
+		// an all-equal stream the edges collapse and the quantile comes
+		// back exact instead of smeared across the bucket.
 		lo := h.Min()
-		if i > 0 {
+		if i > 0 && h.bounds[i-1] > lo {
 			lo = h.bounds[i-1]
 		}
 		hi := h.Max()

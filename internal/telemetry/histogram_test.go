@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantile edge cases: empty, single-observation and all-equal
+// histograms must degrade gracefully instead of inventing mass.
+
+func TestQuantileEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("empty histogram Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	var nilH *Histogram
+	if v := nilH.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("nil histogram Quantile = %v, want NaN", v)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	// With one observation every quantile is that observation: min and
+	// max pin both bucket edges to 1.5, so interpolation collapses.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if v := h.Quantile(q); v != 1.5 {
+			t.Errorf("single-observation Quantile(%v) = %v, want 1.5", q, v)
+		}
+	}
+}
+
+func TestQuantileAllEqual(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		if v := h.Quantile(q); v != 3 {
+			t.Errorf("all-equal Quantile(%v) = %v, want 3", q, v)
+		}
+	}
+}
+
+func TestQuantileAllEqualOverflowBucket(t *testing.T) {
+	// Every observation beyond the last bound lands in the +Inf bucket;
+	// its edges are [last bound, observed max], and all-equal input must
+	// still come back exact, not interpolated toward infinity.
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if v := h.Quantile(q); v != 50 {
+			t.Errorf("overflow-bucket all-equal Quantile(%v) = %v, want 50", q, v)
+		}
+	}
+}
+
+func TestQuantileInvalidQ(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	if v := h.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", v)
+	}
+	if v := h.Quantile(0); v != h.Min() {
+		t.Errorf("Quantile(0) = %v, want the observed min %v", v, h.Min())
+	}
+	if v := h.Quantile(1); v != h.Max() {
+		t.Errorf("Quantile(1) = %v, want the observed max %v", v, h.Max())
+	}
+	if v := h.Quantile(-3); v != h.Min() {
+		t.Errorf("Quantile(-3) = %v, want the observed min", v)
+	}
+	if v := h.Quantile(7); v != h.Max() {
+		t.Errorf("Quantile(7) = %v, want the observed max", v)
+	}
+}

@@ -32,6 +32,10 @@ type Registry struct {
 	start time.Time
 	sink  atomic.Pointer[EventSink]
 
+	// bus carries the optional live event bus (see bus.go): when
+	// installed, every Emit is also published to it.
+	bus atomic.Pointer[Bus]
+
 	// trace carries the optional span-tracing layer (see span.go).
 	trace atomic.Pointer[Trace]
 
@@ -102,8 +106,28 @@ func (r *Registry) Sink() *EventSink {
 	return r.sink.Load()
 }
 
-// Emit writes one structured event to the installed sink (no-op without
-// one). Keys "seq", "t_ms" and "event" are reserved for the envelope.
+// SetBus installs (or, with nil, removes) the live event bus that Emit
+// publishes to alongside the sink. The registry does not own the bus —
+// closing it (and dumping its flight ring) stays the caller's job.
+func (r *Registry) SetBus(b *Bus) {
+	if r == nil {
+		return
+	}
+	r.bus.Store(b)
+}
+
+// Bus returns the installed event bus, or nil.
+func (r *Registry) Bus() *Bus {
+	if r == nil {
+		return nil
+	}
+	return r.bus.Load()
+}
+
+// Emit writes one structured event to the installed sink and publishes
+// it on the installed bus (no-op without either). Keys "seq", "t_ms"
+// and "event" are reserved for the envelope; fields must not be mutated
+// after the call when a bus is installed.
 func (r *Registry) Emit(event string, fields map[string]any) {
 	if r == nil {
 		return
@@ -111,6 +135,24 @@ func (r *Registry) Emit(event string, fields map[string]any) {
 	if s := r.sink.Load(); s != nil {
 		s.Emit(event, fields)
 	}
+	if b := r.bus.Load(); b != nil {
+		b.Publish(event, fields)
+	}
+}
+
+// DropScope removes the named scope and every metric in it from the
+// registry, so exports (Snapshot, WritePrometheus, WriteTable) no
+// longer mention it. Existing handles into the scope keep working —
+// they just record into a detached scope — so dropping is always safe,
+// merely invisible. Used to unregister per-job metrics when a finished
+// job is removed from the job registry.
+func (r *Registry) DropScope(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.scopes, name)
 }
 
 // scopeNames returns the scope names in sorted order.

@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Watchdog evaluates a run's streamed telemetry against the same
+// statistical health thresholds the end-of-run RunReport applies — but
+// mid-run, while there is still time to kill a doomed job. It
+// subscribes to the registry's event bus and watches four failure
+// modes:
+//
+//	chain_stalled    the Gibbs chain's acceptance rate collapsed
+//	                 ("gibbs.chain" events; report: stalled mixing)
+//	weight_blowup    a single importance weight carries too much of the
+//	                 running estimate ("progress" events; report:
+//	                 max-weight fraction > 0.2)
+//	newton_storm     the SPICE solver is living on its gmin/source
+//	                 fallbacks (spice counters read at progress events)
+//	executor_starved jobs are queued but nothing runs (jobs gauges,
+//	                 sampled on the watchdog's own ticker)
+//
+// Each alert fires once per kind per watchdog: a typed "health.<kind>"
+// event is emitted on the registry (sink + bus), the "health" metric
+// scope is updated (alerts_total counter, per-kind 0/1 gauges — visible
+// in /metrics), the alert is retained for the job-status API, and the
+// optional OnAlert hook runs (the job layer uses it to dump the flight
+// recorder). The watchdog only observes — it never cancels anything
+// itself.
+type Watchdog struct {
+	reg *Registry
+	cfg WatchdogConfig
+	sub *Subscription
+
+	alertsTotal *Counter
+
+	mu      sync.Mutex
+	active  map[string]Alert
+	starved int // consecutive ticker checks that looked starved
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Alert is one triggered health condition.
+type Alert struct {
+	// Kind is the condition identifier ("chain_stalled", "weight_blowup",
+	// "newton_storm", "executor_starved").
+	Kind string `json:"kind"`
+	// Detail is the human-readable explanation with the measured values.
+	Detail string `json:"detail"`
+	// Seq is the bus sequence number of the event that triggered the
+	// alert (-1 for ticker-driven checks).
+	Seq int64 `json:"seq"`
+}
+
+// WatchdogConfig tunes the alert thresholds. The zero value selects the
+// RunReport-aligned defaults noted per field.
+type WatchdogConfig struct {
+	// MinChainAcceptance flags a Gibbs chain whose acceptance (resampled
+	// updates / total updates) fell below this once MinChainUpdates
+	// updates accumulated. Default 0.02 acceptance after 100 updates.
+	MinChainAcceptance float64
+	MinChainUpdates    int
+	// MaxWeightFrac flags a second stage where one importance weight
+	// carries more than this fraction of the running estimate, once
+	// MinWeightSamples samples accumulated. Default 0.2 (the RunReport
+	// warning threshold) after 500 samples (the library's minStage2).
+	MaxWeightFrac    float64
+	MinWeightSamples int
+	// MaxFallbackRatio flags a solver where more than this fraction of
+	// DC solves needed a gmin/source fallback, once MinSolves solves
+	// accumulated. Default 0.5 after 256 solves.
+	MaxFallbackRatio float64
+	MinSolves        int64
+	// Tick is the period of the watchdog's own clock, driving checks
+	// that have no event to ride on (executor starvation). Default 1s.
+	Tick time.Duration
+	// StarvationTicks is how many consecutive ticks must look starved
+	// (queued jobs with zero running) before the alert fires; the
+	// hysteresis keeps the executor's pickup latency from alerting.
+	// Default 3.
+	StarvationTicks int
+	// OnAlert, when set, runs synchronously on the watchdog goroutine
+	// for each newly fired alert — the flight-recorder dump hook.
+	OnAlert func(Alert)
+}
+
+// withDefaults fills the zero fields.
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.MinChainAcceptance <= 0 {
+		c.MinChainAcceptance = 0.02
+	}
+	if c.MinChainUpdates <= 0 {
+		c.MinChainUpdates = 100
+	}
+	if c.MaxWeightFrac <= 0 {
+		c.MaxWeightFrac = 0.2
+	}
+	if c.MinWeightSamples <= 0 {
+		c.MinWeightSamples = 500
+	}
+	if c.MaxFallbackRatio <= 0 {
+		c.MaxFallbackRatio = 0.5
+	}
+	if c.MinSolves <= 0 {
+		c.MinSolves = 256
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Second
+	}
+	if c.StarvationTicks <= 0 {
+		c.StarvationTicks = 3
+	}
+	return c
+}
+
+// StartWatchdog subscribes a new watchdog to reg's event bus and starts
+// its evaluation goroutine. It returns nil — a fully inert watchdog —
+// when reg is nil or has no bus installed, so callers can wire it
+// unconditionally. Stop it when the run ends.
+func StartWatchdog(reg *Registry, cfg WatchdogConfig) *Watchdog {
+	bus := reg.Bus()
+	if bus == nil {
+		return nil
+	}
+	w := &Watchdog{
+		reg:         reg,
+		cfg:         cfg.withDefaults(),
+		sub:         bus.Subscribe(256),
+		alertsTotal: reg.Scope("health").Counter("alerts_total"),
+		active:      make(map[string]Alert),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// Stop unsubscribes and waits for the evaluation goroutine to exit.
+// Idempotent-enough for the single-owner job layer; nil-safe.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	w.sub.Close()
+	<-w.done
+}
+
+// Alerts returns the fired alerts sorted by kind (nil when healthy).
+func (w *Watchdog) Alerts() []Alert {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.active) == 0 {
+		return nil
+	}
+	out := make([]Alert, 0, len(w.active))
+	for _, a := range w.active {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// loop consumes bus events and ticker ticks until Stop.
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.cfg.Tick)
+	defer ticker.Stop()
+	events := w.sub.Events()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case ev, ok := <-events:
+			if !ok {
+				// Bus closed under us (job teardown): keep the
+				// ticker-driven checks until Stop (a nil channel never
+				// receives, so the select just stops seeing events).
+				events = nil
+				continue
+			}
+			w.observe(ev)
+		case <-ticker.C:
+			w.checkStarvation()
+			w.checkNewtonStorm(-1)
+		}
+	}
+}
+
+// observe evaluates one streamed event.
+func (w *Watchdog) observe(ev Event) {
+	switch ev.Name {
+	case "gibbs.chain":
+		updates, _ := numField(ev.Fields, "updates")
+		acceptance, okA := numField(ev.Fields, "acceptance")
+		if okA && int(updates) >= w.cfg.MinChainUpdates && acceptance < w.cfg.MinChainAcceptance {
+			w.fire(Alert{
+				Kind: "chain_stalled",
+				Detail: fmt.Sprintf("Gibbs chain acceptance %.4f below %.4f after %d updates — the chain is not mixing",
+					acceptance, w.cfg.MinChainAcceptance, int(updates)),
+				Seq: ev.Seq,
+			})
+		}
+	case "progress":
+		n, _ := numField(ev.Fields, "n")
+		frac, okF := numField(ev.Fields, "max_weight_frac")
+		if okF && int(n) >= w.cfg.MinWeightSamples && frac > w.cfg.MaxWeightFrac {
+			w.fire(Alert{
+				Kind: "weight_blowup",
+				Detail: fmt.Sprintf("a single importance weight carries %.0f%% of the running estimate after %d samples (threshold %.0f%%)",
+					100*frac, int(n), 100*w.cfg.MaxWeightFrac),
+				Seq: ev.Seq,
+			})
+		}
+		w.checkNewtonStorm(ev.Seq)
+	}
+}
+
+// checkNewtonStorm reads the solver counters: a solve population living
+// on its convergence fallbacks signals a metric pushed outside the
+// region where warm starts and plain Newton hold.
+func (w *Watchdog) checkNewtonStorm(seq int64) {
+	s := w.reg.Scope("spice")
+	solves := s.Counter("solves_total").Value()
+	if solves < w.cfg.MinSolves {
+		return
+	}
+	falls := s.Counter("fallback_gmin_total").Value() + s.Counter("fallback_source_total").Value()
+	if ratio := float64(falls) / float64(solves); ratio > w.cfg.MaxFallbackRatio {
+		w.fire(Alert{
+			Kind: "newton_storm",
+			Detail: fmt.Sprintf("%.0f%% of %d DC solves needed gmin/source fallbacks (threshold %.0f%%)",
+				100*ratio, solves, 100*w.cfg.MaxFallbackRatio),
+			Seq: seq,
+		})
+	}
+}
+
+// checkStarvation fires when jobs sit queued with no executor making
+// progress for StarvationTicks consecutive ticks.
+func (w *Watchdog) checkStarvation() {
+	s := w.reg.Scope("jobs")
+	queued := s.Gauge("queue_depth").Value()
+	running := s.Gauge("running").Value()
+	// Both gauges hold whole counts; < 1 avoids exact float comparison.
+	if queued >= 1 && running < 1 {
+		w.starved++
+	} else {
+		w.starved = 0
+	}
+	if w.starved >= w.cfg.StarvationTicks {
+		w.fire(Alert{
+			Kind: "executor_starved",
+			Detail: fmt.Sprintf("%d jobs queued with no executor running for %v",
+				int(queued), time.Duration(w.starved)*w.cfg.Tick),
+			Seq: -1,
+		})
+	}
+}
+
+// fire records an alert the first time its kind triggers: health scope
+// metrics, a typed health.<kind> event, and the OnAlert hook.
+func (w *Watchdog) fire(a Alert) {
+	w.mu.Lock()
+	if _, seen := w.active[a.Kind]; seen {
+		w.mu.Unlock()
+		return
+	}
+	w.active[a.Kind] = a
+	w.mu.Unlock()
+
+	w.alertsTotal.Inc()
+	w.reg.Scope("health").Gauge(a.Kind).Set(1)
+	w.reg.Emit("health."+a.Kind, map[string]any{
+		"kind": a.Kind, "detail": a.Detail, "trigger_seq": a.Seq,
+	})
+	if w.cfg.OnAlert != nil {
+		w.cfg.OnAlert(a)
+	}
+}
+
+// numField extracts a numeric event field, tolerating the int/int64/
+// float64 mix the instrumentation layers publish.
+func numField(fields map[string]any, key string) (float64, bool) {
+	switch v := fields[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of cmd/sramserverd: build, serve, submit a small
-# readcurrent G-S job, watch live progress, check the result against the
-# seed-pinned bracket, fetch the statistical run-report and span trace,
-# check determinism across submissions, then SIGTERM and require a clean
-# drain that flushes the JSONL event log. Needs curl + jq. Used by CI
-# (see .github/workflows/ci.yml) and runnable locally:
-# scripts/server_smoke.sh
+# readcurrent G-S job, watch live progress over both the status JSON and
+# the SSE event stream (heartbeats, monotonic progress, terminal event),
+# check the result against the seed-pinned bracket, fetch the
+# statistical run-report and span trace, check determinism across
+# submissions, exercise the SIGQUIT flight-recorder dump, then SIGTERM
+# and require a clean drain that flushes the JSONL event log. Needs
+# curl + jq. Used by CI (see .github/workflows/ci.yml) and runnable
+# locally: scripts/server_smoke.sh
 set -euo pipefail
 
 ADDR="localhost:${SMOKE_PORT:-18931}"
@@ -22,7 +24,8 @@ fail() { echo "server_smoke: FAIL: $*" >&2; exit 1; }
 
 go build -o "$BIN" ./cmd/sramserverd
 "$BIN" -addr "$ADDR" -drain-timeout 30s \
-  -telemetry "$WORK/events.jsonl" -trace "$WORK/trace.json" &
+  -telemetry "$WORK/events.jsonl" -trace "$WORK/trace.json" \
+  -flight-dir "$WORK/flight" -sse-heartbeat 500ms &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -41,6 +44,14 @@ submit() {
 
 JOB=$(submit)
 [ -n "$JOB" ] && [ "$JOB" != null ] || fail "submission returned no id"
+
+# Attach to the job's live SSE stream while it runs. The stream must
+# self-terminate on the job.done event, so this curl exits on its own
+# once the job finishes (the max-time is a hang guard, not the exit
+# mechanism).
+SSE="$WORK/stream.sse"
+curl -fsS -N --max-time 120 "http://$ADDR/v1/jobs/$JOB/events" >"$SSE" &
+SSE_PID=$!
 
 # Poll to completion, recording the live sims counter on the way; the
 # counter must never move backwards.
@@ -65,6 +76,40 @@ pf, lo, hi = map(float, sys.argv[1:4])
 sys.exit(0 if lo <= pf <= hi else 1)
 EOF
 echo "server_smoke: job $JOB done, Pf=$PF sims=$LAST_SIMS"
+
+# The SSE stream must have self-terminated on job.done (curl exits 0;
+# a 28 here means the stream hung past max-time).
+wait "$SSE_PID" || fail "SSE stream did not terminate on job.done (curl rc=$?)"
+grep -q '^: hb' "$SSE" || fail "SSE stream carried no heartbeats"
+grep -q '^event: progress$' "$SSE" || fail "SSE stream carried no progress event"
+[ "$(tail -n 5 "$SSE" | grep -c '^event: job.done$')" -eq 1 ] \
+  || fail "SSE stream did not end with job.done"
+# Progress events must count monotonically upward within each pipeline
+# stage (n resets when stage1's Gibbs updates hand off to stage2's
+# samples) and quote a finite, non-negative ETA from the live
+# throughput estimator.
+python3 - "$SSE" <<'EOF' || fail "SSE progress events malformed"
+import json, math, sys
+last_n, seen = {}, 0
+event = None
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if line.startswith("event: "):
+        event = line[len("event: "):]
+    elif line.startswith("data: ") and event == "progress":
+        ev = json.loads(line[len("data: "):])
+        stage, n, eta = ev["stage"], ev["n"], ev["eta_seconds"]
+        assert n >= last_n.get(stage, -1), \
+            f"{stage} progress n went backwards: {last_n[stage]} -> {n}"
+        assert math.isfinite(eta) and eta >= 0, f"bad eta_seconds: {eta}"
+        last_n[stage], seen = n, seen + 1
+assert seen >= 1, "no progress payloads parsed"
+EOF
+echo "server_smoke: SSE stream OK ($(grep -c '^event: ' "$SSE") events)"
+
+# The global firehose serves the same events tagged with the job id.
+GLOBAL=$(curl -fsS -N --max-time 2 "http://$ADDR/v1/events?after=-1" 2>/dev/null || true)
+grep -q '"job":' <<<"$GLOBAL" || fail "global SSE stream missing job-tagged events"
 
 # The statistical run-report is served once the job is done, with the
 # chain-health and weight-health fields populated for a Gibbs method.
@@ -98,6 +143,19 @@ for _ in $(seq 1 600); do
 done
 PF2=$(jq -r .result.pf <<<"$SNAP2")
 [ "$PF" = "$PF2" ] || fail "same seed, different Pf: $PF vs $PF2"
+
+# SIGQUIT dumps the flight recorder without stopping the server.
+kill -QUIT "$SERVER_PID"
+for _ in $(seq 1 50); do
+  ls "$WORK"/flight/server-sigquit.jsonl >/dev/null 2>&1 && break
+  sleep 0.1
+done
+ls "$WORK"/flight/server-sigquit.jsonl >/dev/null 2>&1 \
+  || fail "SIGQUIT produced no flight dump in $WORK/flight"
+jq -es 'length > 0' "$WORK"/flight/server-sigquit.jsonl >/dev/null \
+  || fail "flight dump has unparseable lines"
+curl -fsS "http://$ADDR/healthz" >/dev/null || fail "server died on SIGQUIT"
+echo "server_smoke: SIGQUIT flight dump OK"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"

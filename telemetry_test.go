@@ -46,6 +46,49 @@ func TestTelemetryDoesNotPerturbEstimates(t *testing.T) {
 	}
 }
 
+// TestEventBusDoesNotPerturbEstimates extends the contract to the live
+// observability plane: a registry with an event bus attached — fed by
+// every Emit, fanned out to subscribers, watched by a health watchdog —
+// must still produce bit-identical statistical output. The bus only
+// observes marshaled copies of what the sink already sees.
+func TestEventBusDoesNotPerturbEstimates(t *testing.T) {
+	lin := &surrogate.Linear{W: []float64{1, 1}, B: 6.5}
+	base := Options{Method: GS, K: 200, N: 4000, Seed: 11}
+
+	bare, err := Estimate(lin, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		opts := base
+		opts.Workers = workers
+		opts.Telemetry = NewTelemetry()
+		bus := telemetry.NewBus(512)
+		opts.Telemetry.SetBus(bus)
+		// A live subscriber with a deliberately tiny queue: overflow
+		// drops must also leave the estimate untouched.
+		sub := bus.Subscribe(1)
+		defer sub.Close()
+		wd := telemetry.StartWatchdog(opts.Telemetry, telemetry.WatchdogConfig{})
+		got, err := Estimate(lin, opts)
+		wd.Stop()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Pf != bare.Pf || got.StdErr != bare.StdErr || got.RelErr99 != bare.RelErr99 {
+			t.Fatalf("workers=%d: event bus changed the estimate: Pf %v vs %v, StdErr %v vs %v",
+				workers, got.Pf, bare.Pf, got.StdErr, bare.StdErr)
+		}
+		if got.N != bare.N || got.Failures != bare.Failures || got.TotalSims != bare.TotalSims {
+			t.Fatalf("workers=%d: event bus changed accounting: N %d vs %d, sims %d vs %d",
+				workers, got.N, bare.N, got.TotalSims, bare.TotalSims)
+		}
+		if bus.Seq() == 0 {
+			t.Fatalf("workers=%d: instrumented run published no bus events", workers)
+		}
+	}
+}
+
 // TestRunEventLogCoversBothStages runs an instrumented two-stage
 // estimate and checks the JSONL stream line by line: every line parses,
 // seq matches file order, and the log covers the full lifecycle — run
