@@ -1,0 +1,115 @@
+// Command loadtest hammers a sramserverd instance with concurrent job
+// submissions through the typed client and reports latency percentiles
+// plus a lost-job check: every submission must come back terminal, and
+// every accepted job must be findable afterwards.
+//
+//	loadtest -server http://localhost:8080 -jobs 200 -concurrency 16
+//
+// Exit status is non-zero when any job is lost or fails, so the smoke
+// scripts can assert "zero lost jobs" directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/jobs"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "sramserverd base URL")
+	workload := flag.String("workload", "rnm", "workload submitted by every job")
+	method := flag.String("method", "g-s", "estimator method")
+	k := flag.Int("k", 200, "first-stage budget")
+	n := flag.Int("n", 2000, "second-stage samples")
+	total := flag.Int("jobs", 100, "jobs to submit")
+	concurrency := flag.Int("concurrency", 8, "in-flight submissions")
+	seedBase := flag.Int64("seed", 1, "first seed; job i uses seed+i (use -same-seed to exercise the result cache)")
+	sameSeed := flag.Bool("same-seed", false, "submit identical requests so a result cache serves all but the first")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := client.New(*server, nil)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		ids       []string
+		cached    atomic.Int64
+		failed    atomic.Int64
+	)
+	sem := make(chan struct{}, max(*concurrency, 1))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *total; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := *seedBase
+			if !*sameSeed {
+				seed += int64(i)
+			}
+			t0 := time.Now()
+			snap, err := c.SubmitWait(ctx, jobs.Request{
+				Workload: *workload, Method: *method, K: *k, N: *n, Seed: seed,
+			})
+			lat := time.Since(t0)
+			if err != nil || snap.State != jobs.StateDone {
+				failed.Add(1)
+				fmt.Fprintf(os.Stderr, "loadtest: job %d: state %s err %v\n", i, snap.State, err)
+				return
+			}
+			if snap.Cached {
+				cached.Add(1)
+			}
+			mu.Lock()
+			latencies = append(latencies, lat)
+			ids = append(ids, snap.ID)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Lost-job check: every accepted job is still known to the server.
+	lost := 0
+	for _, id := range ids {
+		if _, err := c.Get(context.Background(), id); err != nil {
+			lost++
+			fmt.Fprintf(os.Stderr, "loadtest: job %s lost: %v\n", id, err)
+		}
+	}
+
+	done := len(latencies)
+	fmt.Printf("jobs              %d submitted, %d done, %d failed, %d lost\n",
+		*total, done, failed.Load(), lost)
+	fmt.Printf("cached            %d\n", cached.Load())
+	fmt.Printf("wall time         %v (%.1f jobs/s)\n",
+		elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds())
+	if done > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			return latencies[min(int(p*float64(done)), done-1)]
+		}
+		fmt.Printf("latency           p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+			pct(0.99).Round(time.Millisecond), latencies[done-1].Round(time.Millisecond))
+	}
+	if failed.Load() > 0 || lost > 0 || done != *total {
+		os.Exit(1)
+	}
+}

@@ -40,8 +40,24 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run")
 		stats      = flag.Bool("stats", false, "print the run-telemetry metric table after the run")
 		watch      = flag.Bool("watch", false, "render live progress (stage, samples, running Pf, sims/s, ETA) as an in-place status line on stderr")
+		remote     = flag.String("remote", "", "submit the job to this sramserverd base URL instead of estimating locally")
+		distribute = flag.Bool("distribute", false, "with -remote: shard the job across the server's registered workers")
+		idemKey    = flag.String("idempotency-key", "", "with -remote: Idempotency-Key for at-most-once submission")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		runRemote(*remote, remoteJob{
+			workload: *metricName, method: *methodName,
+			k: *k, n: *n, target: *target, seed: *seed,
+			quadratic: *quadratic, workers: *workers, mixture: *mixture,
+			distribute: *distribute, idemKey: *idemKey, watch: *watch,
+		})
+		return
+	}
+	if *distribute {
+		fatal(errors.New("-distribute needs -remote (local runs already use every core)"))
+	}
 
 	metric, err := repro.WorkloadByName(*metricName)
 	if err != nil {

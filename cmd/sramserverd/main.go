@@ -18,6 +18,14 @@
 // and the last -event-ring events per job form a flight recorder dumped
 // to -flight-dir on job failure, watchdog alert, or SIGQUIT.
 //
+// With -dist the server also acts as the distributed coordinator:
+// sramworkerd workers poll /v1/dist for chunk-range leases, and jobs
+// submitted with "distribute": true are sharded across them — the
+// folded result is bit-identical to a single-node run. -result-cache N
+// adds a content-addressed result cache so a repeat of an identical
+// request (same module version, workload, options, seed) returns
+// instantly with zero new simulations.
+//
 // SIGINT/SIGTERM drains gracefully: new submissions are rejected with
 // 503, running jobs get -drain-timeout to finish, then are cancelled
 // (their partial simulation cost is preserved in the final snapshot).
@@ -41,6 +49,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dist"
 	"repro/internal/jobs"
 	"repro/internal/telemetry"
 )
@@ -57,6 +66,9 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (JSONL) into this directory on job failure, watchdog alert, or SIGQUIT")
 	retention := flag.Duration("retention", 0, "garbage-collect terminal jobs this long after they finish (0 = keep forever)")
 	heartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "SSE comment-heartbeat period")
+	distOn := flag.Bool("dist", false, "serve the /v1/dist coordinator so sramworkerd workers can run jobs submitted with \"distribute\": true")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "distributed lease time-to-live (an unrenewed lease requeues its range)")
+	resultCache := flag.Int("result-cache", 0, "content-addressed result-cache capacity (0 disables; repeat submissions of an identical request return instantly)")
 	flag.Parse()
 
 	cfg := serverConfig{
@@ -65,6 +77,7 @@ func main() {
 		teleOut: *teleOut, traceOut: *traceOut,
 		eventRing: *eventRing, flightDir: *flightDir,
 		retention: *retention, heartbeat: *heartbeat,
+		dist: *distOn, leaseTTL: *leaseTTL, resultCache: *resultCache,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sramserverd:", err)
@@ -81,6 +94,9 @@ type serverConfig struct {
 	flightDir                string
 	retention                time.Duration
 	heartbeat                time.Duration
+	dist                     bool
+	leaseTTL                 time.Duration
+	resultCache              int
 }
 
 func run(cfg serverConfig) error {
@@ -100,7 +116,11 @@ func run(cfg serverConfig) error {
 			return err
 		}
 	}
-	mgr := jobs.NewManager(jobs.Config{
+	// The coordinator exists before the manager so distributed jobs can
+	// hand their sharding to it; workers poll /v1/dist while the jobs
+	// API stays at the mux root.
+	var coord *dist.Coordinator
+	mgrCfg := jobs.Config{
 		QueueSize:  cfg.queue,
 		Executors:  cfg.executors,
 		JobTimeout: cfg.jobTimeout,
@@ -109,9 +129,18 @@ func run(cfg serverConfig) error {
 		FlightDir:  cfg.flightDir,
 		Retention:  cfg.retention,
 		Heartbeat:  cfg.heartbeat,
-	})
+		CacheSize:  cfg.resultCache,
+	}
+	if cfg.dist {
+		coord = dist.NewCoordinator(dist.Config{LeaseTTL: cfg.leaseTTL, Registry: reg})
+		mgrCfg.Distributor = coord.Run
+	}
+	mgr := jobs.NewManager(mgrCfg)
 
 	mux := http.NewServeMux()
+	if coord != nil {
+		mux.Handle("/v1/dist/", coord.Handler())
+	}
 	mux.Handle("/", jobs.Handler(mgr))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -162,6 +191,9 @@ func run(cfg serverConfig) error {
 	shutdownErr := srv.Shutdown(drainCtx)
 	if err := mgr.Drain(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "sramserverd: drain deadline hit, running jobs cancelled")
+	}
+	if coord != nil {
+		coord.Stop()
 	}
 	// Flush the event log and write the trace only after the drain: the
 	// last events of in-flight jobs land in the sink during Drain, and a

@@ -1,0 +1,74 @@
+// Command sramworkerd is a distributed-estimation worker: it polls a
+// sramserverd coordinator (started with -dist) for chunk-range leases,
+// replays each job's deterministic first stage locally, evaluates the
+// leased sample range, and streams the partial statistics back. Any
+// number of workers can serve one coordinator; adding or killing
+// workers never changes the estimate — only how fast it arrives.
+//
+//	sramworkerd -coordinator http://host:8080 -id worker-a
+//
+// SIGINT/SIGTERM stop the worker after its current chunk; the
+// coordinator reassigns any unfinished lease once it expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "http://localhost:8080", "coordinator base URL (sramserverd -dist)")
+	id := flag.String("id", "", "worker ID (default: hostname-pid)")
+	cores := flag.Int("cores", runtime.NumCPU(), "evaluation cores reported to the coordinator")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle delay between lease polls")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus text) on this address")
+	flag.Parse()
+
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	reg := telemetry.New()
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.MetricsHandler())
+		go func() {
+			srv := &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "sramworkerd: debug server:", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("sramworkerd: %s polling %s (%d cores)\n", *id, *coordinator, *cores)
+	err := dist.RunWorker(ctx, dist.WorkerConfig{
+		Coordinator:  *coordinator,
+		ID:           *id,
+		Cores:        *cores,
+		PollInterval: *poll,
+		Registry:     reg,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sramworkerd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "sramworkerd: stopped")
+}

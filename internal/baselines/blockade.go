@@ -73,11 +73,23 @@ func Blockade(counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*Block
 // chunk with a cancellation check between chunks.
 const blockadeChunk = 1 << 16
 
-// BlockadeContext is Blockade with cancellation: ctx is polled between
-// training chunks and between candidate-stream chunks, so a cancel
-// aborts within one chunk while an uncancelled run stays bit-identical
-// to Blockade for every worker count.
-func BlockadeContext(ctx context.Context, counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*BlockadeResult, error) {
+// blockadePlan is the deterministic prefix of a blockade run: the
+// trained classifier folded into the candidate predicate, the seeded
+// stream, and the result shell with the training cost filled in. Both
+// the full run and the distributed partials build on it, so the
+// candidate stream they filter is the same stream bit for bit.
+type blockadePlan struct {
+	res        *BlockadeResult
+	ev         *mc.Evaluator
+	candidate  func(rng *rand.Rand, i int) bool
+	streamSeed int64
+	n          int
+}
+
+// blockadeTrain runs the training stage and classifier fit, consuming
+// rng exactly as BlockadeContext always has (train seed, then stream
+// seed), and returns the plan for the candidate stream.
+func blockadeTrain(ctx context.Context, counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*blockadePlan, error) {
 	train := opts.Train
 	if train <= 0 {
 		train = 1000
@@ -130,13 +142,6 @@ func BlockadeContext(ctx context.Context, counter *mc.Counter, opts BlockadeOpti
 	sigma := residSigma(&resid)
 	res := &BlockadeResult{TrainSims: counter.Count(), ResidualSigma: sigma}
 
-	// Candidate stream: classifier evaluations are free and happen for
-	// every candidate; only unblocked candidates cost a simulation. The
-	// stream runs on the pool in blockadeChunk dispatches — each
-	// candidate draws from its own indexed generator — and the tally
-	// folds in index order, so chunking never changes the estimate.
-	var tally stat.Running
-	failures := 0
 	band := guard * sigma
 	streamSeed := rng.Int63()
 	candidate := func(rng *rand.Rand, _ int) bool {
@@ -147,12 +152,33 @@ func BlockadeContext(ctx context.Context, counter *mc.Counter, opts BlockadeOpti
 		// Unblocked: needs a real simulation.
 		return lin.Eval(x) < band && counter.Value(x) < 0
 	}
-	for start := 0; start < opts.N; start += blockadeChunk {
+	return &blockadePlan{res: res, ev: ev, candidate: candidate, streamSeed: streamSeed, n: opts.N}, nil
+}
+
+// BlockadeContext is Blockade with cancellation: ctx is polled between
+// training chunks and between candidate-stream chunks, so a cancel
+// aborts within one chunk while an uncancelled run stays bit-identical
+// to Blockade for every worker count.
+func BlockadeContext(ctx context.Context, counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand) (*BlockadeResult, error) {
+	plan, err := blockadeTrain(ctx, counter, opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := plan.res
+
+	// Candidate stream: classifier evaluations are free and happen for
+	// every candidate; only unblocked candidates cost a simulation. The
+	// stream runs on the pool in blockadeChunk dispatches — each
+	// candidate draws from its own indexed generator — and the tally
+	// folds in index order, so chunking never changes the estimate.
+	var tally stat.Running
+	failures := 0
+	for start := 0; start < plan.n; start += blockadeChunk {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		count := min(blockadeChunk, opts.N-start)
-		for _, fail := range mc.Map(ev, streamSeed, start, count, candidate) {
+		count := min(blockadeChunk, plan.n-start)
+		for _, fail := range mc.Map(plan.ev, plan.streamSeed, start, count, plan.candidate) {
 			ind := 0.0
 			if fail {
 				ind = 1

@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+
+	"repro/internal/mc"
+)
+
+// Partial variants of the baseline estimators, for distributed serving:
+// each replays its (deterministic, seeded) first stage exactly as the
+// single-node flow does — consuming rng in the same order — and then
+// evaluates only the requested terminal-stage index ranges. The caller
+// folds the returned mc.Partial slices with the matching mc.Fold*
+// function; the fold is bit-identical to the single-node run.
+
+// MISPartial is the distributed form of MISContext: the exploration
+// stage runs in full (it is the prefix every node must agree on), then
+// only the given second-stage ranges are simulated. The returned Result
+// carries the stage-1 products (Mean, GNor, Stage1Sims); its mc.Result
+// stays zero for the caller to fold.
+func MISPartial(ctx context.Context, counter *mc.Counter, opts MISOptions, rng *rand.Rand, ranges []mc.Range) (*Result, []mc.Partial, error) {
+	o := opts.defaults()
+	if o.N <= 0 {
+		return nil, nil, errors.New("baselines: MIS sample count must be positive")
+	}
+	res, err := misExplore(ctx, counter, &o, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := mc.ImportanceSamplePartial(ctx, mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry), res.GNor, o.N, rng, ranges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, parts, nil
+}
+
+// MNISPartial is the distributed form of MNISContext, with the
+// model-based norm minimization as the replicated prefix.
+func MNISPartial(ctx context.Context, counter *mc.Counter, opts MNISOptions, rng *rand.Rand, ranges []mc.Range) (*Result, []mc.Partial, error) {
+	if opts.N <= 0 {
+		return nil, nil, errors.New("baselines: MNIS sample count must be positive")
+	}
+	res, err := mnisStage1(ctx, counter, &opts, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := mc.ImportanceSamplePartial(ctx, mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry), res.GNor, opts.N, rng, ranges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, parts, nil
+}
+
+// BlockadePartial is the distributed form of BlockadeContext: training
+// and classifier fit run in full (the replicated prefix), then only the
+// given candidate-stream ranges are filtered and simulated. Partial.Sims
+// counts the simulations the range actually cost — its unblocked
+// candidates — which is itself deterministic because the classifier is.
+// Fold the partials with mc.FoldBernoulli.
+func BlockadePartial(ctx context.Context, counter *mc.Counter, opts BlockadeOptions, rng *rand.Rand, ranges []mc.Range) (*BlockadeResult, []mc.Partial, error) {
+	plan, err := blockadeTrain(ctx, counter, opts, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range ranges {
+		if r.Lo < 0 || r.Hi <= r.Lo || r.Hi > plan.n {
+			return nil, nil, mc.ErrBadRange
+		}
+	}
+	parts := make([]mc.Partial, 0, len(ranges))
+	for _, r := range ranges {
+		p := mc.Partial{Start: r.Lo, Count: r.Count()}
+		before := counter.Count()
+		for start := r.Lo; start < r.Hi; start += blockadeChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			count := min(blockadeChunk, r.Hi-start)
+			for j, fail := range mc.Map(plan.ev, plan.streamSeed, start, count, plan.candidate) {
+				if fail {
+					p.FailIdx = append(p.FailIdx, start+j)
+				}
+			}
+		}
+		p.Sims = counter.Count() - before
+		parts = append(parts, p)
+	}
+	return plan.res, parts, nil
+}

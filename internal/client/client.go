@@ -1,0 +1,304 @@
+// Package client is the typed Go client for the sramserverd v1 jobs
+// API. Every non-2xx response is decoded into a *jobs.Problem (the
+// service's RFC 9457 problem document), so callers branch on problem
+// types instead of scraping status text:
+//
+//	c := client.New("http://localhost:8080")
+//	snap, err := c.SubmitWait(ctx, jobs.Request{Workload: "rnm", Method: "g-s", Seed: 1})
+//	var p *jobs.Problem
+//	if errors.As(err, &p) && p.Status == http.StatusTooManyRequests { … }
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+)
+
+// Client talks to one sramserverd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base (http://host:port). The
+// given HTTP client is used when non-nil; the default has no overall
+// timeout so that wait-mode submissions and event streams can run
+// indefinitely (pass a context to bound individual calls).
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Submit enqueues a job and returns its initial snapshot. A non-empty
+// idempotencyKey makes the submission at-most-once: resubmitting with
+// the same key and body returns the original job with replayed=true,
+// while reusing the key with a different body fails with the
+// idempotency-conflict problem.
+func (c *Client) Submit(ctx context.Context, req jobs.Request, idempotencyKey string) (snap jobs.Snapshot, replayed bool, err error) {
+	hdr := http.Header{}
+	if idempotencyKey != "" {
+		hdr.Set("Idempotency-Key", idempotencyKey)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", hdr, req, &snap)
+	if err != nil {
+		return jobs.Snapshot{}, false, err
+	}
+	return snap, resp.Header.Get("Idempotent-Replay") == "true", nil
+}
+
+// SubmitWait submits a job in wait mode: the call blocks until the job
+// is terminal and returns its final snapshot. Cancelling ctx cancels
+// the job (the connection is the job's lifeline).
+func (c *Client) SubmitWait(ctx context.Context, req jobs.Request) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	_, err := c.do(ctx, http.MethodPost, "/v1/jobs?wait=1", nil, req, &snap)
+	return snap, err
+}
+
+// Get returns one job's current snapshot (live progress while it runs).
+func (c *Client) Get(ctx context.Context, id string) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, &snap)
+	return snap, err
+}
+
+// Wait polls the job until it reaches a terminal state and returns the
+// final snapshot. The poll interval defaults to one second when
+// non-positive.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (jobs.Snapshot, error) {
+	if poll <= 0 {
+		poll = time.Second
+	}
+	for {
+		snap, err := c.Get(ctx, id)
+		if err != nil {
+			return jobs.Snapshot{}, err
+		}
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		select {
+		case <-ctx.Done():
+			return snap, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Cancel cancels a job and returns its snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, &snap)
+	return snap, err
+}
+
+// ListOptions filters and pages GET /v1/jobs.
+type ListOptions struct {
+	State  jobs.State // zero value selects every state
+	Limit  int        // 0 selects the server default
+	Offset int
+}
+
+// List returns one page of jobs.
+func (c *Client) List(ctx context.Context, opts ListOptions) (jobs.JobList, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", string(opts.State))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Offset > 0 {
+		q.Set("offset", strconv.Itoa(opts.Offset))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list jobs.JobList
+	_, err := c.do(ctx, http.MethodGet, path, nil, nil, &list)
+	return list, err
+}
+
+// Report fetches the finished job's statistical run-report.
+func (c *Client) Report(ctx context.Context, id string) (*repro.RunReport, error) {
+	var rep repro.RunReport
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/report", nil, nil, &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Workload describes one entry of GET /v1/workloads.
+type Workload struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Dim         int    `json:"dim"`
+}
+
+// Workloads returns the server's workload registry.
+func (c *Client) Workloads(ctx context.Context) ([]Workload, error) {
+	var ws []Workload
+	_, err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, nil, &ws)
+	return ws, err
+}
+
+// Event is one frame of a server-sent event stream.
+type Event struct {
+	// ID is the bus sequence number — pass it as lastID to resume.
+	ID int64
+	// Name is the dot-namespaced event name ("progress", "job.done", …).
+	Name string
+	// Data is the event's JSON payload.
+	Data json.RawMessage
+}
+
+// Events streams a job's live events (or the server-global stream when
+// jobID is empty), calling fn for each one until the stream ends, ctx
+// is cancelled, or fn returns a non-nil error (which ends the stream
+// and is returned). lastID >= 0 resumes after that sequence number.
+func (c *Client) Events(ctx context.Context, jobID string, lastID int64, fn func(Event) error) error {
+	path := "/v1/events"
+	if jobID != "" {
+		path = "/v1/jobs/" + url.PathEscape(jobID) + "/events"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	if lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastID, 10))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return problemOf(resp)
+	}
+
+	// Plain SSE: "id:"/"event:"/"data:" lines per frame, blank-line
+	// terminated, ":" comments (heartbeats) ignored.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var ev Event
+	flush := func() error {
+		if ev.Name == "" && ev.Data == nil {
+			return nil
+		}
+		err := fn(ev)
+		ev = Event{}
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat
+		case strings.HasPrefix(line, "id: "):
+			ev.ID, _ = strconv.ParseInt(line[4:], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			ev.Name = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(line[6:])
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// do sends one JSON request and decodes a 2xx body into out. Non-2xx
+// responses become a *jobs.Problem error.
+func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, in, out any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp, problemOf(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp, nil
+}
+
+// problemOf turns a non-2xx response into a *jobs.Problem, synthesizing
+// one when the body is not a problem document.
+func problemOf(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	ct, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if ct == "application/problem+json" {
+		var p jobs.Problem
+		if err := json.Unmarshal(body, &p); err == nil && p.Status != 0 {
+			return &p
+		}
+	}
+	return &jobs.Problem{
+		Type:   jobs.ProblemType + "http-" + strconv.Itoa(resp.StatusCode),
+		Title:  http.StatusText(resp.StatusCode),
+		Status: resp.StatusCode,
+		Detail: strings.TrimSpace(string(body)),
+	}
+}
+
+// IsProblem reports whether err is a service problem of the given type
+// slug (the part after the "urn:repro:problem:" prefix).
+func IsProblem(err error, slug string) bool {
+	var p *jobs.Problem
+	return errors.As(err, &p) && p.Type == jobs.ProblemType+slug
+}

@@ -1,0 +1,153 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+	"repro/internal/surrogate"
+	"repro/internal/telemetry"
+)
+
+func testResolve(name string) (repro.Metric, error) {
+	if name == "lin" {
+		return &surrogate.Linear{W: []float64{1, 1}, B: 4.5}, nil
+	}
+	return nil, fmt.Errorf("test: unknown workload %q", name)
+}
+
+func newServer(t *testing.T) *Client {
+	t.Helper()
+	mgr := jobs.NewManager(jobs.Config{
+		Resolve:   testResolve,
+		Registry:  telemetry.New(),
+		Executors: 2,
+		EventRing: 64,
+		CacheSize: 8,
+	})
+	srv := httptest.NewServer(jobs.Handler(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		mgr.Drain(ctx)
+	})
+	return New(srv.URL, nil)
+}
+
+func TestSubmitWaitGetList(t *testing.T) {
+	c := newServer(t)
+	ctx := context.Background()
+	req := jobs.Request{Workload: "lin", Method: "g-s", Seed: 1, K: 100, N: 1000}
+
+	snap, err := c.SubmitWait(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != jobs.StateDone || snap.Result == nil || snap.Result.Pf <= 0 {
+		t.Fatalf("wait-mode snapshot: %+v", snap)
+	}
+
+	got, err := c.Get(ctx, snap.ID)
+	if err != nil || got.ID != snap.ID {
+		t.Fatalf("Get: %+v, %v", got, err)
+	}
+
+	waited, err := c.Wait(ctx, snap.ID, 5*time.Millisecond)
+	if err != nil || !waited.State.Terminal() {
+		t.Fatalf("Wait: %+v, %v", waited, err)
+	}
+
+	list, err := c.List(ctx, ListOptions{State: jobs.StateDone, Limit: 10})
+	if err != nil || list.Total != 1 || len(list.Jobs) != 1 {
+		t.Fatalf("List: %+v, %v", list, err)
+	}
+
+	rep, err := c.Report(ctx, snap.ID)
+	if err != nil || rep.Method == "" {
+		t.Fatalf("Report: %+v, %v", rep, err)
+	}
+
+	ws, err := c.Workloads(ctx)
+	if err != nil || len(ws) == 0 {
+		t.Fatalf("Workloads: %v, %v", ws, err)
+	}
+}
+
+func TestSubmitIdempotency(t *testing.T) {
+	c := newServer(t)
+	ctx := context.Background()
+	req := jobs.Request{Workload: "lin", Method: "g-s", Seed: 2, K: 100, N: 1000}
+
+	first, replayed, err := c.Submit(ctx, req, "key-1")
+	if err != nil || replayed {
+		t.Fatalf("first submit: replayed=%v err=%v", replayed, err)
+	}
+	second, replayed, err := c.Submit(ctx, req, "key-1")
+	if err != nil || !replayed || second.ID != first.ID {
+		t.Fatalf("replay: %+v replayed=%v err=%v", second, replayed, err)
+	}
+
+	req.Seed = 3
+	_, _, err = c.Submit(ctx, req, "key-1")
+	if !IsProblem(err, "idempotency-conflict") {
+		t.Fatalf("conflict error: %v", err)
+	}
+	var p *jobs.Problem
+	if !errors.As(err, &p) || p.Status != 409 {
+		t.Fatalf("conflict problem: %+v", p)
+	}
+}
+
+func TestProblemErrors(t *testing.T) {
+	c := newServer(t)
+	ctx := context.Background()
+
+	_, err := c.Get(ctx, "j999999")
+	if !IsProblem(err, "not-found") {
+		t.Fatalf("missing job: %v", err)
+	}
+
+	_, _, err = c.Submit(ctx, jobs.Request{Workload: "lin", K: -1}, "")
+	var p *jobs.Problem
+	if !errors.As(err, &p) || p.Status != 400 || len(p.Errors) == 0 {
+		t.Fatalf("invalid options: %v", err)
+	}
+
+	_, _, err = c.Submit(ctx, jobs.Request{Workload: "lin", Distribute: true}, "")
+	if !IsProblem(err, "distribution-disabled") {
+		t.Fatalf("distribute without workers: %v", err)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	c := newServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	snap, err := c.SubmitWait(ctx, jobs.Request{Workload: "lin", Method: "g-s", Seed: 4, K: 100, N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ring retains the finished job's events; stop at job.done.
+	var names []string
+	sentinel := errors.New("done")
+	err = c.Events(ctx, snap.ID, -1, func(ev Event) error {
+		names = append(names, ev.Name)
+		if ev.Name == "job.done" {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Events: %v (saw %v)", err, names)
+	}
+	if len(names) < 2 {
+		t.Fatalf("too few events: %v", names)
+	}
+}

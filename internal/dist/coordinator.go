@@ -1,0 +1,566 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+	"repro/internal/mc"
+	"repro/internal/telemetry"
+)
+
+// Config configures a Coordinator. The zero value is usable.
+type Config struct {
+	// LeaseTTL is how long a granted lease lives without a renewal
+	// (default 15s). Expired leases return their range to the queue.
+	LeaseTTL time.Duration
+	// MaxAttempts is how many times one range may fail or expire before
+	// the whole job fails (default 3) — the backstop against a range
+	// that kills every worker it lands on.
+	MaxAttempts int
+	// RangeTarget is the number of leases a job is split into (default
+	// 16; the split is chunk-aligned, so small jobs yield fewer).
+	RangeTarget int
+	// Registry, when non-nil, receives coordinator metrics under scope
+	// "dist", per-worker health under "dist_worker_<id>", and
+	// dist.worker.* events on its bus.
+	Registry *telemetry.Registry
+}
+
+// Coordinator owns the shard queue and lease table for distributed
+// jobs. Plug its Run method into jobs.Config.Distributor and mount its
+// Handler on the server mux; Stop it after the manager drains.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[string]*shardJob
+	order   []string // grant fairness: oldest submitted job first
+	leases  map[string]*lease
+	workers map[string]*workerState
+
+	seq      atomic.Int64
+	stop     chan struct{}
+	stopOnce sync.Once
+	swept    chan struct{}
+
+	granted, completed, expired, failed *telemetry.Counter
+	workersG, activeG, pendingG         *telemetry.Gauge
+}
+
+// shardJob is one distributed job's progress: the ranges still to
+// lease, the agreed prefix, and the partials folded so far.
+type shardJob struct {
+	id        string
+	job       *jobs.Job
+	spec      jobs.Request
+	total     int
+	pending   []repro.ShardRange
+	attempts  map[repro.ShardRange]int
+	prefix    *repro.Prefix
+	digest    string
+	chunks    []mc.Partial
+	remaining int
+	err       error
+	closed    bool
+	done      chan struct{}
+}
+
+// lease is one granted range.
+type lease struct {
+	id      string
+	jobID   string
+	r       repro.ShardRange
+	worker  string
+	expires time.Time
+}
+
+// workerState is one worker's health record.
+type workerState struct {
+	WorkerInfo
+	lastSeen                   time.Time
+	active                     int
+	completed, failed, expired int64
+	samples, sims              int64
+}
+
+// NewCoordinator starts a coordinator (and its lease sweeper); call
+// Stop to end it.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RangeTarget <= 0 {
+		cfg.RangeTarget = 16
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		jobs:    make(map[string]*shardJob),
+		leases:  make(map[string]*lease),
+		workers: make(map[string]*workerState),
+		stop:    make(chan struct{}),
+		swept:   make(chan struct{}),
+	}
+	scope := cfg.Registry.Scope("dist")
+	c.granted = scope.Counter("leases_granted_total")
+	c.completed = scope.Counter("leases_completed_total")
+	c.expired = scope.Counter("leases_expired_total")
+	c.failed = scope.Counter("leases_failed_total")
+	c.workersG = scope.Gauge("workers")
+	c.activeG = scope.Gauge("active_leases")
+	c.pendingG = scope.Gauge("pending_ranges")
+	go c.sweep()
+	return c
+}
+
+// Stop ends the lease sweeper. Outstanding Run calls should be gone
+// first (the manager drains before the server shuts the coordinator).
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.swept
+}
+
+// Run executes one Distribute job: shard, wait for workers to lease and
+// return every range, fold. It is the jobs.Config.Distributor hook —
+// blocking, one call per job, cancelled by the job's own context. The
+// folded Result is bit-identical to repro.EstimateContext on one node.
+func (c *Coordinator) Run(ctx context.Context, job *jobs.Job) (*repro.Result, error) {
+	spec := job.Request()
+	opts := spec.Options()
+	total, err := repro.ShardPlan(opts)
+	if err != nil {
+		return nil, err
+	}
+	ranges := repro.SplitRanges(total, c.cfg.RangeTarget, 0)
+	sj := &shardJob{
+		id: job.ID(), job: job, spec: spec, total: total,
+		pending:   ranges,
+		attempts:  make(map[repro.ShardRange]int),
+		remaining: total,
+		done:      make(chan struct{}),
+	}
+	c.mu.Lock()
+	c.jobs[sj.id] = sj
+	c.order = append(c.order, sj.id)
+	c.gaugesLocked()
+	c.mu.Unlock()
+	job.Telemetry().Emit("dist.job.start", map[string]any{
+		"job": sj.id, "total": total, "ranges": len(ranges),
+	})
+	start := time.Now()
+	defer c.drop(sj)
+
+	select {
+	case <-sj.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	err = sj.err
+	prefix, chunks := sj.prefix, sj.chunks
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	res, foldErr := repro.FoldPartials(opts, *prefix, chunks, time.Since(start).Seconds())
+	if foldErr != nil {
+		return nil, foldErr
+	}
+	job.Telemetry().Emit("dist.job.done", map[string]any{
+		"job": sj.id, "pf": res.Pf, "sims": res.TotalSims,
+	})
+	return res, nil
+}
+
+// drop forgets a finished job: its entry, queue position and any
+// leases still pointing at it (their uploads will see 410).
+func (c *Coordinator) drop(sj *shardJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.jobs, sj.id)
+	for i, id := range c.order {
+		if id == sj.id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	for id, l := range c.leases {
+		if l.jobID == sj.id {
+			if ws := c.workers[l.worker]; ws != nil {
+				ws.active--
+			}
+			delete(c.leases, id)
+		}
+	}
+	if !sj.closed {
+		sj.closed = true
+		close(sj.done)
+	}
+	c.gaugesLocked()
+}
+
+// finishLocked fails a job; callers hold c.mu.
+func (c *Coordinator) finishLocked(sj *shardJob, err error) {
+	if sj.closed {
+		return
+	}
+	sj.err = err
+	sj.closed = true
+	close(sj.done)
+}
+
+// requeueLocked returns a range to its job's queue after a failure or
+// expiry, failing the job once the range has burned MaxAttempts tries.
+func (c *Coordinator) requeueLocked(sj *shardJob, r repro.ShardRange, reason string) {
+	sj.attempts[r]++
+	if sj.attempts[r] >= c.cfg.MaxAttempts {
+		c.finishLocked(sj, fmt.Errorf("dist: range [%d,%d) failed %d times (last: %s)",
+			r.Lo, r.Hi, sj.attempts[r], reason))
+		return
+	}
+	sj.pending = append(sj.pending, r)
+}
+
+// touchWorkerLocked updates (or creates) a worker's health record.
+func (c *Coordinator) touchWorkerLocked(info WorkerInfo) *workerState {
+	ws := c.workers[info.ID]
+	if ws == nil {
+		ws = &workerState{WorkerInfo: info}
+		c.workers[info.ID] = ws
+		c.cfg.Registry.Emit("dist.worker.joined", map[string]any{
+			"worker": info.ID, "cores": info.Cores,
+		})
+	}
+	if info.Cores > 0 {
+		ws.Cores = info.Cores
+	}
+	ws.lastSeen = time.Now()
+	return ws
+}
+
+// gaugesLocked refreshes the dist scope gauges; callers hold c.mu.
+func (c *Coordinator) gaugesLocked() {
+	c.workersG.Set(float64(len(c.workers)))
+	c.activeG.Set(float64(len(c.leases)))
+	pending := 0
+	for _, sj := range c.jobs {
+		pending += len(sj.pending)
+	}
+	c.pendingG.Set(float64(pending))
+}
+
+// workerScope returns the per-worker metrics scope.
+func (c *Coordinator) workerScope(id string) *telemetry.Scope {
+	return c.cfg.Registry.Scope("dist_worker_" + id)
+}
+
+// sweep expires unrenewed leases, requeueing their ranges.
+func (c *Coordinator) sweep() {
+	defer close(c.swept)
+	period := max(c.cfg.LeaseTTL/4, 25*time.Millisecond)
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-ticker.C:
+			c.sweepOnce(now)
+		}
+	}
+}
+
+func (c *Coordinator) sweepOnce(now time.Time) {
+	type expiry struct {
+		jobReg *telemetry.Registry
+		fields map[string]any
+	}
+	var fired []expiry
+	c.mu.Lock()
+	for id, l := range c.leases {
+		if !l.expires.Before(now) {
+			continue
+		}
+		delete(c.leases, id)
+		c.expired.Inc()
+		if ws := c.workers[l.worker]; ws != nil {
+			ws.active--
+			ws.expired++
+			c.workerScope(l.worker).Counter("leases_expired_total").Inc()
+		}
+		sj := c.jobs[l.jobID]
+		if sj == nil {
+			continue
+		}
+		c.requeueLocked(sj, l.r, "lease expired on worker "+l.worker)
+		fired = append(fired, expiry{sj.job.Telemetry(), map[string]any{
+			"job": l.jobID, "lease": id, "worker": l.worker,
+			"lo": l.r.Lo, "hi": l.r.Hi,
+		}})
+	}
+	c.gaugesLocked()
+	c.mu.Unlock()
+	for _, e := range fired {
+		e.jobReg.Emit("dist.lease.expired", e.fields)
+	}
+}
+
+// Handler serves the worker protocol; mount it at /v1/dist/ on the
+// server mux.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/dist/poll", c.handlePoll)
+	mux.HandleFunc("POST /v1/dist/leases/{id}/renew", c.handleRenew)
+	mux.HandleFunc("POST /v1/dist/leases/{id}/result", c.handleResult)
+	mux.HandleFunc("POST /v1/dist/leases/{id}/fail", c.handleFail)
+	mux.HandleFunc("GET /v1/dist/workers", c.handleWorkers)
+	return mux
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker.ID == "" {
+		writeProblem(w, http.StatusBadRequest, "invalid-request", "dist: poll needs a worker id")
+		return
+	}
+	var out *Lease
+	var jobReg *telemetry.Registry
+	c.mu.Lock()
+	ws := c.touchWorkerLocked(req.Worker)
+	for _, id := range c.order {
+		sj := c.jobs[id]
+		if sj == nil || sj.closed || len(sj.pending) == 0 {
+			continue
+		}
+		rg := sj.pending[0]
+		sj.pending = sj.pending[1:]
+		l := &lease{
+			id:    fmt.Sprintf("l%06d", c.seq.Add(1)),
+			jobID: id, r: rg, worker: ws.ID,
+			expires: time.Now().Add(c.cfg.LeaseTTL),
+		}
+		c.leases[l.id] = l
+		ws.active++
+		c.granted.Inc()
+		out = &Lease{
+			ID: l.id, Job: id, Spec: sj.spec, Range: rg, Total: sj.total,
+			TTLSeconds: c.cfg.LeaseTTL.Seconds(),
+			NeedPrefix: sj.prefix == nil,
+		}
+		jobReg = sj.job.Telemetry()
+		break
+	}
+	c.gaugesLocked()
+	c.mu.Unlock()
+	if out == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	jobReg.Emit("dist.lease.granted", map[string]any{
+		"job": out.Job, "lease": out.ID, "worker": req.Worker.ID,
+		"lo": out.Range.Lo, "hi": out.Range.Hi,
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	l := c.leases[id]
+	if l != nil {
+		l.expires = time.Now().Add(c.cfg.LeaseTTL)
+		if ws := c.workers[l.worker]; ws != nil {
+			ws.lastSeen = time.Now()
+		}
+	}
+	c.mu.Unlock()
+	if l == nil {
+		writeProblem(w, http.StatusGone, "lease-lost", "dist: lease "+id+" is no longer held")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"ttl_seconds": c.cfg.LeaseTTL.Seconds()})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var up ResultUpload
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		writeProblem(w, http.StatusBadRequest, "invalid-request", "dist: bad result upload: "+err.Error())
+		return
+	}
+	c.mu.Lock()
+	l := c.leases[id]
+	if l == nil {
+		c.mu.Unlock()
+		writeProblem(w, http.StatusGone, "lease-lost", "dist: lease "+id+" is no longer held")
+		return
+	}
+	delete(c.leases, id)
+	ws := c.workers[l.worker]
+	sj := c.jobs[l.jobID]
+	if sj == nil || sj.closed {
+		if ws != nil {
+			ws.active--
+		}
+		c.gaugesLocked()
+		c.mu.Unlock()
+		writeProblem(w, http.StatusGone, "lease-lost", "dist: job "+l.jobID+" is no longer running")
+		return
+	}
+	if sj.digest == "" {
+		// First result fixes the job's prefix; the upload must carry it,
+		// and the digest must be the prefix's own.
+		switch {
+		case up.Prefix == nil:
+			c.rejectLocked(w, sj, l, ws, http.StatusBadRequest, "invalid-request", "dist: first result must include the prefix")
+			return
+		case up.Prefix.Digest() != up.PrefixDigest:
+			c.rejectLocked(w, sj, l, ws, http.StatusBadRequest, "invalid-request", "dist: uploaded prefix does not match its claimed digest")
+			return
+		}
+		sj.prefix = up.Prefix
+		sj.digest = up.PrefixDigest
+	} else if up.PrefixDigest != sj.digest {
+		// A worker that replayed a different first stage (version skew,
+		// nondeterministic metric) must not contribute partials.
+		c.rejectLocked(w, sj, l, ws, http.StatusConflict, "prefix-mismatch",
+			fmt.Sprintf("dist: worker %s prefix digest %.12s… differs from job's %.12s…", l.worker, up.PrefixDigest, sj.digest))
+		return
+	}
+	if sj.prefix.Final == nil {
+		covered := 0
+		for _, ch := range up.Chunks {
+			if ch.Start < l.r.Lo || ch.Start+ch.Count > l.r.Hi {
+				c.rejectLocked(w, sj, l, ws, http.StatusBadRequest, "invalid-request",
+					fmt.Sprintf("dist: chunk [%d,%d) outside leased [%d,%d)", ch.Start, ch.Start+ch.Count, l.r.Lo, l.r.Hi))
+				return
+			}
+			covered += ch.Count
+		}
+		if covered != l.r.Count() {
+			c.rejectLocked(w, sj, l, ws, http.StatusBadRequest, "invalid-request",
+				fmt.Sprintf("dist: upload covers %d of %d leased samples", covered, l.r.Count()))
+			return
+		}
+	}
+	var sims int64
+	for _, ch := range up.Chunks {
+		sims += ch.Sims
+	}
+	if ws != nil {
+		ws.active--
+		ws.completed++
+		ws.samples += int64(l.r.Count())
+		ws.sims += sims
+		s := c.workerScope(l.worker)
+		s.Counter("leases_completed_total").Inc()
+		s.Counter("samples_total").Add(int64(l.r.Count()))
+		s.Counter("sims_total").Add(sims)
+	}
+	sj.chunks = append(sj.chunks, up.Chunks...)
+	sj.remaining -= l.r.Count()
+	c.completed.Inc()
+	finished := sj.remaining == 0
+	if finished && !sj.closed {
+		sj.closed = true
+		close(sj.done)
+	}
+	jobReg := sj.job.Telemetry()
+	c.gaugesLocked()
+	c.mu.Unlock()
+	jobReg.Emit("dist.lease.result", map[string]any{
+		"job": l.jobID, "lease": id, "worker": l.worker,
+		"lo": l.r.Lo, "hi": l.r.Hi, "sims": sims, "complete": finished,
+	})
+	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+}
+
+// rejectLocked refuses a lease's upload: the range goes back to the
+// queue (attempt counted) and the caller's problem is written. Callers
+// hold c.mu, which is released here.
+func (c *Coordinator) rejectLocked(w http.ResponseWriter, sj *shardJob, l *lease, ws *workerState, status int, slug, detail string) {
+	if ws != nil {
+		ws.active--
+		ws.failed++
+		c.workerScope(l.worker).Counter("leases_failed_total").Inc()
+	}
+	c.failed.Inc()
+	c.requeueLocked(sj, l.r, detail)
+	c.gaugesLocked()
+	c.mu.Unlock()
+	writeProblem(w, status, slug, detail)
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var up FailUpload
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		writeProblem(w, http.StatusBadRequest, "invalid-request", "dist: bad fail upload: "+err.Error())
+		return
+	}
+	c.mu.Lock()
+	l := c.leases[id]
+	if l == nil {
+		c.mu.Unlock()
+		writeProblem(w, http.StatusGone, "lease-lost", "dist: lease "+id+" is no longer held")
+		return
+	}
+	delete(c.leases, id)
+	sj := c.jobs[l.jobID]
+	ws := c.workers[l.worker]
+	if ws != nil {
+		ws.active--
+		ws.failed++
+		c.workerScope(l.worker).Counter("leases_failed_total").Inc()
+	}
+	if sj != nil && !sj.closed {
+		c.failed.Inc()
+		c.requeueLocked(sj, l.r, "worker "+l.worker+" reported: "+up.Error)
+	}
+	c.gaugesLocked()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, ws := range c.workers {
+		out = append(out, WorkerStatus{
+			ID: ws.ID, Cores: ws.Cores,
+			LastSeen:  ws.lastSeen.UTC().Format(time.RFC3339Nano),
+			Active:    ws.active,
+			Completed: ws.completed, Failed: ws.failed, Expired: ws.expired,
+			Samples: ws.samples, Sims: ws.sims,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeProblem(w http.ResponseWriter, status int, slug, detail string) {
+	p := &jobs.Problem{
+		Type: jobs.ProblemType + slug, Title: http.StatusText(status),
+		Status: status, Detail: detail,
+	}
+	w.Header().Set("Content-Type", "application/problem+json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(p)
+}

@@ -1,0 +1,94 @@
+// Package dist shards estimation jobs across worker nodes over a
+// pull-based HTTP/JSON lease protocol, with the coordinator embedded in
+// sramserverd and workers running sramworkerd.
+//
+// The protocol is built on the library's replicated-prefix seam
+// (repro.EstimatePartial / repro.FoldPartials): every worker replays a
+// job's deterministic first stage locally and evaluates only the
+// contiguous chunk-index range it holds a lease on, streaming back the
+// range's partial statistics. The coordinator folds the partials in
+// strict chunk-index order, so the final Result — report included — is
+// bit-identical to a single-node run of the same options. Worker loss
+// is handled by lease expiry: an unrenewed lease returns its range to
+// the queue and another worker picks it up; prefix digests cross-check
+// that every contributor computed the same first stage.
+//
+//	POST /v1/dist/poll               lease a range (204 when no work)
+//	POST /v1/dist/leases/{id}/renew  extend a held lease (410 when lost)
+//	POST /v1/dist/leases/{id}/result upload the range's partials
+//	POST /v1/dist/leases/{id}/fail   report a failed range
+//	GET  /v1/dist/workers            registered workers and their health
+package dist
+
+import (
+	"repro"
+	"repro/internal/jobs"
+	"repro/internal/mc"
+)
+
+// WorkerInfo identifies a polling worker.
+type WorkerInfo struct {
+	// ID names the worker; every poll from the same ID accrues to the
+	// same health record and per-worker metrics.
+	ID string `json:"id"`
+	// Cores is the worker's evaluation-pool size (informational).
+	Cores int `json:"cores,omitempty"`
+}
+
+// PollRequest asks the coordinator for work.
+type PollRequest struct {
+	Worker WorkerInfo `json:"worker"`
+}
+
+// Lease grants one contiguous chunk-index range of one job to a worker
+// until TTLSeconds elapse; renewals extend it, expiry requeues it.
+type Lease struct {
+	ID  string `json:"id"`
+	Job string `json:"job"`
+	// Spec is the full job request; the worker replays its prefix and
+	// evaluates Range of the Total-sample terminal stage.
+	Spec  jobs.Request     `json:"spec"`
+	Range repro.ShardRange `json:"range"`
+	Total int              `json:"total"`
+	// TTLSeconds is the lease's time to live; renew at a fraction of it.
+	TTLSeconds float64 `json:"ttl_seconds"`
+	// NeedPrefix asks the worker to include the full prefix in its
+	// upload (the coordinator does not have one for this job yet);
+	// otherwise the digest alone suffices.
+	NeedPrefix bool `json:"need_prefix,omitempty"`
+}
+
+// ResultUpload carries a completed range back to the coordinator.
+type ResultUpload struct {
+	// PrefixDigest is the worker's repro.Prefix digest; the coordinator
+	// rejects (409) a partial whose prefix disagrees with the job's.
+	PrefixDigest string `json:"prefix_digest"`
+	// Prefix is included when the lease asked for it.
+	Prefix *repro.Prefix `json:"prefix,omitempty"`
+	// Chunks are the partial statistics of the leased range.
+	Chunks []mc.Partial `json:"chunks,omitempty"`
+}
+
+// FailUpload reports that the worker could not complete its range.
+type FailUpload struct {
+	Error string `json:"error"`
+}
+
+// WorkerStatus is one worker's health record as served by
+// GET /v1/dist/workers.
+type WorkerStatus struct {
+	ID    string `json:"id"`
+	Cores int    `json:"cores,omitempty"`
+	// LastSeen is the RFC 3339 time of the worker's last request.
+	LastSeen string `json:"last_seen"`
+	// Active is the number of leases the worker currently holds;
+	// Completed, Failed and Expired count its finished leases; Samples
+	// and Sims total the terminal-stage samples and transistor-level
+	// simulations it has contributed.
+	Active    int   `json:"active"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Expired   int64 `json:"expired"`
+	Samples   int64 `json:"samples"`
+	Sims      int64 `json:"sims"`
+}

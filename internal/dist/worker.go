@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+)
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID names this worker to the coordinator (required).
+	ID string
+	// Cores is reported to the coordinator for operator visibility
+	// (informational; the evaluation pool is sized by the job spec).
+	Cores int
+	// PollInterval is the idle delay between polls (default 500ms).
+	PollInterval time.Duration
+	// Resolve maps workload names to metrics; nil selects
+	// repro.WorkloadByName. Tests inject synthetic workloads.
+	Resolve func(workload string) (repro.Metric, error)
+	// Registry, when non-nil, receives worker metrics under scope
+	// "worker".
+	Registry *telemetry.Registry
+	// Client, when non-nil, overrides the HTTP client.
+	Client *http.Client
+}
+
+// RunWorker polls the coordinator for leases and processes them until
+// ctx ends, returning ctx's error. Each lease replays the job's
+// deterministic prefix, evaluates the leased range, and uploads the
+// partial statistics; a renewal heartbeat keeps the lease alive for as
+// long as the evaluation runs, and a lost lease (coordinator handed the
+// range to someone else) aborts the evaluation mid-chunk.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.ID == "" {
+		return errors.New("dist: worker needs an ID")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.Resolve == nil {
+		cfg.Resolve = repro.WorkloadByName
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	w := &worker{cfg: cfg}
+	scope := cfg.Registry.Scope("worker")
+	w.leases = scope.Counter("leases_total")
+	w.completed = scope.Counter("leases_completed_total")
+	w.failures = scope.Counter("leases_failed_total")
+	w.lost = scope.Counter("leases_lost_total")
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.poll(ctx)
+		if err != nil || lease == nil {
+			// Coordinator unreachable or idle: wait one interval.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(cfg.PollInterval):
+			}
+			continue
+		}
+		w.process(ctx, lease)
+	}
+}
+
+type worker struct {
+	cfg                               WorkerConfig
+	leases, completed, failures, lost *telemetry.Counter
+}
+
+// poll asks for a lease; nil without error means no work.
+func (w *worker) poll(ctx context.Context) (*Lease, error) {
+	var lease Lease
+	status, err := w.post(ctx, "/v1/dist/poll", PollRequest{
+		Worker: WorkerInfo{ID: w.cfg.ID, Cores: w.cfg.Cores},
+	}, &lease)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("dist: poll status %d", status)
+	}
+	return &lease, nil
+}
+
+// process evaluates one lease end to end.
+func (w *worker) process(ctx context.Context, lease *Lease) {
+	w.leases.Inc()
+	// The lease context dies with the session, and also when the
+	// renewal loop discovers the lease was lost — which aborts the
+	// estimation at its next chunk boundary instead of wasting the
+	// remaining work.
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		w.renewLoop(leaseCtx, cancel, lease)
+	}()
+	defer func() { cancel(); <-renewDone }()
+
+	metric, err := w.cfg.Resolve(lease.Spec.Workload)
+	if err == nil {
+		var run *repro.PartialRun
+		opts := lease.Spec.Options()
+		opts.Telemetry = w.cfg.Registry
+		run, err = repro.EstimatePartial(leaseCtx, metric, opts, []repro.ShardRange{lease.Range})
+		if err == nil {
+			up := ResultUpload{PrefixDigest: run.Prefix.Digest(), Chunks: run.Chunks}
+			if lease.NeedPrefix {
+				up.Prefix = &run.Prefix
+			}
+			status, postErr := w.post(ctx, "/v1/dist/leases/"+lease.ID+"/result", up, nil)
+			switch {
+			case postErr != nil:
+				err = postErr
+			case status == http.StatusOK:
+				w.completed.Inc()
+				return
+			default:
+				err = fmt.Errorf("dist: result upload status %d", status)
+			}
+		}
+	}
+	// The coordinator requeues the range; a lost lease (cancelled
+	// leaseCtx, 410 upload) needs no report.
+	if ctx.Err() == nil && leaseCtx.Err() == nil {
+		w.failures.Inc()
+		w.post(ctx, "/v1/dist/leases/"+lease.ID+"/fail", FailUpload{Error: err.Error()}, nil)
+	} else {
+		w.lost.Inc()
+	}
+}
+
+// renewLoop heartbeats the lease at a third of its TTL; a 410 means the
+// lease was reassigned, so the evaluation is cancelled.
+func (w *worker) renewLoop(ctx context.Context, cancel context.CancelFunc, lease *Lease) {
+	ttl := time.Duration(lease.TTLSeconds * float64(time.Second))
+	period := max(ttl/3, 10*time.Millisecond)
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			status, err := w.post(ctx, "/v1/dist/leases/"+lease.ID+"/renew", struct{}{}, nil)
+			if err == nil && status == http.StatusGone {
+				cancel()
+				return
+			}
+			// Transient errors are fine — the TTL absorbs a missed beat.
+		}
+	}
+}
+
+// post sends a JSON request and decodes a 2xx body into out (when
+// non-nil), returning the status code.
+func (w *worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,39 @@
+package gibbs
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+
+	"repro/internal/mc"
+)
+
+// TwoStagePartial is the distributed form of TwoStageContext: it runs
+// the entire first stage exactly as the single-node flow does — the
+// Algorithm 4 starting-point search, the Gibbs chain and the
+// distortion fit, all sequential and seeded, consuming rng in the same
+// order — and then evaluates only the requested second-stage index
+// ranges. The returned TwoStageResult carries the first-stage products
+// (Start, Samples, GNor/GMix, Stage1Sims); the mc.Result inside it is
+// left zero — the caller folds the partials with
+// mc.FoldImportanceSample to reconstruct it.
+//
+// Because the prefix is deterministic, every node that replays it
+// arrives at the same distortion and the same stage-2 sample stream;
+// sharding the ranges across nodes and folding in index order is
+// bit-identical to one node running TwoStageContext.
+func TwoStagePartial(ctx context.Context, counter *mc.Counter, opts TwoStageOptions, rng *rand.Rand, ranges []mc.Range) (*TwoStageResult, []mc.Partial, error) {
+	if opts.N <= 0 {
+		return nil, nil, errors.New("gibbs: N must be positive")
+	}
+	res, err := firstStage(ctx, counter, &opts, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
+	parts, err := mc.ImportanceSamplePartial(ctx, ev, res.distortion(), opts.N, rng, ranges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, parts, nil
+}

@@ -3,7 +3,10 @@ package jobs
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
 	"repro"
 )
@@ -12,7 +15,7 @@ import (
 // pattern mux:
 //
 //	POST   /v1/jobs             submit a job (Request body); ?wait=1 blocks
-//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs             list jobs (?state=, ?limit=, ?offset=; JobList envelope)
 //	GET    /v1/jobs/{id}        one job's snapshot (live progress while running)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/metrics  the job's telemetry (Prometheus text)
@@ -29,8 +32,16 @@ import (
 // blocks until the job is terminal and returns 200 with the final
 // snapshot — and if the client disconnects while waiting, the job is
 // cancelled (the submission's context is the job's lifeline in wait
-// mode). A full queue returns 429, a draining server 503, an unknown
-// workload/method or invalid options 400 with the full problem list.
+// mode). An Idempotency-Key request header makes the submission
+// at-most-once: a repeat with the same key returns the original job
+// (200, with an Idempotent-Replay: true response header), a reuse with
+// a different body 409. A result-cache hit likewise returns a job that
+// is already done, marked "cached".
+//
+// Every non-2xx response is an RFC 9457 application/problem+json
+// document: a full queue 429, a draining server 503, an unknown
+// workload/method or invalid options 400 with the per-field problem
+// list in "errors", a distribute request without workers enabled 501.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -38,12 +49,17 @@ func Handler(m *Manager) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeProblem(w, badRequest(err))
 			return
 		}
-		job, err := m.Submit(req)
+		job, replay, err := m.SubmitIdempotent(req, r.Header.Get("Idempotency-Key"))
 		if err != nil {
-			writeError(w, submitStatus(err), err)
+			writeProblem(w, err)
+			return
+		}
+		if replay {
+			w.Header().Set("Idempotent-Replay", "true")
+			writeJSON(w, http.StatusOK, job.Snapshot())
 			return
 		}
 		if r.URL.Query().Get("wait") == "" {
@@ -62,7 +78,25 @@ func Handler(m *Manager) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
+		q := r.URL.Query()
+		state := State(q.Get("state"))
+		switch state {
+		case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		default:
+			writeProblem(w, badRequest(fmt.Errorf("jobs: unknown state filter %q", state)))
+			return
+		}
+		limit, err := intParam(q.Get("limit"), 100, maxPageSize)
+		if err != nil {
+			writeProblem(w, badRequest(err))
+			return
+		}
+		offset, err := intParam(q.Get("offset"), 0, math.MaxInt)
+		if err != nil {
+			writeProblem(w, badRequest(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, m.ListPage(state, limit, offset))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, err := m.Get(r.PathValue("id"))
@@ -162,17 +196,20 @@ func Handler(m *Manager) http.Handler {
 // whose client hung up (the write rarely reaches anyone).
 const statusRequestCancelled = 499
 
-// submitStatus maps Submit errors to HTTP statuses.
-func submitStatus(err error) int {
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
-	default:
-		// Unknown workload/method, invalid options.
-		return http.StatusBadRequest
+// maxPageSize caps the job-list window.
+const maxPageSize = 1000
+
+// intParam parses a non-negative integer query parameter, clamped to
+// limit; empty selects def.
+func intParam(s string, def, limit int) (int, error) {
+	if s == "" {
+		return def, nil
 	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("jobs: bad query parameter %q (want a non-negative integer)", s)
+	}
+	return min(v, limit), nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -183,6 +220,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// writeError reports a handler-local error as a problem document with
+// an explicit status (errors carrying a sentinel go through
+// writeProblem directly and classify themselves).
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeProblem(w, &Problem{
+		Type:   ProblemType + statusSlug(status),
+		Title:  http.StatusText(status),
+		Status: status,
+		Detail: err.Error(),
+	})
+}
+
+func statusSlug(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return "not-found"
+	case http.StatusConflict:
+		return "conflict"
+	default:
+		return "internal"
+	}
 }

@@ -14,6 +14,7 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,12 @@ var (
 	ErrDraining = errors.New("jobs: manager draining")
 	// ErrNotFound is reported by Get and Cancel for unknown job IDs.
 	ErrNotFound = errors.New("jobs: no such job")
+	// ErrIdempotencyConflict is reported by SubmitIdempotent when a key
+	// is reused with a different request body (HTTP 409).
+	ErrIdempotencyConflict = errors.New("jobs: idempotency key reused with a different request")
+	// ErrDistributionDisabled is reported by Submit for a distribute
+	// request on a manager with no Distributor configured (HTTP 501).
+	ErrDistributionDisabled = errors.New("jobs: distributed execution is not enabled")
 )
 
 // State is a job's lifecycle phase.
@@ -82,10 +89,15 @@ type Request struct {
 	// (overriding the server-wide default); the job fails with
 	// context.DeadlineExceeded when it expires.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Distribute runs the job sharded across registered worker nodes
+	// instead of in-process. Requires a manager with a Distributor (the
+	// dist coordinator) and options repro.ShardPlan accepts; the result
+	// is bit-identical to an in-process run either way.
+	Distribute bool `json:"distribute,omitempty"`
 }
 
-// options converts the request's tuning fields to repro.Options.
-func (r Request) options() repro.Options {
+// Options converts the request's tuning fields to repro.Options.
+func (r Request) Options() repro.Options {
 	return repro.Options{
 		Method: repro.Method(r.Method), K: r.K, N: r.N, Target: r.Target,
 		Seed: r.Seed, TraceEvery: r.TraceEvery, Workers: r.Workers,
@@ -153,6 +165,11 @@ type Snapshot struct {
 	// seconds from start to finish (or to now while running).
 	Result  *Result `json:"result,omitempty"`
 	Elapsed float64 `json:"elapsed_seconds,omitempty"`
+	// Cached marks a job served from the result cache: it went terminal
+	// at submission with zero new simulations.
+	Cached bool `json:"cached,omitempty"`
+	// Distributed marks a job that ran sharded across worker nodes.
+	Distributed bool `json:"distributed,omitempty"`
 	// Error is present once State is failed or cancelled.
 	Error string `json:"error,omitempty"`
 }
@@ -184,6 +201,9 @@ type Job struct {
 	flightOnce sync.Once
 	flightDir  string
 
+	cacheKey string // content address of the result, "" with caching off
+	cached   bool   // served from the result cache at submission
+
 	mu        sync.Mutex
 	flight    string // path of the written flight dump, under mu
 	state     State
@@ -200,6 +220,9 @@ type Job struct {
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// Request returns the job's submitted request.
+func (j *Job) Request() Request { return j.req }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -247,6 +270,18 @@ func (j *Job) Report() *repro.RunReport {
 		return nil
 	}
 	return j.result.Report
+}
+
+// Result returns the finished job's full library estimate, or nil
+// while the job has not completed successfully. The returned value is
+// shared and read-only.
+func (j *Job) Result() *repro.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.result
 }
 
 // Err returns the job's terminal error (nil while non-terminal or done).
@@ -300,6 +335,8 @@ func (j *Job) Snapshot() Snapshot {
 	}
 	s.Health = j.watchdog.Alerts()
 	s.FlightDump = j.flight
+	s.Cached = j.cached
+	s.Distributed = j.req.Distribute
 	if j.state == StateDone && j.result != nil {
 		r := j.result
 		s.Result = &Result{
@@ -310,10 +347,12 @@ func (j *Job) Snapshot() Snapshot {
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
-		// A cancelled run still reports its partial simulation cost.
-		if j.result != nil && j.result.TotalSims > s.Sims {
-			s.Sims = j.result.TotalSims
-		}
+	}
+	// A terminal job whose simulations ran outside its own counter —
+	// distributed across workers, replayed from the cache, or a
+	// partially-cancelled run — still reports the run's own cost.
+	if j.state.Terminal() && j.result != nil && j.result.TotalSims > s.Sims {
+		s.Sims = j.result.TotalSims
 	}
 	return s
 }
@@ -355,6 +394,18 @@ type Config struct {
 	Retention time.Duration
 	// Heartbeat is the SSE comment-heartbeat period (default 15s).
 	Heartbeat time.Duration
+	// Distributor, when non-nil, executes Distribute jobs: it shards the
+	// job across registered worker nodes and returns the folded result
+	// (the dist coordinator's Run method). Distribute submissions are
+	// rejected with ErrDistributionDisabled when nil. The jobs package
+	// never imports the dist package — the coordinator plugs in here.
+	Distributor func(ctx context.Context, job *Job) (*repro.Result, error)
+	// CacheSize, when positive, enables the content-addressed result
+	// cache: up to CacheSize completed results are retained, keyed by
+	// (build version, workload, canonical options, seed), and a matching
+	// submission goes terminal immediately with the cached result and
+	// zero new simulations.
+	CacheSize int
 }
 
 // minSweep bounds how often the retention sweeper wakes up.
@@ -376,6 +427,13 @@ type Manager struct {
 	seq atomic.Int64
 	wg  sync.WaitGroup
 
+	// cache is the content-addressed result cache (nil when disabled);
+	// idem maps Idempotency-Key → submission, serialized by idemMu so a
+	// concurrent duplicate can never double-submit.
+	cache  *resultCache
+	idemMu sync.Mutex
+	idem   map[string]idemEntry
+
 	// bus is the server-global event bus (nil with EventRing 0): every
 	// job's events arrive here tagged with the job ID, and the global
 	// SSE stream serves it. ownBus records whether the manager created
@@ -390,7 +448,16 @@ type Manager struct {
 
 	// "jobs" scope instruments on cfg.Registry (nil-safe).
 	submitted, completed, failed, cancelled, rejected *telemetry.Counter
+	cacheHits                                         *telemetry.Counter
 	queueDepth, running                               *telemetry.Gauge
+}
+
+// idemEntry records one idempotency-keyed submission: the job it
+// created and a fingerprint of the request body, so a key reused with
+// different contents is a conflict rather than a silent replay.
+type idemEntry struct {
+	jobID       string
+	fingerprint string
 }
 
 // NewManager starts a manager with cfg.Executors executor goroutines.
@@ -414,6 +481,8 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
+		idem:       make(map[string]idemEntry),
+		cache:      newResultCache(cfg.CacheSize),
 		queue:      make(chan *Job, cfg.QueueSize),
 		gcStop:     make(chan struct{}),
 		gcDone:     make(chan struct{}),
@@ -448,6 +517,7 @@ func NewManager(cfg Config) *Manager {
 	m.failed = scope.Counter("failed_total")
 	m.cancelled = scope.Counter("cancelled_total")
 	m.rejected = scope.Counter("rejected_total")
+	m.cacheHits = scope.Counter("cache_hits_total")
 	m.queueDepth = scope.Gauge("queue_depth")
 	m.running = scope.Gauge("running")
 	for i := 0; i < cfg.Executors; i++ {
@@ -464,6 +534,11 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	metric, err := m.cfg.Resolve(req.Workload)
 	if err != nil {
 		m.rejected.Inc()
+		// Injected resolvers may return bare errors; make sure every
+		// resolve failure classifies as a client problem (400), not 500.
+		if !errors.Is(err, repro.ErrUnknownWorkload) {
+			err = fmt.Errorf("%w: %v", repro.ErrUnknownWorkload, err)
+		}
 		return nil, err
 	}
 	if req.Method != "" {
@@ -472,13 +547,23 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 			return nil, err
 		}
 	}
-	if err := req.options().Validate(); err != nil {
+	if err := req.Options().Validate(); err != nil {
 		m.rejected.Inc()
 		return nil, err
 	}
 	if req.TimeoutSeconds < 0 {
 		m.rejected.Inc()
 		return nil, fmt.Errorf("%w: timeout_seconds must be ≥ 0, got %v", repro.ErrInvalidOptions, req.TimeoutSeconds)
+	}
+	if req.Distribute {
+		if m.cfg.Distributor == nil {
+			m.rejected.Inc()
+			return nil, ErrDistributionDisabled
+		}
+		if _, err := repro.ShardPlan(req.Options()); err != nil {
+			m.rejected.Inc()
+			return nil, err
+		}
 	}
 
 	job := &Job{
@@ -490,6 +575,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		state:     StateQueued,
 		created:   time.Now(),
 		done:      make(chan struct{}),
+	}
+	if m.cache != nil {
+		job.cacheKey = cacheKey(req)
 	}
 	// Every job records a span trace on its private registry: the
 	// estimate pipeline nests its stage spans under it, and the
@@ -509,14 +597,38 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining {
+		m.mu.Unlock()
 		m.rejected.Inc()
 		return nil, ErrDraining
+	}
+	// Content-addressed replay: an identical completed run goes terminal
+	// at submission — no queue slot, no executor, zero new simulations.
+	if res := m.cache.get(job.cacheKey); res != nil {
+		now := time.Now()
+		job.cached = true
+		job.result = res
+		job.state = StateDone
+		job.started, job.finished = now, now
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+		m.mu.Unlock()
+		m.submitted.Inc()
+		m.cacheHits.Inc()
+		m.completed.Inc()
+		job.reg.Emit("job.submitted", map[string]any{
+			"job": job.id, "workload": req.Workload, "method": req.Method, "seed": req.Seed,
+		})
+		job.reg.Emit("job.done", map[string]any{
+			"job": job.id, "state": string(StateDone), "pf": res.Pf, "sims": res.TotalSims, "cached": true,
+		})
+		close(job.done)
+		return job, nil
 	}
 	select {
 	case m.queue <- job:
 	default:
+		m.mu.Unlock()
 		m.rejected.Inc()
 		return nil, ErrQueueFull
 	}
@@ -530,7 +642,44 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	job.reg.Emit("job.submitted", map[string]any{
 		"job": job.id, "workload": req.Workload, "method": req.Method, "seed": req.Seed,
 	})
+	m.mu.Unlock()
 	return job, nil
+}
+
+// SubmitIdempotent is Submit with at-most-once semantics: a repeated
+// submission with the same non-empty key returns the original job and
+// replay=true (running zero new simulations); the same key with a
+// different request body reports ErrIdempotencyConflict. An empty key
+// degrades to plain Submit.
+func (m *Manager) SubmitIdempotent(req Request, key string) (job *Job, replay bool, err error) {
+	if key == "" {
+		job, err = m.Submit(req)
+		return job, false, err
+	}
+	fp, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	// idemMu serializes the lookup with the submission, so two racing
+	// requests carrying the same key can never both enqueue.
+	m.idemMu.Lock()
+	defer m.idemMu.Unlock()
+	if e, ok := m.idem[key]; ok {
+		if prior, getErr := m.Get(e.jobID); getErr == nil {
+			if e.fingerprint != string(fp) {
+				return nil, false, fmt.Errorf("%w: %q", ErrIdempotencyConflict, key)
+			}
+			return prior, true, nil
+		}
+		// The recorded job was retention-swept; treat the key as fresh.
+		delete(m.idem, key)
+	}
+	job, err = m.Submit(req)
+	if err != nil {
+		return nil, false, err
+	}
+	m.idem[key] = idemEntry{jobID: job.ID(), fingerprint: string(fp)}
+	return job, false, nil
 }
 
 // Get looks up a job by ID.
@@ -555,6 +704,45 @@ func (m *Manager) List() []Snapshot {
 	out := make([]Snapshot, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// JobList is one page of the job table: the requested window plus the
+// paging fields a client needs to walk the rest.
+type JobList struct {
+	Jobs []Snapshot `json:"jobs"`
+	// Total is the number of jobs matching the filter (across all
+	// pages); Limit and Offset echo the window that was applied.
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+	// NextOffset is the offset of the following page, absent on the
+	// last one.
+	NextOffset *int `json:"next_offset,omitempty"`
+}
+
+// ListPage snapshots jobs in submission order, optionally filtered to
+// one state, windowed by limit (≤ 0 selects the default of 100) and
+// offset.
+func (m *Manager) ListPage(state State, limit, offset int) JobList {
+	filtered := make([]Snapshot, 0)
+	for _, s := range m.List() {
+		if state == "" || s.State == state {
+			filtered = append(filtered, s)
+		}
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	offset = max(offset, 0)
+	total := len(filtered)
+	start := min(offset, total)
+	end := min(start+limit, total)
+	out := JobList{Jobs: filtered[start:end], Total: total, Limit: limit, Offset: offset}
+	if end < total {
+		next := end
+		out.NextOffset = &next
 	}
 	return out
 }
@@ -862,9 +1050,18 @@ func (m *Manager) run(job *Job) {
 		defer timeoutCancel()
 	}
 
-	opts := job.req.options()
-	opts.Telemetry = job.reg
-	res, err := repro.EstimateContext(ctx, job.counter, opts)
+	var res *repro.Result
+	var err error
+	if job.req.Distribute {
+		// The coordinator shards the job across worker nodes and folds
+		// their partials; the fold is bit-identical to the in-process
+		// estimate below.
+		res, err = m.cfg.Distributor(ctx, job)
+	} else {
+		opts := job.req.Options()
+		opts.Telemetry = job.reg
+		res, err = repro.EstimateContext(ctx, job.counter, opts)
+	}
 
 	job.watchdog.Stop()
 	job.mu.Lock()
@@ -875,6 +1072,7 @@ func (m *Manager) run(job *Job) {
 	case err == nil:
 		job.state = StateDone
 		m.completed.Inc()
+		m.cache.put(job.cacheKey, res)
 	case errors.Is(err, context.Canceled):
 		job.state = StateCancelled
 		m.cancelled.Inc()

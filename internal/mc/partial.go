@@ -1,0 +1,298 @@
+package mc
+
+// Partial-statistics export and fold: the seam distributed serving is
+// built on.
+//
+// Every terminal sampling stage in this library evaluates sample i with
+// a generator seeded from (seed, i) — never from the worker id or the
+// chunk it happened to ride in — so the outcome of each sample is a pure
+// function of (seed, absolute index, stage parameters). A Partial
+// captures the outcomes of one contiguous index range reduced to exactly
+// what the single-node fold consumes: which indices failed and, for
+// importance sampling, their weights. A Partial computed on any machine,
+// with any local worker count, therefore carries the same bits the
+// single-node loop would have produced for those indices.
+//
+// The Fold* functions reassemble a full run from partials by replaying
+// the single-node reduction — Welford moment pushes (including the zero
+// weight of every non-failure), top-weight tracking and trace snapshots
+// — in strict sample-index order. Floating-point addition is not
+// associative, so the replay is the correctness argument: the folded
+// Result is bit-identical to the corresponding single-node estimator,
+// not merely statistically equivalent.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stat"
+)
+
+// Fold and range errors; test with errors.Is.
+var (
+	// ErrBadRange is reported for a malformed or out-of-bounds sample
+	// range.
+	ErrBadRange = errors.New("mc: bad sample range")
+	// ErrBadCover is reported when a set of partials does not tile the
+	// stage's index space exactly (gap, overlap or out-of-order failure
+	// indices) — folding anything else would silently change the bits.
+	ErrBadCover = errors.New("mc: partials do not cover the stage")
+)
+
+// Range is a half-open interval [Lo, Hi) of absolute sample indices.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Count returns the number of samples in the range.
+func (r Range) Count() int { return r.Hi - r.Lo }
+
+// checkRanges validates that every range is well-formed and inside
+// [0, n).
+func checkRanges(n int, ranges []Range) error {
+	if len(ranges) == 0 {
+		return fmt.Errorf("%w: no ranges", ErrBadRange)
+	}
+	for _, r := range ranges {
+		if r.Lo < 0 || r.Hi <= r.Lo || r.Hi > n {
+			return fmt.Errorf("%w: [%d,%d) outside [0,%d)", ErrBadRange, r.Lo, r.Hi, n)
+		}
+	}
+	return nil
+}
+
+// Partial is the outcome of evaluating one contiguous range
+// [Start, Start+Count) of a terminal sampling stage. FailIdx lists the
+// absolute indices of failing samples in ascending order; W carries the
+// matching importance weights (importance-sampling stages only — weights
+// can be exactly zero even for a failure when the log-weight underflows,
+// so failure membership and weight are recorded independently). Sims is
+// the number of transistor-level simulations the range cost: Count for
+// stages that simulate every sample, the unblocked-candidate count for
+// statistical blockade.
+type Partial struct {
+	Start   int       `json:"start"`
+	Count   int       `json:"count"`
+	Sims    int64     `json:"sims"`
+	FailIdx []int     `json:"fail_idx,omitempty"`
+	W       []float64 `json:"w,omitempty"`
+}
+
+// checkCover sorts the partials by Start and validates that they tile
+// [0, n) exactly with well-formed failure indices. withWeights also
+// requires one weight per failure.
+func checkCover(n int, parts []Partial, withWeights bool) ([]Partial, error) {
+	sorted := make([]Partial, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	next := 0
+	for _, p := range sorted {
+		if p.Start != next || p.Count <= 0 {
+			return nil, fmt.Errorf("%w: want [%d,…), got [%d,%d+%d)", ErrBadCover, next, p.Start, p.Start, p.Count)
+		}
+		if withWeights && len(p.W) != len(p.FailIdx) {
+			return nil, fmt.Errorf("%w: %d failure indices with %d weights at start %d", ErrBadCover, len(p.FailIdx), len(p.W), p.Start)
+		}
+		last := p.Start - 1
+		for _, i := range p.FailIdx {
+			if i <= last || i >= p.Start+p.Count {
+				return nil, fmt.Errorf("%w: failure index %d outside ascending [%d,%d)", ErrBadCover, i, p.Start, p.Start+p.Count)
+			}
+			last = i
+		}
+		next += p.Count
+	}
+	if next != n {
+		return nil, fmt.Errorf("%w: %d samples covered, stage has %d", ErrBadCover, next, n)
+	}
+	return sorted, nil
+}
+
+// ImportanceSamplePartial evaluates only the given index ranges of the
+// importance-sampling stage ImportanceSampleContext would run over
+// [0, n), returning one Partial per range. It consumes exactly one seed
+// draw from rng — the same single draw the full stage makes — so a
+// caller that replays the preceding pipeline (chain, fits, exploration)
+// and then calls this sees the identical per-sample stream. ctx is
+// polled once per ChunkSize dispatch.
+func ImportanceSamplePartial(ctx context.Context, ev *Evaluator, g Distortion, n int, rng *rand.Rand, ranges []Range) ([]Partial, error) {
+	if ev == nil {
+		return nil, errors.New("mc: nil evaluator")
+	}
+	if n <= 0 {
+		return nil, ErrBadSampleCount
+	}
+	if g.Dim() != ev.Dim() {
+		return nil, errors.New("mc: distortion dimensionality does not match metric")
+	}
+	if err := checkRanges(n, ranges); err != nil {
+		return nil, err
+	}
+	draw, post := isJob(g)
+	seed := rng.Int63()
+	out := make([]Partial, 0, len(ranges))
+	for _, r := range ranges {
+		p := Partial{Start: r.Lo, Count: r.Count(), Sims: int64(r.Count())}
+		for start := r.Lo; start < r.Hi; start += ChunkSize {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			count := min(ChunkSize, r.Hi-start)
+			for j, s := range MapBatch(ev, seed, start, count, draw, post) {
+				if s.fail {
+					p.FailIdx = append(p.FailIdx, start+j)
+					p.W = append(p.W, s.w)
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FoldImportanceSample folds importance-sampling partials covering
+// [0, n) back into the Result ImportanceSampleContext would have
+// produced, by replaying the index-ordered reduction: every sample
+// pushes its weight (zero for non-failures) through the same Welford
+// accumulator, top-weight tracker and trace recorder.
+func FoldImportanceSample(n int, parts []Partial, traceEvery TraceEvery) (Result, error) {
+	if n <= 0 {
+		return Result{}, ErrBadSampleCount
+	}
+	sorted, err := checkCover(n, parts, true)
+	if err != nil {
+		return Result{}, err
+	}
+	var run stat.Running
+	failures := 0
+	var tw topWeights
+	var trace []TracePoint
+	batch := make([]isWeight, 0, ChunkSize)
+	for _, p := range sorted {
+		k := 0
+		for i := p.Start; i < p.Start+p.Count; i++ {
+			var s isWeight
+			if k < len(p.FailIdx) && p.FailIdx[k] == i {
+				s = isWeight{w: p.W[k], fail: true}
+				k++
+			}
+			batch = append(batch, s)
+			if len(batch) == ChunkSize {
+				trace = pushWeights(&run, batch, &failures, &tw, traceEvery, trace)
+				batch = batch[:0]
+			}
+		}
+	}
+	trace = pushWeights(&run, batch, &failures, &tw, traceEvery, trace)
+	res := resultFrom(&run, failures, trace)
+	res.MaxWeight, res.TopWeights = tw.max(), tw.w
+	return res, nil
+}
+
+// ParallelMCPartial evaluates only the given index ranges of the
+// brute-force stream ParallelMCContext runs over [0, n): the same
+// standard-Normal draw per (seed, index), failure recorded when the
+// margin is negative. rng is not consumed — ParallelMC seeds the stream
+// from the run seed directly. ctx is polled once per dispatched chunk.
+func ParallelMCPartial(ctx context.Context, ev *Evaluator, n int, seed int64, ranges []Range) ([]Partial, error) {
+	if ev == nil {
+		return nil, errors.New("mc: nil evaluator")
+	}
+	if n <= 0 {
+		return nil, ErrBadSampleCount
+	}
+	if err := checkRanges(n, ranges); err != nil {
+		return nil, err
+	}
+	dim := ev.Dim()
+	draw := func(rng *rand.Rand, _ int) []float64 {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		return x
+	}
+	post := func(_ int, _ []float64, v float64) bool { return v < 0 }
+	out := make([]Partial, 0, len(ranges))
+	for _, r := range ranges {
+		p := Partial{Start: r.Lo, Count: r.Count(), Sims: int64(r.Count())}
+		for start := r.Lo; start < r.Hi; start += mcChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			count := min(mcChunk, r.Hi-start)
+			for j, fail := range MapBatch(ev, seed, start, count, draw, post) {
+				if fail {
+					p.FailIdx = append(p.FailIdx, start+j)
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FoldParallelMC folds brute-force partials covering [0, n) into the
+// Result ParallelMCContext would have produced. The Bernoulli tally is
+// pure integer counting, so only the final mean/stderr arithmetic — an
+// exact replica of the single-node formula — touches floats.
+func FoldParallelMC(n int, parts []Partial) (Result, error) {
+	if n <= 0 {
+		return Result{}, ErrBadSampleCount
+	}
+	sorted, err := checkCover(n, parts, false)
+	if err != nil {
+		return Result{}, err
+	}
+	failures := 0
+	for _, p := range sorted {
+		failures += len(p.FailIdx)
+	}
+	p := float64(failures) / float64(n)
+	se := 0.0
+	if n > 1 {
+		se = sqrt(p * (1 - p) / float64(n))
+	}
+	rel := math.Inf(1)
+	if p > 0 {
+		rel = stat.Z99 * se / p
+	}
+	return Result{Pf: p, StdErr: se, RelErr99: rel, N: n, Failures: failures, WeightESS: float64(failures)}, nil
+}
+
+// FoldBernoulli folds 0/1 indicator partials covering [0, n) through a
+// Welford accumulator in index order — the statistical-blockade tally,
+// which (unlike ParallelMC's closed-form Bernoulli) accumulates its
+// moments incrementally and is therefore order-dependent.
+func FoldBernoulli(n int, parts []Partial) (Result, error) {
+	if n <= 0 {
+		return Result{}, ErrBadSampleCount
+	}
+	sorted, err := checkCover(n, parts, false)
+	if err != nil {
+		return Result{}, err
+	}
+	var tally stat.Running
+	failures := 0
+	for _, p := range sorted {
+		k := 0
+		for i := p.Start; i < p.Start+p.Count; i++ {
+			ind := 0.0
+			if k < len(p.FailIdx) && p.FailIdx[k] == i {
+				ind = 1
+				failures++
+				k++
+			}
+			tally.Push(ind)
+		}
+	}
+	return Result{
+		Pf: tally.Mean(), StdErr: tally.StdErr(), RelErr99: tally.RelErr99(),
+		N: tally.N(), Failures: failures,
+	}, nil
+}

@@ -302,6 +302,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Canonical returns o with every zero-valued tuning field resolved to
+// the default the estimator would actually run with (Method, K, N).
+// Two option sets with equal Canonical forms describe the same
+// estimation — the property content-addressed result caches key on.
+func (o Options) Canonical() Options { return o.withDefaults() }
+
 // Estimate runs the selected estimator on the metric and reports the
 // failure probability with full cost accounting. It is a thin
 // context.Background() wrapper around EstimateContext, kept as the

@@ -1,0 +1,356 @@
+package repro
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"math"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/gibbs"
+	"repro/internal/mc"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// Distributed estimation: the library splits a run into a deterministic
+// replicated prefix (every stage before the terminal sampling loop —
+// starting-point search, Gibbs chain, distortion fit, MIS exploration,
+// blockade training) plus a shardable terminal stage whose samples are
+// pure functions of (seed, absolute index, prefix). EstimatePartial
+// evaluates only a set of index ranges of that terminal stage;
+// FoldPartials reassembles a full Result — bit-identical to
+// EstimateContext — from the prefix and a covering set of partials.
+// internal/dist runs this seam over HTTP between a coordinator and
+// worker processes.
+
+// ErrNotShardable is reported (wrapped) by ShardPlan for options a
+// distributed run cannot honor bit-identically; test with errors.Is.
+var ErrNotShardable = errors.New("repro: options not distributable")
+
+// ShardRange is a half-open [Lo, Hi) interval of terminal-stage sample
+// indices (an alias of the evaluation engine's range type, so partials
+// flow through without conversion).
+type ShardRange = mc.Range
+
+// Prefix carries the deterministic first-stage products a distributed
+// fold needs: the cost split and the fitted-distortion descriptors that
+// feed the Result and its RunReport. For whole-job methods (subset
+// simulation, which is sequential by construction) Final carries the
+// complete estimate instead. Every worker that replays a job's prefix
+// must arrive at these exact bytes — Digest is the cross-check.
+type Prefix struct {
+	// Stage1Sims is the simulation cost of the replicated prefix (as a
+	// single-node run would report it — replication across workers does
+	// not multiply it).
+	Stage1Sims int64 `json:"stage1_sims,omitempty"`
+	// GibbsSamples are the first-stage chain samples (G-C/G-S only);
+	// the fold re-derives the report's chain diagnostics from them.
+	GibbsSamples [][]float64 `json:"gibbs_samples,omitempty"`
+	// DistortionMean is the fitted g^NOR mean (importance-sampling
+	// methods only).
+	DistortionMean []float64 `json:"distortion_mean,omitempty"`
+	// Final is the complete estimate for whole-job methods (subset);
+	// nil for shardable methods.
+	Final *Result `json:"final,omitempty"`
+}
+
+// Digest returns a hex SHA-256 over a canonical binary encoding of the
+// prefix (exact float64 bits, not decimal renderings). Two workers that
+// disagree — version skew, a non-deterministic metric — disagree here,
+// before their partials can silently corrupt a fold.
+func (p *Prefix) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	putInt := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	putFloat := func(v float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	putVec := func(v []float64) {
+		putInt(int64(len(v)))
+		for _, x := range v {
+			putFloat(x)
+		}
+	}
+	putInt(p.Stage1Sims)
+	putInt(int64(len(p.GibbsSamples)))
+	for _, row := range p.GibbsSamples {
+		putVec(row)
+	}
+	putVec(p.DistortionMean)
+	if p.Final != nil {
+		putInt(1)
+		digestResult(h, putInt, putFloat, putVec, p.Final)
+	} else {
+		putInt(0)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func digestResult(_ hash.Hash, putInt func(int64), putFloat func(float64), putVec func([]float64), r *Result) {
+	putFloat(r.Pf)
+	putFloat(r.StdErr)
+	putFloat(r.RelErr99)
+	putInt(int64(r.N))
+	putInt(int64(r.Failures))
+	putFloat(r.WeightESS)
+	putFloat(r.MaxWeight)
+	putVec(r.TopWeights)
+	putInt(r.Stage1Sims)
+	putInt(r.Stage2Sims)
+	putInt(r.TotalSims)
+}
+
+// PartialRun is one worker's contribution to a distributed estimate:
+// the replayed prefix plus the partial statistics of the ranges it
+// leased.
+type PartialRun struct {
+	Prefix Prefix       `json:"prefix"`
+	Chunks []mc.Partial `json:"chunks,omitempty"`
+}
+
+// ShardPlan validates that opts describes an estimation a distributed
+// run can reproduce bit-identically and returns the terminal-stage
+// sample count to shard (1 for whole-job methods). Until-target runs
+// (Target > 0) are rejected — the stop decision folds global state at
+// every chunk boundary — as is traced brute-force MC, whose sequential
+// engine draws from one generator stream.
+func ShardPlan(opts Options) (total int, err error) {
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	o := opts.withDefaults()
+	if o.Target > 0 {
+		return 0, fmt.Errorf("%w: until-target runs (Target > 0) stop on a global convergence test", ErrNotShardable)
+	}
+	switch o.Method {
+	case Subset:
+		// Sequential adaptive ladder: distributed as one whole-job range.
+		return 1, nil
+	case MC:
+		// Workers==1 (like tracing) selects the sequential single-stream
+		// engine, whose bits the index-seeded fold cannot reproduce.
+		if o.TraceEvery > 0 || o.Workers == 1 {
+			return 0, fmt.Errorf("%w: sequential-engine MC (TraceEvery > 0 or Workers == 1)", ErrNotShardable)
+		}
+		return o.N, nil
+	default:
+		return o.N, nil
+	}
+}
+
+// EstimatePartial runs opts' deterministic prefix in full and evaluates
+// only the given terminal-stage ranges, the way a distributed worker
+// does. The ranges may be any well-formed subset of [0, ShardPlan(opts))
+// — they do not need to cover it. An aborted run returns the context's
+// error, exactly like EstimateContext.
+func EstimatePartial(ctx context.Context, metric Metric, opts Options, ranges []ShardRange) (*PartialRun, error) {
+	if metric == nil {
+		return nil, fmt.Errorf("%w: nil metric", ErrInvalidOptions)
+	}
+	total, err := ShardPlan(opts)
+	if err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	if o.Telemetry != nil {
+		if tm, ok := metric.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+			tm.SetTelemetry(o.Telemetry)
+		}
+	}
+	counter := mc.NewCounter(metric)
+	rng := rand.New(rand.NewSource(o.Seed))
+	run := &PartialRun{}
+
+	switch o.Method {
+	case MC:
+		ev := mc.NewEvaluator(counter, o.Workers).WithTelemetry(o.Telemetry)
+		run.Chunks, err = mc.ParallelMCPartial(ctx, ev, o.N, o.Seed, ranges)
+		if err != nil {
+			return nil, err
+		}
+
+	case MIS:
+		mo := baselines.MISOptions{Stage1: o.K, N: o.N, Workers: o.Workers, Telemetry: o.Telemetry}
+		res, parts, err := baselines.MISPartial(ctx, counter, mo, rng, ranges)
+		if err != nil {
+			return nil, err
+		}
+		run.Prefix = Prefix{Stage1Sims: res.Stage1Sims, DistortionMean: res.Mean}
+		run.Chunks = parts
+
+	case MNIS:
+		mo := baselines.MNISOptions{
+			Start: &model.StartOptions{TrainN: o.K, UseQuadratic: o.Quadratic},
+			N:     o.N, Workers: o.Workers, Telemetry: o.Telemetry,
+		}
+		res, parts, err := baselines.MNISPartial(ctx, counter, mo, rng, ranges)
+		if err != nil {
+			return nil, err
+		}
+		run.Prefix = Prefix{Stage1Sims: res.Stage1Sims, DistortionMean: res.Mean}
+		run.Chunks = parts
+
+	case Blockade:
+		bo := baselines.BlockadeOptions{Train: o.K, N: o.N, Workers: o.Workers, Telemetry: o.Telemetry}
+		res, parts, err := baselines.BlockadePartial(ctx, counter, bo, rng, ranges)
+		if err != nil {
+			return nil, err
+		}
+		run.Prefix = Prefix{Stage1Sims: res.TrainSims}
+		run.Chunks = parts
+
+	case Subset:
+		// Whole-job: the single range [0,1) stands for the entire run.
+		if len(ranges) != 1 || ranges[0] != (ShardRange{Lo: 0, Hi: 1}) {
+			return nil, fmt.Errorf("%w: subset simulation runs as one whole-job range [0,1)", mc.ErrBadRange)
+		}
+		res, err := estimate(ctx, counter, o)
+		if err != nil {
+			return nil, err
+		}
+		// The wall-clock split is the only non-deterministic Result
+		// field; zero it so every worker's prefix digest agrees.
+		res.Stage1Seconds, res.Stage2Seconds = 0, 0
+		run.Prefix = Prefix{Final: res}
+
+	case GC, GS:
+		coord := gibbs.Cartesian
+		if o.Method == GS {
+			coord = gibbs.Spherical
+		}
+		to := gibbs.TwoStageOptions{
+			Coord: coord, K: o.K, N: o.N,
+			Start:      &model.StartOptions{UseQuadratic: o.Quadratic},
+			StartPoint: o.StartPoint,
+			Mixture:    o.Mixture,
+			Workers:    o.Workers,
+			Telemetry:  o.Telemetry,
+		}
+		res, parts, err := gibbs.TwoStagePartial(ctx, counter, to, rng, ranges)
+		if err != nil {
+			return nil, err
+		}
+		run.Prefix = Prefix{
+			Stage1Sims:     res.Stage1Sims,
+			GibbsSamples:   res.Samples,
+			DistortionMean: res.GNor.Mean,
+		}
+		run.Chunks = parts
+
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownMethod, string(o.Method))
+	}
+	_ = total
+	return run, nil
+}
+
+// FoldPartials reassembles the full estimate from a job's prefix and a
+// set of partials covering [0, ShardPlan(opts)), replaying the
+// single-node reduction in strict sample-index order. The returned
+// Result — including its RunReport — is bit-identical to an uncancelled
+// EstimateContext run of the same options once wall-clock fields are set
+// aside (the Seconds fields are zero here; totalSeconds only feeds the
+// report's TotalSeconds, which Deterministic() already excludes).
+func FoldPartials(opts Options, prefix Prefix, chunks []mc.Partial, totalSeconds float64) (*Result, error) {
+	if _, err := ShardPlan(opts); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	var res *Result
+
+	switch o.Method {
+	case Subset:
+		if prefix.Final == nil {
+			return nil, fmt.Errorf("%w: missing whole-job result in prefix", mc.ErrBadCover)
+		}
+		r := *prefix.Final
+		res = &r
+
+	case MC:
+		m, err := mc.FoldParallelMC(o.N, chunks)
+		if err != nil {
+			return nil, err
+		}
+		res = &Result{
+			Pf: m.Pf, StdErr: m.StdErr, RelErr99: m.RelErr99,
+			N: m.N, Failures: m.Failures, WeightESS: m.WeightESS,
+			Stage2Sims: int64(m.N), TotalSims: int64(m.N),
+		}
+
+	case Blockade:
+		m, err := mc.FoldBernoulli(o.N, chunks)
+		if err != nil {
+			return nil, err
+		}
+		stage2 := int64(0)
+		for _, c := range chunks {
+			stage2 += c.Sims
+		}
+		res = &Result{
+			Pf: m.Pf, StdErr: m.StdErr, RelErr99: m.RelErr99,
+			N: m.N, Failures: m.Failures,
+			Stage1Sims: prefix.Stage1Sims, Stage2Sims: stage2,
+			TotalSims: prefix.Stage1Sims + stage2,
+		}
+
+	case MIS, MNIS, GC, GS:
+		m, err := mc.FoldImportanceSample(o.N, chunks, mc.TraceEvery(o.TraceEvery))
+		if err != nil {
+			return nil, err
+		}
+		stage2 := int64(0)
+		for _, c := range chunks {
+			stage2 += c.Sims
+		}
+		res = &Result{
+			Pf: m.Pf, StdErr: m.StdErr, RelErr99: m.RelErr99,
+			N: m.N, Failures: m.Failures, WeightESS: m.WeightESS,
+			MaxWeight: m.MaxWeight, TopWeights: m.TopWeights,
+			Stage1Sims: prefix.Stage1Sims, Stage2Sims: stage2,
+			TotalSims:      prefix.Stage1Sims + stage2,
+			GibbsSamples:   prefix.GibbsSamples,
+			DistortionMean: prefix.DistortionMean,
+			Trace:          m.Trace,
+		}
+
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownMethod, string(o.Method))
+	}
+	res.Report = buildReport(res, o, totalSeconds)
+	return res, nil
+}
+
+// SplitRanges cuts [0, total) into at most parts contiguous ranges
+// whose boundaries land on multiples of grain (the final range absorbs
+// the remainder), the unit of work a distributed coordinator leases
+// out. grain ≤ 0 selects the evaluation engine's chunk size. Boundary
+// alignment is cosmetic — any covering split folds to the same bits —
+// but chunk-aligned leases keep each worker's kernel batches full.
+func SplitRanges(total, parts, grain int) []ShardRange {
+	if total <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = mc.ChunkSize
+	}
+	if parts <= 0 {
+		parts = 1
+	}
+	size := (total + parts - 1) / parts
+	size = (size + grain - 1) / grain * grain
+	out := make([]ShardRange, 0, parts)
+	for lo := 0; lo < total; lo += size {
+		out = append(out, ShardRange{Lo: lo, Hi: min(lo+size, total)})
+	}
+	return out
+}
