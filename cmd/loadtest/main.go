@@ -5,12 +5,21 @@
 //
 //	loadtest -server http://localhost:8080 -jobs 200 -concurrency 16
 //
-// Exit status is non-zero when any job is lost or fails, so the smoke
-// scripts can assert "zero lost jobs" directly.
+// With -drain-after N and -drain-pid P the run crosses a graceful
+// shutdown: after N jobs complete, the server gets SIGTERM while
+// submissions continue. Jobs accepted before the drain must still
+// finish (zero lost), and submissions after it must be rejected with
+// the clean "draining" problem+json — connection errors before the
+// listener closes, or any other failure, are hard failures.
+//
+// Exit status is non-zero when any job is lost or fails (or, in drain
+// mode, when no clean draining rejection was observed), so the smoke
+// scripts can assert the guarantees directly.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +27,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/client"
@@ -34,7 +44,10 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "in-flight submissions")
 	seedBase := flag.Int64("seed", 1, "first seed; job i uses seed+i (use -same-seed to exercise the result cache)")
 	sameSeed := flag.Bool("same-seed", false, "submit identical requests so a result cache serves all but the first")
+	drainAfter := flag.Int("drain-after", 0, "drain-crossing mode: SIGTERM -drain-pid after this many jobs complete (0 disables)")
+	drainPid := flag.Int("drain-pid", 0, "drain-crossing mode: the server PID to SIGTERM")
 	flag.Parse()
+	drainMode := *drainAfter > 0 && *drainPid > 0
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -46,6 +59,11 @@ func main() {
 		ids       []string
 		cached    atomic.Int64
 		failed    atomic.Int64
+		drained   atomic.Int64 // clean "draining" problem+json rejections
+		refused   atomic.Int64 // connection errors after the drain signal
+		doneCount atomic.Int64
+		signaled  atomic.Bool
+		drainOnce sync.Once
 	)
 	sem := make(chan struct{}, max(*concurrency, 1))
 	var wg sync.WaitGroup
@@ -69,12 +87,32 @@ func main() {
 			})
 			lat := time.Since(t0)
 			if err != nil || snap.State != jobs.StateDone {
-				failed.Add(1)
-				fmt.Fprintf(os.Stderr, "loadtest: job %d: state %s err %v\n", i, snap.State, err)
+				switch {
+				case client.IsProblem(err, "draining"):
+					// The guarantee under test: a submission that crosses
+					// the drain boundary gets a clean typed rejection.
+					drained.Add(1)
+				case signaled.Load() && err != nil && !isProblem(err):
+					// After the drain completes the listener closes;
+					// transport errors from then on are expected.
+					refused.Add(1)
+				default:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "loadtest: job %d: state %s err %v\n", i, snap.State, err)
+				}
 				return
 			}
 			if snap.Cached {
 				cached.Add(1)
+			}
+			if drainMode && doneCount.Add(1) == int64(*drainAfter) {
+				drainOnce.Do(func() {
+					signaled.Store(true)
+					fmt.Fprintf(os.Stderr, "loadtest: %d jobs done — SIGTERM pid %d (drain crossing)\n", *drainAfter, *drainPid)
+					if err := syscall.Kill(*drainPid, syscall.SIGTERM); err != nil {
+						fmt.Fprintf(os.Stderr, "loadtest: SIGTERM failed: %v\n", err)
+					}
+				})
 			}
 			mu.Lock()
 			latencies = append(latencies, lat)
@@ -86,11 +124,16 @@ func main() {
 	elapsed := time.Since(start)
 
 	// Lost-job check: every accepted job is still known to the server.
+	// In drain mode the server is gone by now — there, "not lost" means
+	// every accepted job came back terminal, which SubmitWait already
+	// guaranteed for each entry of ids.
 	lost := 0
-	for _, id := range ids {
-		if _, err := c.Get(context.Background(), id); err != nil {
-			lost++
-			fmt.Fprintf(os.Stderr, "loadtest: job %s lost: %v\n", id, err)
+	if !drainMode {
+		for _, id := range ids {
+			if _, err := c.Get(context.Background(), id); err != nil {
+				lost++
+				fmt.Fprintf(os.Stderr, "loadtest: job %s lost: %v\n", id, err)
+			}
 		}
 	}
 
@@ -98,6 +141,10 @@ func main() {
 	fmt.Printf("jobs              %d submitted, %d done, %d failed, %d lost\n",
 		*total, done, failed.Load(), lost)
 	fmt.Printf("cached            %d\n", cached.Load())
+	if drainMode {
+		fmt.Printf("drain crossing    %d clean draining rejections, %d post-drain connection errors\n",
+			drained.Load(), refused.Load())
+	}
 	fmt.Printf("wall time         %v (%.1f jobs/s)\n",
 		elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds())
 	if done > 0 {
@@ -109,7 +156,20 @@ func main() {
 			pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
 			pct(0.99).Round(time.Millisecond), latencies[done-1].Round(time.Millisecond))
 	}
-	if failed.Load() > 0 || lost > 0 || done != *total {
+	switch {
+	case failed.Load() > 0 || lost > 0:
+		os.Exit(1)
+	case drainMode && drained.Load() == 0:
+		fmt.Fprintln(os.Stderr, "loadtest: drain crossing saw no clean draining rejection")
+		os.Exit(1)
+	case !drainMode && done != *total:
 		os.Exit(1)
 	}
+}
+
+// isProblem reports whether err is a typed service problem (of any
+// slug), as opposed to a transport error.
+func isProblem(err error) bool {
+	var p *jobs.Problem
+	return errors.As(err, &p)
 }

@@ -43,9 +43,17 @@ func main() {
 		remote     = flag.String("remote", "", "submit the job to this sramserverd base URL instead of estimating locally")
 		distribute = flag.Bool("distribute", false, "with -remote: shard the job across the server's registered workers")
 		idemKey    = flag.String("idempotency-key", "", "with -remote: Idempotency-Key for at-most-once submission")
+		watchClu   = flag.Bool("watch-cluster", false, "with -remote: render the live fleet dashboard (GET /v1/cluster + global event stream) instead of submitting a job")
 	)
 	flag.Parse()
 
+	if *watchClu {
+		if *remote == "" {
+			fatal(errors.New("-watch-cluster needs -remote (the dashboard reads the server's /v1/cluster)"))
+		}
+		watchCluster(*remote)
+		return
+	}
 	if *remote != "" {
 		runRemote(*remote, remoteJob{
 			workload: *metricName, method: *methodName,

@@ -16,23 +16,33 @@
 // Events on /v1/jobs/{id}/events (all jobs merged: /v1/events), a
 // watchdog turns mid-run statistical pathologies into health.* events,
 // and the last -event-ring events per job form a flight recorder dumped
-// to -flight-dir on job failure, watchdog alert, or SIGQUIT.
+// to -flight-dir on job failure, watchdog alert, or SIGQUIT. With
+// -alert-profile the first watchdog alert of each kind additionally
+// captures pprof CPU+heap profiles into -flight-dir. Logs are
+// structured (log/slog) with -log-format text|json and carry
+// job/lease/worker/trace correlation fields.
 //
 // With -dist the server also acts as the distributed coordinator:
 // sramworkerd workers poll /v1/dist for chunk-range leases, and jobs
 // submitted with "distribute": true are sharded across them — the
-// folded result is bit-identical to a single-node run. -result-cache N
-// adds a content-addressed result cache so a repeat of an identical
+// folded result is bit-identical to a single-node run. Workers report
+// their metrics and health on lease renewals; the coordinator
+// republishes them per-worker and cluster-aggregated at /metrics and
+// GET /v1/cluster, and stitches worker-uploaded spans into each job's
+// trace (GET /v1/jobs/{id}/trace spans the whole fleet). -result-cache
+// N adds a content-addressed result cache so a repeat of an identical
 // request (same module version, workload, options, seed) returns
 // instantly with zero new simulations.
 //
 // SIGINT/SIGTERM drains gracefully: new submissions are rejected with
-// 503, running jobs get -drain-timeout to finish, then are cancelled
-// (their partial simulation cost is preserved in the final snapshot).
-// The -telemetry JSONL event log and the -trace span file are flushed
-// after the drain completes, so the last events of in-flight jobs are
-// never lost. SIGQUIT does not kill the server: it dumps flight
-// recorders and keeps serving.
+// 503 while the listener stays up (drain-crossing clients see clean
+// problem+json rejections, not connection errors), running jobs get
+// -drain-timeout to finish, then are cancelled (their partial
+// simulation cost is preserved in the final snapshot). The -telemetry
+// JSONL event log and the -trace span file are flushed after the drain
+// completes, so the last events of in-flight jobs are never lost.
+// SIGQUIT does not kill the server: it dumps flight recorders and keeps
+// serving.
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"repro"
 	"repro/internal/dist"
 	"repro/internal/jobs"
+	"repro/internal/obslog"
 	"repro/internal/telemetry"
 )
 
@@ -64,11 +75,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write the server's span trace to this file on shutdown (Chrome trace JSON, or JSONL with a .jsonl suffix)")
 	eventRing := flag.Int("event-ring", 256, "per-job live-event ring size (SSE resume window and flight recorder; 0 disables event streaming)")
 	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (JSONL) into this directory on job failure, watchdog alert, or SIGQUIT")
+	alertProfile := flag.Duration("alert-profile", 0, "capture pprof CPU (this long) + heap profiles into -flight-dir on the first watchdog alert of each kind (0 disables)")
 	retention := flag.Duration("retention", 0, "garbage-collect terminal jobs this long after they finish (0 = keep forever)")
 	heartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "SSE comment-heartbeat period")
 	distOn := flag.Bool("dist", false, "serve the /v1/dist coordinator so sramworkerd workers can run jobs submitted with \"distribute\": true")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "distributed lease time-to-live (an unrenewed lease requeues its range)")
 	resultCache := flag.Int("result-cache", 0, "content-addressed result-cache capacity (0 disables; repeat submissions of an identical request return instantly)")
+	logFormat := flag.String("log-format", obslog.FormatText, "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
 	cfg := serverConfig{
@@ -76,8 +90,10 @@ func main() {
 		jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
 		teleOut: *teleOut, traceOut: *traceOut,
 		eventRing: *eventRing, flightDir: *flightDir,
-		retention: *retention, heartbeat: *heartbeat,
+		alertProfile: *alertProfile,
+		retention:    *retention, heartbeat: *heartbeat,
 		dist: *distOn, leaseTTL: *leaseTTL, resultCache: *resultCache,
+		logFormat: *logFormat, logLevel: *logLevel,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sramserverd:", err)
@@ -92,14 +108,21 @@ type serverConfig struct {
 	teleOut, traceOut        string
 	eventRing                int
 	flightDir                string
+	alertProfile             time.Duration
 	retention                time.Duration
 	heartbeat                time.Duration
 	dist                     bool
 	leaseTTL                 time.Duration
 	resultCache              int
+	logFormat, logLevel      string
 }
 
 func run(cfg serverConfig) error {
+	log, err := obslog.New(os.Stderr, cfg.logFormat, cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	log = log.With("service", "sramserverd")
 	// The CLI bundle owns the JSONL event sink and the span-trace file;
 	// closing it after the drain is what guarantees the flush.
 	cli, err := telemetry.StartCLI(cfg.teleOut, cfg.traceOut, "", false)
@@ -121,18 +144,20 @@ func run(cfg serverConfig) error {
 	// API stays at the mux root.
 	var coord *dist.Coordinator
 	mgrCfg := jobs.Config{
-		QueueSize:  cfg.queue,
-		Executors:  cfg.executors,
-		JobTimeout: cfg.jobTimeout,
-		Registry:   reg,
-		EventRing:  cfg.eventRing,
-		FlightDir:  cfg.flightDir,
-		Retention:  cfg.retention,
-		Heartbeat:  cfg.heartbeat,
-		CacheSize:  cfg.resultCache,
+		QueueSize:    cfg.queue,
+		Executors:    cfg.executors,
+		JobTimeout:   cfg.jobTimeout,
+		Registry:     reg,
+		EventRing:    cfg.eventRing,
+		FlightDir:    cfg.flightDir,
+		AlertProfile: cfg.alertProfile,
+		Retention:    cfg.retention,
+		Heartbeat:    cfg.heartbeat,
+		CacheSize:    cfg.resultCache,
+		Log:          log,
 	}
 	if cfg.dist {
-		coord = dist.NewCoordinator(dist.Config{LeaseTTL: cfg.leaseTTL, Registry: reg})
+		coord = dist.NewCoordinator(dist.Config{LeaseTTL: cfg.leaseTTL, Registry: reg, Log: log})
 		mgrCfg.Distributor = coord.Run
 	}
 	mgr := jobs.NewManager(mgrCfg)
@@ -140,6 +165,7 @@ func run(cfg serverConfig) error {
 	mux := http.NewServeMux()
 	if coord != nil {
 		mux.Handle("/v1/dist/", coord.Handler())
+		mux.Handle("/v1/cluster", coord.Handler())
 	}
 	mux.Handle("/", jobs.Handler(mgr))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -166,7 +192,7 @@ func run(cfg serverConfig) error {
 	go func() {
 		for range quitc {
 			paths := mgr.DumpFlight("sigquit")
-			fmt.Fprintf(os.Stderr, "sramserverd: SIGQUIT — %d flight dump(s) written to %s\n", len(paths), cfg.flightDir)
+			log.Info("SIGQUIT flight dump", "dumps", len(paths), "dir", cfg.flightDir)
 		}
 	}()
 
@@ -174,6 +200,8 @@ func run(cfg serverConfig) error {
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("sramserverd: serving %d workloads, %d methods on http://%s\n",
 		len(repro.Workloads()), len(repro.AllMethods()), ln.Addr())
+	log.Info("serving", "addr", ln.Addr().String(),
+		"workloads", len(repro.Workloads()), "dist", cfg.dist)
 
 	select {
 	case err := <-errc:
@@ -183,15 +211,20 @@ func run(cfg serverConfig) error {
 	}
 	stop() // restore default signal handling: a second signal kills hard
 
-	fmt.Fprintf(os.Stderr, "sramserverd: draining (up to %s)\n", cfg.drainTimeout)
+	log.Info("draining", "timeout", cfg.drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
-	// Stop accepting HTTP first so in-flight requests finish, then let
-	// the manager run the queue down (or cancel at the deadline).
-	shutdownErr := srv.Shutdown(drainCtx)
+	// Drain order matters for clients that cross the shutdown boundary:
+	// first flip the manager to draining while the listener is still up,
+	// so new submissions get clean 503 problem+json rejections instead
+	// of connection errors; then wait for queued and running jobs (SSE
+	// streams end when the drain closes the bus); only then shut the
+	// HTTP server down.
+	mgr.BeginDrain()
 	if err := mgr.Drain(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "sramserverd: drain deadline hit, running jobs cancelled")
+		log.Warn("drain deadline hit, running jobs cancelled")
 	}
+	shutdownErr := srv.Shutdown(drainCtx)
 	if coord != nil {
 		coord.Stop()
 	}
@@ -199,11 +232,11 @@ func run(cfg serverConfig) error {
 	// last events of in-flight jobs land in the sink during Drain, and a
 	// flush any earlier would lose them.
 	if err := cli.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "sramserverd: telemetry flush:", err)
+		log.Warn("telemetry flush failed", "error", err.Error())
 	}
 	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
 		return shutdownErr
 	}
-	fmt.Fprintln(os.Stderr, "sramserverd: drained, bye")
+	log.Info("drained, bye")
 	return nil
 }

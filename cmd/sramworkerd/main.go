@@ -7,8 +7,19 @@
 //
 //	sramworkerd -coordinator http://host:8080 -id worker-a
 //
+// The worker carries its own observability plane. Each lease is
+// evaluated under the trace context the coordinator granted and the
+// finished spans upload with the result, so the job's stitched trace
+// spans the whole fleet. Lease renewals federate the worker's metrics
+// and health alerts back to the coordinator. Locally, -event-ring keeps
+// a flight-recorder ring of the worker's last events, dumped to
+// -flight-dir on a watchdog alert or SIGQUIT (with -alert-profile, an
+// alert also captures pprof CPU+heap profiles there). Logs are
+// structured (log/slog) behind -log-format text|json.
+//
 // SIGINT/SIGTERM stop the worker after its current chunk; the
-// coordinator reassigns any unfinished lease once it expires.
+// coordinator reassigns any unfinished lease once it expires. SIGQUIT
+// dumps the flight recorder and keeps working.
 package main
 
 import (
@@ -19,11 +30,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obslog"
 	"repro/internal/telemetry"
 )
 
@@ -33,6 +47,11 @@ func main() {
 	cores := flag.Int("cores", runtime.NumCPU(), "evaluation cores reported to the coordinator")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle delay between lease polls")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus text) on this address")
+	eventRing := flag.Int("event-ring", 256, "flight-recorder ring size (retained worker events; 0 disables the event plane)")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (JSONL) into this directory on watchdog alert or SIGQUIT")
+	alertProfile := flag.Duration("alert-profile", 0, "capture pprof CPU (this long) + heap profiles into -flight-dir on the first watchdog alert of each kind (0 disables)")
+	logFormat := flag.String("log-format", obslog.FormatText, "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
 	if *id == "" {
@@ -43,14 +62,75 @@ func main() {
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
+	log, err := obslog.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sramworkerd:", err)
+		os.Exit(1)
+	}
+	log = log.With("service", "sramworkerd", "worker", *id)
+
 	reg := telemetry.New()
+	// The event plane: a ring bus on the worker's registry. The health
+	// watchdog evaluates it mid-lease, RunWorker forwards its health.*
+	// alerts to the coordinator on renewals, and the retained ring is
+	// the flight recorder dumped below.
+	var bus *telemetry.Bus
+	if *eventRing > 0 {
+		bus = telemetry.NewBus(*eventRing)
+		reg.SetBus(bus)
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sramworkerd:", err)
+			os.Exit(1)
+		}
+	}
+	dump := func(reason string) string {
+		if bus == nil || *flightDir == "" {
+			return ""
+		}
+		name := fmt.Sprintf("worker-%s-%s-%s.jsonl",
+			sanitize(*id), sanitize(reason), time.Now().UTC().Format("20060102T150405.000000000"))
+		path := filepath.Join(*flightDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Warn("flight dump failed", "error", err.Error())
+			return ""
+		}
+		defer f.Close()
+		if err := bus.WriteJSONL(f); err != nil {
+			log.Warn("flight dump failed", "error", err.Error())
+			return ""
+		}
+		return path
+	}
+	profiler := telemetry.NewProfiler(*flightDir, *alertProfile)
+	if *alertProfile <= 0 {
+		profiler = nil
+	}
+	// The watchdog turns the worker's own statistical pathologies into
+	// health.* events (forwarded to the coordinator's firehose via the
+	// renew heartbeat) and snapshots the flight ring + profiles locally.
+	watchdog := telemetry.StartWatchdog(reg, telemetry.WatchdogConfig{
+		OnAlert: func(a telemetry.Alert) {
+			log.Warn("watchdog alert", "kind", a.Kind, "detail", a.Detail)
+			if path := dump("alert-" + a.Kind); path != "" {
+				log.Info("flight dump written", "path", path)
+			}
+			if profiler != nil {
+				go profiler.Capture("worker-" + sanitize(*id) + "-" + a.Kind)
+			}
+		},
+	})
+	defer watchdog.Stop()
+
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.MetricsHandler())
 		go func() {
 			srv := &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "sramworkerd: debug server:", err)
+				log.Warn("debug server failed", "error", err.Error())
 			}
 		}()
 	}
@@ -58,17 +138,46 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGQUIT dumps the flight recorder and keeps working, mirroring
+	// sramserverd.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			if path := dump("sigquit"); path != "" {
+				log.Info("SIGQUIT flight dump", "path", path)
+			} else {
+				log.Info("SIGQUIT flight dump skipped (no -flight-dir or -event-ring)")
+			}
+		}
+	}()
+
 	fmt.Printf("sramworkerd: %s polling %s (%d cores)\n", *id, *coordinator, *cores)
-	err := dist.RunWorker(ctx, dist.WorkerConfig{
+	err = dist.RunWorker(ctx, dist.WorkerConfig{
 		Coordinator:  *coordinator,
 		ID:           *id,
 		Cores:        *cores,
 		PollInterval: *poll,
 		Registry:     reg,
+		Log:          log,
 	})
 	if err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "sramworkerd:", err)
+		log.Error("worker failed", "error", err.Error())
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "sramworkerd: stopped")
+	log.Info("stopped")
+}
+
+// sanitize keeps file-name components portable: anything outside
+// [a-zA-Z0-9._-] becomes '-'.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
 }

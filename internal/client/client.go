@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dist"
 	"repro/internal/jobs"
 )
 
@@ -158,6 +159,15 @@ func (c *Client) Workloads(ctx context.Context) ([]Workload, error) {
 	var ws []Workload
 	_, err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, nil, &ws)
 	return ws, err
+}
+
+// Cluster returns the coordinator's fleet summary (GET /v1/cluster):
+// per-worker status, lease counters and the folded sampling rate. The
+// endpoint exists only when the server runs with -dist.
+func (c *Client) Cluster(ctx context.Context) (dist.ClusterSummary, error) {
+	var sum dist.ClusterSummary
+	_, err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, nil, &sum)
+	return sum, err
 }
 
 // Event is one frame of a server-sent event stream.

@@ -2,8 +2,12 @@ package dist
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -13,6 +17,7 @@ import (
 	"repro"
 	"repro/internal/jobs"
 	"repro/internal/mc"
+	"repro/internal/obslog"
 	"repro/internal/telemetry"
 )
 
@@ -29,9 +34,13 @@ type Config struct {
 	// 16; the split is chunk-aligned, so small jobs yield fewer).
 	RangeTarget int
 	// Registry, when non-nil, receives coordinator metrics under scope
-	// "dist", per-worker health under "dist_worker_<id>", and
-	// dist.worker.* events on its bus.
+	// "dist", per-worker health and federated worker metrics under
+	// "dist_worker_<id>", cluster aggregates under "cluster", and
+	// dist.worker.* / worker.health.* events on its bus.
 	Registry *telemetry.Registry
+	// Log, when non-nil, receives structured records for the lease
+	// lifecycle, carrying job/lease/worker/trace correlation fields.
+	Log *obslog.Logger
 }
 
 // Coordinator owns the shard queue and lease table for distributed
@@ -39,6 +48,7 @@ type Config struct {
 // Handler on the server mux; Stop it after the manager drains.
 type Coordinator struct {
 	cfg Config
+	log *obslog.Logger
 
 	mu      sync.Mutex
 	jobs    map[string]*shardJob
@@ -71,6 +81,12 @@ type shardJob struct {
 	err       error
 	closed    bool
 	done      chan struct{}
+
+	// traceID identifies the job's distributed trace; span is the
+	// coordinator's "dist" span on the job trace, under which each
+	// lease's span (and, below that, the worker's grafted spans) nests.
+	traceID string
+	span    *telemetry.Span
 }
 
 // lease is one granted range.
@@ -80,15 +96,26 @@ type lease struct {
 	r       repro.ShardRange
 	worker  string
 	expires time.Time
+	// span is the coordinator-side span covering the lease, from grant
+	// to result/fail/expiry; the worker's uploaded spans graft under it.
+	span *telemetry.Span
 }
 
-// workerState is one worker's health record.
+// workerState is one worker's health record and last federation report.
 type workerState struct {
 	WorkerInfo
 	lastSeen                   time.Time
 	active                     int
 	completed, failed, expired int64
 	samples, sims              int64
+
+	// Federation state from the worker's renew/result heartbeats.
+	points      []telemetry.MetricPoint
+	simsPerSec  float64
+	clockOffset int64
+	clockRTT    int64
+	health      []HealthAlert
+	lastAlertUS int64
 }
 
 // NewCoordinator starts a coordinator (and its lease sweeper); call
@@ -105,6 +132,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 	}
 	c := &Coordinator{
 		cfg:     cfg,
+		log:     cfg.Log.With("component", "dist"),
 		jobs:    make(map[string]*shardJob),
 		leases:  make(map[string]*lease),
 		workers: make(map[string]*workerState),
@@ -130,6 +158,18 @@ func (c *Coordinator) Stop() {
 	<-c.swept
 }
 
+// traceIDFor derives the job's 16-byte trace id. Content-addressing it
+// to the job id keeps it stable across coordinator restarts mid-job.
+func traceIDFor(jobID string) string {
+	sum := sha256.Sum256([]byte("repro-dist-trace:" + jobID))
+	return hex.EncodeToString(sum[:16])
+}
+
+// spanIDHex renders a span id in the traceparent's 8-byte hex form.
+func spanIDHex(id int64) string {
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
 // Run executes one Distribute job: shard, wait for workers to lease and
 // return every range, fold. It is the jobs.Config.Distributor hook —
 // blocking, one call per job, cancelled by the job's own context. The
@@ -142,21 +182,32 @@ func (c *Coordinator) Run(ctx context.Context, job *jobs.Job) (*repro.Result, er
 		return nil, err
 	}
 	ranges := repro.SplitRanges(total, c.cfg.RangeTarget, 0)
+	// The coordinator's half of the stitched trace: a "dist" root span
+	// on the job's own trace, one child span per lease.
+	_, distSpan := telemetry.StartSpan(ctx, job.Telemetry(), "dist")
+	distSpan.SetAttr("ranges", len(ranges))
+	distSpan.SetAttr("total", total)
+	defer distSpan.End()
 	sj := &shardJob{
 		id: job.ID(), job: job, spec: spec, total: total,
 		pending:   ranges,
 		attempts:  make(map[repro.ShardRange]int),
 		remaining: total,
 		done:      make(chan struct{}),
+		traceID:   traceIDFor(job.ID()),
+		span:      distSpan,
 	}
+	distSpan.SetAttr("trace_id", sj.traceID)
 	c.mu.Lock()
 	c.jobs[sj.id] = sj
 	c.order = append(c.order, sj.id)
 	c.gaugesLocked()
 	c.mu.Unlock()
 	job.Telemetry().Emit("dist.job.start", map[string]any{
-		"job": sj.id, "total": total, "ranges": len(ranges),
+		"job": sj.id, "total": total, "ranges": len(ranges), "trace": sj.traceID,
 	})
+	c.log.Info("distributed job sharded",
+		"job", sj.id, "trace", sj.traceID, "total", total, "ranges", len(ranges))
 	start := time.Now()
 	defer c.drop(sj)
 
@@ -170,6 +221,7 @@ func (c *Coordinator) Run(ctx context.Context, job *jobs.Job) (*repro.Result, er
 	prefix, chunks := sj.prefix, sj.chunks
 	c.mu.Unlock()
 	if err != nil {
+		c.log.Warn("distributed job failed", "job", sj.id, "trace", sj.traceID, "error", err.Error())
 		return nil, err
 	}
 	res, foldErr := repro.FoldPartials(opts, *prefix, chunks, time.Since(start).Seconds())
@@ -179,6 +231,9 @@ func (c *Coordinator) Run(ctx context.Context, job *jobs.Job) (*repro.Result, er
 	job.Telemetry().Emit("dist.job.done", map[string]any{
 		"job": sj.id, "pf": res.Pf, "sims": res.TotalSims,
 	})
+	c.log.Info("distributed job folded",
+		"job", sj.id, "trace", sj.traceID, "pf", res.Pf, "sims", res.TotalSims,
+		"elapsed_s", time.Since(start).Seconds())
 	return res, nil
 }
 
@@ -199,6 +254,7 @@ func (c *Coordinator) drop(sj *shardJob) {
 			if ws := c.workers[l.worker]; ws != nil {
 				ws.active--
 			}
+			endLeaseSpan(l, "orphaned")
 			delete(c.leases, id)
 		}
 	}
@@ -207,6 +263,14 @@ func (c *Coordinator) drop(sj *shardJob) {
 		close(sj.done)
 	}
 	c.gaugesLocked()
+}
+
+// endLeaseSpan closes a lease's coordinator-side span with its outcome.
+func endLeaseSpan(l *lease, outcome string) {
+	if outcome != "" {
+		l.span.SetAttr("outcome", outcome)
+	}
+	l.span.End()
 }
 
 // finishLocked fails a job; callers hold c.mu.
@@ -240,6 +304,7 @@ func (c *Coordinator) touchWorkerLocked(info WorkerInfo) *workerState {
 		c.cfg.Registry.Emit("dist.worker.joined", map[string]any{
 			"worker": info.ID, "cores": info.Cores,
 		})
+		c.log.Info("worker joined", "worker", info.ID, "cores", info.Cores)
 	}
 	if info.Cores > 0 {
 		ws.Cores = info.Cores
@@ -262,6 +327,102 @@ func (c *Coordinator) gaugesLocked() {
 // workerScope returns the per-worker metrics scope.
 func (c *Coordinator) workerScope(id string) *telemetry.Scope {
 	return c.cfg.Registry.Scope("dist_worker_" + id)
+}
+
+// sortedWorkersLocked returns the worker records ordered by ID, so
+// every federation fold and listing is deterministic. Callers hold c.mu.
+func (c *Coordinator) sortedWorkersLocked() []*workerState {
+	out := make([]*workerState, 0, len(c.workers))
+	for _, ws := range c.workers {
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ingestReportLocked stores a worker's federation heartbeat (metrics
+// snapshot and/or health alerts), republishes the metrics under the
+// per-worker scope and refreshes the cluster aggregates. It returns the
+// alerts not yet forwarded to the event stream (emit them after
+// releasing c.mu). Callers hold c.mu.
+func (c *Coordinator) ingestReportLocked(ws *workerState, points []telemetry.MetricPoint, alerts []HealthAlert) []HealthAlert {
+	if len(points) > 0 {
+		ws.points = points
+		scope := c.workerScope(ws.ID)
+		for _, p := range points {
+			if p.Scope == "progress" && p.Name == "sims_per_sec" {
+				ws.simsPerSec = p.Value
+			}
+			name := p.Scope + "_" + p.Name
+			switch p.Kind {
+			case "counter", "gauge":
+				scope.Gauge(name).Set(p.Value)
+			case "histogram":
+				scope.Gauge(name + "_count").Set(float64(p.Count))
+				if p.Count > 0 {
+					scope.Gauge(name + "_p50").Set(p.P50)
+					scope.Gauge(name + "_p99").Set(p.P99)
+				}
+			}
+		}
+		c.aggregateClusterLocked()
+	}
+	var fresh []HealthAlert
+	if len(alerts) > 0 {
+		ws.health = alerts
+		last := ws.lastAlertUS
+		for _, a := range alerts {
+			if a.UnixUS > ws.lastAlertUS {
+				fresh = append(fresh, a)
+			}
+			if a.UnixUS > last {
+				last = a.UnixUS
+			}
+		}
+		ws.lastAlertUS = last
+	}
+	return fresh
+}
+
+// aggregateClusterLocked folds the workers' reported counters into the
+// "cluster" scope: every federated counter sums across workers into a
+// gauge of the same scope_name, plus the fleet's folded sampling rate.
+// Workers are folded in ID order so the float sums are deterministic.
+// Callers hold c.mu.
+func (c *Coordinator) aggregateClusterLocked() {
+	scope := c.cfg.Registry.Scope("cluster")
+	sums := make(map[string]float64)
+	var names []string
+	rate := 0.0
+	for _, ws := range c.sortedWorkersLocked() {
+		rate += ws.simsPerSec
+		for _, p := range ws.points {
+			if p.Kind != "counter" {
+				continue
+			}
+			name := p.Scope + "_" + p.Name
+			if _, ok := sums[name]; !ok {
+				names = append(names, name)
+			}
+			sums[name] += p.Value
+		}
+	}
+	scope.Gauge("workers").Set(float64(len(c.workers)))
+	scope.Gauge("sims_per_sec").Set(rate)
+	for _, name := range names {
+		scope.Gauge(name).Set(sums[name])
+	}
+}
+
+// emitWorkerAlerts forwards a worker's fresh health alerts to the
+// registry's event stream (the global SSE firehose) and the log.
+func (c *Coordinator) emitWorkerAlerts(workerID string, fresh []HealthAlert) {
+	for _, a := range fresh {
+		c.cfg.Registry.Emit("worker.health."+a.Kind, map[string]any{
+			"worker": workerID, "kind": a.Kind, "detail": a.Detail,
+		})
+		c.log.Warn("worker health alert", "worker", workerID, "kind", a.Kind, "detail", a.Detail)
+	}
 }
 
 // sweep expires unrenewed leases, requeueing their ranges.
@@ -292,6 +453,7 @@ func (c *Coordinator) sweepOnce(now time.Time) {
 			continue
 		}
 		delete(c.leases, id)
+		endLeaseSpan(l, "expired")
 		c.expired.Inc()
 		if ws := c.workers[l.worker]; ws != nil {
 			ws.active--
@@ -307,6 +469,8 @@ func (c *Coordinator) sweepOnce(now time.Time) {
 			"job": l.jobID, "lease": id, "worker": l.worker,
 			"lo": l.r.Lo, "hi": l.r.Hi,
 		}})
+		c.log.Warn("lease expired", "job", l.jobID, "lease", id, "worker", l.worker,
+			"lo", l.r.Lo, "hi", l.r.Hi)
 	}
 	c.gaugesLocked()
 	c.mu.Unlock()
@@ -315,8 +479,8 @@ func (c *Coordinator) sweepOnce(now time.Time) {
 	}
 }
 
-// Handler serves the worker protocol; mount it at /v1/dist/ on the
-// server mux.
+// Handler serves the worker protocol and the fleet summary; mount it at
+// /v1/dist/ (and /v1/cluster) on the server mux.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/dist/poll", c.handlePoll)
@@ -324,6 +488,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/dist/leases/{id}/result", c.handleResult)
 	mux.HandleFunc("POST /v1/dist/leases/{id}/fail", c.handleFail)
 	mux.HandleFunc("GET /v1/dist/workers", c.handleWorkers)
+	mux.HandleFunc("GET /v1/cluster", c.handleCluster)
 	return mux
 }
 
@@ -349,6 +514,13 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			jobID: id, r: rg, worker: ws.ID,
 			expires: time.Now().Add(c.cfg.LeaseTTL),
 		}
+		// The lease's coordinator-side span: grant to completion. Worker
+		// spans graft under it at result upload.
+		l.span = sj.span.Child("lease")
+		l.span.SetAttr("lease", l.id)
+		l.span.SetAttr("worker", ws.ID)
+		l.span.SetAttr("lo", rg.Lo)
+		l.span.SetAttr("hi", rg.Hi)
 		c.leases[l.id] = l
 		ws.active++
 		c.granted.Inc()
@@ -356,6 +528,13 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			ID: l.id, Job: id, Spec: sj.spec, Range: rg, Total: sj.total,
 			TTLSeconds: c.cfg.LeaseTTL.Seconds(),
 			NeedPrefix: sj.prefix == nil,
+			Trace: TraceContext{
+				TraceID:      sj.traceID,
+				ParentSpanID: spanIDHex(l.span.ID()),
+				Job:          id,
+				Lease:        l.id,
+			},
+			CoordUnixUS: time.Now().UnixMicro(),
 		}
 		jobReg = sj.job.Telemetry()
 		break
@@ -370,17 +549,30 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 		"job": out.Job, "lease": out.ID, "worker": req.Worker.ID,
 		"lo": out.Range.Lo, "hi": out.Range.Hi,
 	})
+	c.log.Debug("lease granted", "job", out.Job, "lease", out.ID, "worker", req.Worker.ID,
+		"trace", out.Trace.TraceID, "lo", out.Range.Lo, "hi", out.Range.Hi)
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// The renew body is the federation heartbeat; tolerate the empty
+	// body older workers send.
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeProblem(w, http.StatusBadRequest, "invalid-request", "dist: bad renew body: "+err.Error())
+		return
+	}
+	var fresh []HealthAlert
+	var workerID string
 	c.mu.Lock()
 	l := c.leases[id]
 	if l != nil {
 		l.expires = time.Now().Add(c.cfg.LeaseTTL)
 		if ws := c.workers[l.worker]; ws != nil {
 			ws.lastSeen = time.Now()
+			fresh = c.ingestReportLocked(ws, req.Metrics, req.Alerts)
+			workerID = ws.ID
 		}
 	}
 	c.mu.Unlock()
@@ -388,7 +580,11 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		writeProblem(w, http.StatusGone, "lease-lost", "dist: lease "+id+" is no longer held")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]float64{"ttl_seconds": c.cfg.LeaseTTL.Seconds()})
+	c.emitWorkerAlerts(workerID, fresh)
+	writeJSON(w, http.StatusOK, RenewResponse{
+		TTLSeconds:  c.cfg.LeaseTTL.Seconds(),
+		CoordUnixUS: time.Now().UnixMicro(),
+	})
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -412,6 +608,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		if ws != nil {
 			ws.active--
 		}
+		endLeaseSpan(l, "orphaned")
 		c.gaugesLocked()
 		c.mu.Unlock()
 		writeProblem(w, http.StatusGone, "lease-lost", "dist: job "+l.jobID+" is no longer running")
@@ -457,15 +654,21 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	for _, ch := range up.Chunks {
 		sims += ch.Sims
 	}
+	var fresh []HealthAlert
 	if ws != nil {
 		ws.active--
 		ws.completed++
 		ws.samples += int64(l.r.Count())
 		ws.sims += sims
+		if up.TraceStartUnixUS != 0 {
+			ws.clockOffset = up.ClockOffsetUS
+			ws.clockRTT = up.ClockRTTUS
+		}
 		s := c.workerScope(l.worker)
 		s.Counter("leases_completed_total").Inc()
 		s.Counter("samples_total").Add(int64(l.r.Count()))
 		s.Counter("sims_total").Add(sims)
+		fresh = c.ingestReportLocked(ws, up.Metrics, nil)
 	}
 	sj.chunks = append(sj.chunks, up.Chunks...)
 	sj.remaining -= l.r.Count()
@@ -478,11 +681,49 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	jobReg := sj.job.Telemetry()
 	c.gaugesLocked()
 	c.mu.Unlock()
+	l.span.SetAttr("sims", sims)
+	endLeaseSpan(l, "completed")
+	grafted := c.stitchSpans(jobReg.TraceData(), l, &up)
+	c.emitWorkerAlerts(l.worker, fresh)
 	jobReg.Emit("dist.lease.result", map[string]any{
 		"job": l.jobID, "lease": id, "worker": l.worker,
 		"lo": l.r.Lo, "hi": l.r.Hi, "sims": sims, "complete": finished,
 	})
+	c.log.Debug("lease result accepted", "job", l.jobID, "lease", id, "worker", l.worker,
+		"sims", sims, "spans", grafted, "complete", finished)
 	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+}
+
+// stitchSpans grafts a worker's uploaded spans into the job's trace
+// under the finished lease span, converting the worker's trace clock to
+// the job trace's: the worker anchors its trace start to its own wall
+// clock (TraceStartUnixUS) and reports its round-trip offset estimate
+// to the coordinator's wall clock, so
+//
+//	job_trace_us = TraceStartUnixUS + ClockOffsetUS + span.StartUS
+//	             − job_trace_start_unix_us
+//
+// Graft then clamps every span into the lease span's own window, which
+// bounds any residual clock-offset error by the lease's true lifetime
+// and keeps the stitched trace monotonic. Returns the grafted count.
+func (c *Coordinator) stitchSpans(trace *telemetry.Trace, l *lease, up *ResultUpload) int {
+	if trace == nil || len(up.Spans) == 0 || up.TraceStartUnixUS == 0 {
+		return 0
+	}
+	shift := up.TraceStartUnixUS + up.ClockOffsetUS - trace.StartUnixUS()
+	shifted := make([]telemetry.SpanSnapshot, 0, len(up.Spans))
+	for _, s := range up.Spans {
+		attrs := make(map[string]any, len(s.Attrs)+2)
+		for k, v := range s.Attrs {
+			attrs[k] = v
+		}
+		attrs["worker"] = l.worker
+		attrs["lease"] = l.id
+		s.Attrs = attrs
+		s.StartUS += shift
+		shifted = append(shifted, s)
+	}
+	return trace.Graft(l.span, shifted, l.span.StartUS(), l.span.EndUS())
 }
 
 // rejectLocked refuses a lease's upload: the range goes back to the
@@ -498,6 +739,9 @@ func (c *Coordinator) rejectLocked(w http.ResponseWriter, sj *shardJob, l *lease
 	c.requeueLocked(sj, l.r, detail)
 	c.gaugesLocked()
 	c.mu.Unlock()
+	endLeaseSpan(l, "rejected")
+	c.log.Warn("lease upload rejected", "job", l.jobID, "lease", l.id, "worker", l.worker,
+		"status", status, "detail", detail)
 	writeProblem(w, status, slug, detail)
 }
 
@@ -516,6 +760,7 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	delete(c.leases, id)
+	endLeaseSpan(l, "failed")
 	sj := c.jobs[l.jobID]
 	ws := c.workers[l.worker]
 	if ws != nil {
@@ -529,24 +774,63 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	}
 	c.gaugesLocked()
 	c.mu.Unlock()
+	c.log.Warn("lease failed", "job", l.jobID, "lease", id, "worker", l.worker, "error", up.Error)
 	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+}
+
+// statusLocked renders one worker's wire status; callers hold c.mu.
+func statusLocked(ws *workerState) WorkerStatus {
+	return WorkerStatus{
+		ID: ws.ID, Cores: ws.Cores,
+		LastSeen:  ws.lastSeen.UTC().Format(time.RFC3339Nano),
+		Active:    ws.active,
+		Completed: ws.completed, Failed: ws.failed, Expired: ws.expired,
+		Samples: ws.samples, Sims: ws.sims,
+		SimsPerSec:    ws.simsPerSec,
+		ClockOffsetUS: ws.clockOffset, ClockRTTUS: ws.clockRTT,
+		Health: ws.health,
+	}
 }
 
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	out := make([]WorkerStatus, 0, len(c.workers))
-	for _, ws := range c.workers {
-		out = append(out, WorkerStatus{
-			ID: ws.ID, Cores: ws.Cores,
-			LastSeen:  ws.lastSeen.UTC().Format(time.RFC3339Nano),
-			Active:    ws.active,
-			Completed: ws.completed, Failed: ws.failed, Expired: ws.expired,
-			Samples: ws.samples, Sims: ws.sims,
-		})
+	for _, ws := range c.sortedWorkersLocked() {
+		out = append(out, statusLocked(ws))
 	}
 	c.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	writeJSON(w, http.StatusOK, out)
+}
+
+// Cluster returns the coordinator's current fleet summary — what
+// GET /v1/cluster serves and the -watch-cluster dashboard renders.
+func (c *Coordinator) Cluster() ClusterSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sum := ClusterSummary{
+		Workers:         make([]WorkerStatus, 0, len(c.workers)),
+		ActiveLeases:    len(c.leases),
+		DistJobs:        len(c.jobs),
+		LeasesGranted:   c.granted.Value(),
+		LeasesCompleted: c.completed.Value(),
+		LeasesExpired:   c.expired.Value(),
+		LeasesFailed:    c.failed.Value(),
+		GeneratedUnixUS: time.Now().UnixMicro(),
+	}
+	for _, sj := range c.jobs {
+		sum.PendingRanges += len(sj.pending)
+	}
+	for _, ws := range c.sortedWorkersLocked() {
+		sum.Workers = append(sum.Workers, statusLocked(ws))
+		sum.SimsPerSec += ws.simsPerSec
+		sum.Samples += ws.samples
+		sum.Sims += ws.sims
+	}
+	return sum
+}
+
+func (c *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Cluster())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -54,6 +54,7 @@ type harness struct {
 	mgr   *jobs.Manager
 	coord *Coordinator
 	srv   *httptest.Server
+	reg   *telemetry.Registry
 }
 
 func newHarness(t *testing.T, cfg Config) *harness {
@@ -69,6 +70,7 @@ func newHarness(t *testing.T, cfg Config) *harness {
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/v1/dist/", coord.Handler())
+	mux.Handle("/v1/cluster", coord.Handler())
 	mux.Handle("/", jobs.Handler(mgr))
 	srv := httptest.NewServer(mux)
 	t.Cleanup(func() {
@@ -78,7 +80,7 @@ func newHarness(t *testing.T, cfg Config) *harness {
 		mgr.Drain(ctx)
 		coord.Stop()
 	})
-	return &harness{mgr: mgr, coord: coord, srv: srv}
+	return &harness{mgr: mgr, coord: coord, srv: srv, reg: reg}
 }
 
 // startWorkers launches n in-process workers against the harness and

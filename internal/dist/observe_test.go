@@ -1,0 +1,262 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// TestStitchedTrace runs a distributed job and checks the cluster-wide
+// trace: the job trace carries the coordinator's "dist" root, one
+// "lease" child per grant, and — grafted under each completed lease —
+// the worker's own span tree, clock-normalized and clamped so the
+// stitched trace stays monotonic.
+func TestStitchedTrace(t *testing.T) {
+	h := newHarness(t, Config{RangeTarget: 4, LeaseTTL: 5 * time.Second})
+	h.startWorkers(t, 2)
+	job := runDistributed(t, h, jobs.Request{Workload: "slow", Method: "g-s", Seed: 61, K: 200, N: 3000})
+
+	snaps := job.Telemetry().TraceData().Snapshot()
+	byID := map[int64]telemetry.SpanSnapshot{}
+	var dist telemetry.SpanSnapshot
+	var leases, workerRoots []telemetry.SpanSnapshot
+	for _, s := range snaps {
+		byID[s.ID] = s
+		switch s.Name {
+		case "dist":
+			dist = s
+		case "lease":
+			leases = append(leases, s)
+		case "worker.lease":
+			workerRoots = append(workerRoots, s)
+		}
+	}
+	if dist.ID == 0 {
+		t.Fatal("job trace has no coordinator dist span")
+	}
+	if tid, _ := dist.Attrs["trace_id"].(string); tid != traceIDFor(job.ID()) {
+		t.Fatalf("dist span trace_id = %v, want %s", dist.Attrs["trace_id"], traceIDFor(job.ID()))
+	}
+	if len(leases) == 0 {
+		t.Fatal("job trace has no lease spans")
+	}
+	for _, l := range leases {
+		if l.ParentID != dist.ID {
+			t.Fatalf("lease span %d parented under %d, want dist %d", l.ID, l.ParentID, dist.ID)
+		}
+		if l.Running {
+			t.Fatalf("lease span %d still running after the job finished", l.ID)
+		}
+		if _, ok := l.Attrs["worker"]; !ok {
+			t.Fatalf("lease span missing worker attr: %v", l.Attrs)
+		}
+	}
+	if len(workerRoots) == 0 {
+		t.Fatal("no worker spans were grafted into the job trace")
+	}
+	seenWorkers := map[string]bool{}
+	for _, wspan := range workerRoots {
+		worker, _ := wspan.Attrs["worker"].(string)
+		if worker == "" {
+			t.Fatalf("grafted span missing worker tag: %v", wspan.Attrs)
+		}
+		seenWorkers[worker] = true
+		if _, ok := wspan.Attrs["lease"].(string); !ok {
+			t.Fatalf("grafted span missing lease tag: %v", wspan.Attrs)
+		}
+		if wspan.Running {
+			t.Fatal("grafted worker span still marked running")
+		}
+		parent, ok := byID[wspan.ParentID]
+		if !ok || parent.Name != "lease" {
+			t.Fatalf("grafted worker span parented under %q, want a lease span", parent.Name)
+		}
+		// Monotonicity after clock normalization: the grafted span must
+		// sit inside its enclosing lease span's window.
+		if wspan.StartUS < parent.StartUS || wspan.StartUS+wspan.DurUS > parent.StartUS+parent.DurUS {
+			t.Fatalf("grafted span [%d,%d] escapes lease window [%d,%d]",
+				wspan.StartUS, wspan.StartUS+wspan.DurUS, parent.StartUS, parent.StartUS+parent.DurUS)
+		}
+	}
+	if len(seenWorkers) == 0 {
+		t.Fatal("no worker identities in the stitched trace")
+	}
+
+	// The jobs API serves the stitched result as one Chrome trace.
+	resp, err := http.Get(h.srv.URL + "/v1/jobs/" + job.ID() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var chrome struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("trace endpoint not Chrome JSON: %v", err)
+	}
+	tagged := 0
+	for _, ev := range chrome.TraceEvents {
+		if w, _ := ev.Args["worker"].(string); w != "" {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Fatal("Chrome trace has no worker-tagged events")
+	}
+}
+
+// TestClusterFederation checks the metrics-federation plane after a
+// distributed run: GET /v1/cluster aggregates the fleet, the
+// coordinator registry republishes worker snapshots under per-worker
+// scopes, and cluster-level aggregates exist.
+func TestClusterFederation(t *testing.T) {
+	h := newHarness(t, Config{RangeTarget: 4})
+	h.startWorkers(t, 2)
+	runDistributed(t, h, jobs.Request{Workload: "lin", Method: "g-s", Seed: 62, K: 200, N: 2000})
+
+	resp, err := http.Get(h.srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cluster: status %d", resp.StatusCode)
+	}
+	var sum ClusterSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Workers) != 2 {
+		t.Fatalf("cluster reports %d workers, want 2", len(sum.Workers))
+	}
+	if sum.Samples != 2000 {
+		t.Fatalf("cluster samples = %d, want 2000", sum.Samples)
+	}
+	if sum.LeasesCompleted == 0 || sum.LeasesGranted < sum.LeasesCompleted {
+		t.Fatalf("lease counters inconsistent: granted %d completed %d",
+			sum.LeasesGranted, sum.LeasesCompleted)
+	}
+	if sum.GeneratedUnixUS == 0 {
+		t.Fatal("summary missing generation timestamp")
+	}
+	for i := 1; i < len(sum.Workers); i++ {
+		if sum.Workers[i-1].ID >= sum.Workers[i].ID {
+			t.Fatalf("workers not sorted by ID: %s before %s", sum.Workers[i-1].ID, sum.Workers[i].ID)
+		}
+	}
+	for _, w := range sum.Workers {
+		// Clock estimates come from same-host round trips here; a huge
+		// offset means the normalization math regressed.
+		if w.ClockOffsetUS > 10_000_000 || w.ClockOffsetUS < -10_000_000 {
+			t.Fatalf("worker %s clock offset %dus implausible for same-host", w.ID, w.ClockOffsetUS)
+		}
+	}
+
+	// Federated series: per-worker scopes plus cluster aggregates on the
+	// coordinator registry.
+	var perWorker, cluster bool
+	for _, p := range h.reg.Snapshot() {
+		if strings.HasPrefix(p.Scope, "dist_worker_w") {
+			perWorker = true
+		}
+		if p.Scope == "cluster" && p.Name == "workers" && p.Value >= 2 {
+			cluster = true
+		}
+	}
+	if !perWorker {
+		t.Fatal("no dist_worker_<id> series federated into the coordinator registry")
+	}
+	if !cluster {
+		t.Fatal("cluster scope missing the workers gauge")
+	}
+}
+
+// TestWorkerAlertForwarding checks the health plane: a health.* event on
+// the worker's own bus rides the renewal heartbeat to the coordinator,
+// lands in the worker's status record, and is forwarded to the global
+// event stream exactly once despite being re-sent every heartbeat.
+func TestWorkerAlertForwarding(t *testing.T) {
+	// Short TTL → frequent renewals; slow workload → leases live long
+	// enough to renew at least once.
+	h := newHarness(t, Config{RangeTarget: 2, LeaseTTL: 60 * time.Millisecond, MaxAttempts: 10})
+	h.reg.SetBus(telemetry.NewBus(512))
+	coordSub := h.reg.Bus().Subscribe(256)
+	defer coordSub.Close()
+
+	wreg := telemetry.New()
+	wreg.SetBus(telemetry.NewBus(64))
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		RunWorker(ctx, WorkerConfig{
+			Coordinator:  h.srv.URL,
+			ID:           "alerty",
+			Resolve:      testResolve,
+			PollInterval: 2 * time.Millisecond,
+			Registry:     wreg,
+		})
+	}()
+	t.Cleanup(func() { cancel(); <-workerDone })
+
+	// The worker registers on its first poll; once visible, its health
+	// subscription is live and the synthetic alert cannot be missed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		registered := false
+		for _, w := range workerStatuses(t, h) {
+			registered = registered || w.ID == "alerty"
+		}
+		if registered {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wreg.Emit("health.fake_storm", map[string]any{"kind": "fake_storm", "detail": "synthetic alert"})
+
+	runDistributed(t, h, jobs.Request{Workload: "slow", Method: "g-s", Seed: 63, K: 200, N: 4000})
+
+	var status WorkerStatus
+	for _, w := range workerStatuses(t, h) {
+		if w.ID == "alerty" {
+			status = w
+		}
+	}
+	if len(status.Health) == 0 || status.Health[len(status.Health)-1].Kind != "fake_storm" {
+		t.Fatalf("worker status health = %+v, want the forwarded fake_storm alert", status.Health)
+	}
+	if status.Health[len(status.Health)-1].Detail != "synthetic alert" {
+		t.Fatalf("alert detail lost: %+v", status.Health)
+	}
+
+	forwarded := 0
+	for {
+		select {
+		case ev := <-coordSub.Events():
+			if ev.Name == "worker.health.fake_storm" {
+				forwarded++
+				if w, _ := ev.Fields["worker"].(string); w != "alerty" {
+					t.Fatalf("forwarded alert tagged %v, want alerty", ev.Fields["worker"])
+				}
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if forwarded != 1 {
+		t.Fatalf("alert forwarded %d times, want exactly once", forwarded)
+	}
+}

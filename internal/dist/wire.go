@@ -13,17 +13,35 @@
 // the queue and another worker picks it up; prefix digests cross-check
 // that every contributor computed the same first stage.
 //
+// The protocol also carries the cluster observability plane. Every
+// lease grants a trace context (trace id, parent span id, job, lease —
+// the W3C traceparent decomposition) and the coordinator's wall clock;
+// workers evaluate their range under that context, estimate their clock
+// offset from poll/renew round trips (Cristian's algorithm, see
+// telemetry.ClockSync) and upload finished span records with the
+// partials, which the coordinator normalizes onto the job's own trace
+// clock and grafts under the lease's span — one stitched Chrome trace
+// per distributed job. Renewals double as the metrics-federation
+// heartbeat: each carries the worker's registry snapshot and recent
+// health alerts, which the coordinator republishes per-worker and
+// aggregated at /metrics, GET /v1/cluster and the global event stream.
+//
 //	POST /v1/dist/poll               lease a range (204 when no work)
 //	POST /v1/dist/leases/{id}/renew  extend a held lease (410 when lost)
-//	POST /v1/dist/leases/{id}/result upload the range's partials
+//	POST /v1/dist/leases/{id}/result upload the range's partials + spans
 //	POST /v1/dist/leases/{id}/fail   report a failed range
 //	GET  /v1/dist/workers            registered workers and their health
+//	GET  /v1/cluster                 fleet summary (workers, leases, rates)
 package dist
 
 import (
+	"fmt"
+	"math"
+
 	"repro"
 	"repro/internal/jobs"
 	"repro/internal/mc"
+	"repro/internal/telemetry"
 )
 
 // WorkerInfo identifies a polling worker.
@@ -38,6 +56,27 @@ type WorkerInfo struct {
 // PollRequest asks the coordinator for work.
 type PollRequest struct {
 	Worker WorkerInfo `json:"worker"`
+}
+
+// TraceContext is the distributed trace context a lease carries — the
+// W3C traceparent fields (trace id, parent span id) plus the job and
+// lease ids that correlate spans, log records and events across the
+// coordinator and every worker that touches the job.
+type TraceContext struct {
+	// TraceID is the job-scoped 16-byte lowercase-hex trace identifier.
+	TraceID string `json:"trace_id"`
+	// ParentSpanID identifies the coordinator's lease span (8-byte
+	// lowercase hex); worker spans are stitched under it.
+	ParentSpanID string `json:"parent_span_id"`
+	// Job and Lease are the correlation ids for logs and events.
+	Job   string `json:"job"`
+	Lease string `json:"lease"`
+}
+
+// Traceparent renders the context in the W3C traceparent header format:
+// version 00, sampled.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.TraceID, tc.ParentSpanID)
 }
 
 // Lease grants one contiguous chunk-index range of one job to a worker
@@ -56,6 +95,42 @@ type Lease struct {
 	// upload (the coordinator does not have one for this job yet);
 	// otherwise the digest alone suffices.
 	NeedPrefix bool `json:"need_prefix,omitempty"`
+	// Trace is the distributed trace context the worker evaluates under;
+	// its uploaded spans stitch in below Trace.ParentSpanID.
+	Trace TraceContext `json:"trace"`
+	// CoordUnixUS is the coordinator's wall clock (microseconds since
+	// the Unix epoch) when the lease was granted — one half of the
+	// worker's round-trip clock-offset estimate.
+	CoordUnixUS int64 `json:"coord_unix_us,omitempty"`
+}
+
+// RenewRequest is the renew POST body: the federation heartbeat. All
+// fields are optional — an empty object is a plain renewal.
+type RenewRequest struct {
+	// Metrics is the worker's registry snapshot, sanitized for JSON with
+	// WirePoints. The coordinator republishes it under the per-worker
+	// metrics scope and folds it into the cluster aggregates.
+	Metrics []telemetry.MetricPoint `json:"metrics,omitempty"`
+	// Alerts are the worker's recent health.* watchdog alerts.
+	Alerts []HealthAlert `json:"alerts,omitempty"`
+}
+
+// RenewResponse acknowledges a renewal.
+type RenewResponse struct {
+	TTLSeconds float64 `json:"ttl_seconds"`
+	// CoordUnixUS is the coordinator's wall clock at the renewal —
+	// another clock-offset sample for the worker.
+	CoordUnixUS int64 `json:"coord_unix_us,omitempty"`
+}
+
+// HealthAlert is one worker watchdog alert on the wire.
+type HealthAlert struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	// UnixUS is when the alert fired on the worker's clock; the
+	// coordinator uses it to forward each alert to the global event
+	// stream exactly once.
+	UnixUS int64 `json:"unix_us,omitempty"`
 }
 
 // ResultUpload carries a completed range back to the coordinator.
@@ -67,6 +142,21 @@ type ResultUpload struct {
 	Prefix *repro.Prefix `json:"prefix,omitempty"`
 	// Chunks are the partial statistics of the leased range.
 	Chunks []mc.Partial `json:"chunks,omitempty"`
+	// Spans are the finished spans of the worker's lease evaluation, on
+	// the worker's own trace clock. TraceStartUnixUS anchors that clock
+	// to the worker's wall clock, and ClockOffsetUS/ClockRTTUS are the
+	// worker's round-trip estimate of (coordinator wall − worker wall),
+	// so the coordinator can place the spans on the job trace:
+	//
+	//	coord_trace_us = TraceStartUnixUS + ClockOffsetUS + span.StartUS
+	//	               − job_trace_start_unix_us
+	Spans            []telemetry.SpanSnapshot `json:"spans,omitempty"`
+	TraceStartUnixUS int64                    `json:"trace_start_unix_us,omitempty"`
+	ClockOffsetUS    int64                    `json:"clock_offset_us,omitempty"`
+	ClockRTTUS       int64                    `json:"clock_rtt_us,omitempty"`
+	// Metrics piggybacks a final registry snapshot on the upload, so
+	// short leases that never renewed still federate their counters.
+	Metrics []telemetry.MetricPoint `json:"metrics,omitempty"`
 }
 
 // FailUpload reports that the worker could not complete its range.
@@ -75,7 +165,7 @@ type FailUpload struct {
 }
 
 // WorkerStatus is one worker's health record as served by
-// GET /v1/dist/workers.
+// GET /v1/dist/workers and GET /v1/cluster.
 type WorkerStatus struct {
 	ID    string `json:"id"`
 	Cores int    `json:"cores,omitempty"`
@@ -91,4 +181,69 @@ type WorkerStatus struct {
 	Expired   int64 `json:"expired"`
 	Samples   int64 `json:"samples"`
 	Sims      int64 `json:"sims"`
+	// SimsPerSec is the worker's self-reported live sampling rate (from
+	// its progress gauge, via the federation heartbeat).
+	SimsPerSec float64 `json:"sims_per_sec,omitempty"`
+	// ClockOffsetUS/ClockRTTUS are the worker's last reported clock
+	// offset estimate relative to the coordinator.
+	ClockOffsetUS int64 `json:"clock_offset_us,omitempty"`
+	ClockRTTUS    int64 `json:"clock_rtt_us,omitempty"`
+	// Health lists the worker's recent watchdog alerts.
+	Health []HealthAlert `json:"health,omitempty"`
+}
+
+// ClusterSummary is the fleet-level view served by GET /v1/cluster:
+// per-worker status plus the folded totals the dashboard renders.
+type ClusterSummary struct {
+	Workers []WorkerStatus `json:"workers"`
+	// ActiveLeases and PendingRanges describe work in flight; DistJobs
+	// is the number of distributed jobs currently sharded.
+	ActiveLeases  int `json:"active_leases"`
+	PendingRanges int `json:"pending_ranges"`
+	DistJobs      int `json:"dist_jobs"`
+	// SimsPerSec is the fleet's folded live sampling rate (sum of the
+	// workers' self-reported rates); Samples and Sims are lifetime
+	// contribution totals.
+	SimsPerSec float64 `json:"sims_per_sec"`
+	Samples    int64   `json:"samples"`
+	Sims       int64   `json:"sims"`
+	// LeasesGranted/Completed/Expired/Failed are coordinator lifetime
+	// counters.
+	LeasesGranted   int64 `json:"leases_granted"`
+	LeasesCompleted int64 `json:"leases_completed"`
+	LeasesExpired   int64 `json:"leases_expired"`
+	LeasesFailed    int64 `json:"leases_failed"`
+	// GeneratedUnixUS timestamps the summary on the coordinator clock.
+	GeneratedUnixUS int64 `json:"generated_unix_us"`
+}
+
+// WirePoints sanitizes a registry snapshot for the JSON wire: bucket
+// arrays are dropped (quantiles travel instead — the overflow bucket's
+// +Inf bound cannot be marshaled) and non-finite aggregates (the NaN
+// quantiles and ±Inf extrema of an empty histogram) are zeroed. The
+// input is not modified.
+func WirePoints(points []telemetry.MetricPoint) []telemetry.MetricPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	out := make([]telemetry.MetricPoint, 0, len(points))
+	for _, p := range points {
+		p.Buckets = nil
+		p.Value = finite(p.Value)
+		p.Sum = finite(p.Sum)
+		p.Min = finite(p.Min)
+		p.Max = finite(p.Max)
+		p.P50 = finite(p.P50)
+		p.P90 = finite(p.P90)
+		p.P99 = finite(p.P99)
+		out = append(out, p)
+	}
+	return out
+}
+
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/obslog"
 	"repro/internal/telemetry"
 )
 
@@ -29,10 +31,15 @@ type WorkerConfig struct {
 	// repro.WorkloadByName. Tests inject synthetic workloads.
 	Resolve func(workload string) (repro.Metric, error)
 	// Registry, when non-nil, receives worker metrics under scope
-	// "worker".
+	// "worker", hosts the per-lease trace whose spans upload with each
+	// result, and — when it carries a bus — sources the health.* alerts
+	// forwarded to the coordinator on renewals.
 	Registry *telemetry.Registry
 	// Client, when non-nil, overrides the HTTP client.
 	Client *http.Client
+	// Log, when non-nil, receives structured records for the worker's
+	// lease lifecycle with job/lease/trace correlation fields.
+	Log *obslog.Logger
 }
 
 // RunWorker polls the coordinator for leases and processes them until
@@ -41,6 +48,13 @@ type WorkerConfig struct {
 // partial statistics; a renewal heartbeat keeps the lease alive for as
 // long as the evaluation runs, and a lost lease (coordinator handed the
 // range to someone else) aborts the evaluation mid-chunk.
+//
+// Every lease is evaluated under the trace context it granted: the
+// worker records its own span tree for the evaluation, estimates its
+// clock offset to the coordinator from poll/renew round trips, and
+// uploads both with the result so the coordinator can stitch one
+// cluster-wide trace. Renewals carry the worker's metrics snapshot and
+// recent health alerts — the metrics-federation heartbeat.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.ID == "" {
 		return errors.New("dist: worker needs an ID")
@@ -54,12 +68,17 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
-	w := &worker{cfg: cfg}
+	w := &worker{cfg: cfg, log: cfg.Log.With("component", "worker", "worker", cfg.ID)}
 	scope := cfg.Registry.Scope("worker")
 	w.leases = scope.Counter("leases_total")
 	w.completed = scope.Counter("leases_completed_total")
 	w.failures = scope.Counter("leases_failed_total")
 	w.lost = scope.Counter("leases_lost_total")
+	// The health subscription sources the alerts renewals forward: the
+	// worker daemon's watchdog publishes health.* on the registry bus.
+	w.healthSub = cfg.Registry.Bus().Subscribe(64)
+	defer w.healthSub.Close()
+	w.log.Info("worker polling", "coordinator", cfg.Coordinator, "cores", cfg.Cores)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -80,15 +99,74 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 
 type worker struct {
 	cfg                               WorkerConfig
+	log                               *obslog.Logger
 	leases, completed, failures, lost *telemetry.Counter
+	// clock accumulates round-trip offset samples against the
+	// coordinator's wall clock (poll and renew responses).
+	clock telemetry.ClockSync
+	// healthSub and alerts collect the registry bus's health.* events
+	// between heartbeats. Both are touched only from the lease loop and
+	// its renew goroutine, never concurrently (the renew loop is joined
+	// before the next lease starts).
+	healthSub *telemetry.Subscription
+	alerts    []HealthAlert
 }
 
-// poll asks for a lease; nil without error means no work.
+// maxHeldAlerts bounds the re-sent alert window; the coordinator dedups
+// by UnixUS, so re-sending recent alerts every heartbeat is idempotent.
+const maxHeldAlerts = 16
+
+// drainAlerts moves pending health.* events off the bus subscription
+// into the held-alert window, stamping each with the worker's wall
+// clock (the coordinator's forward-once cursor).
+func (w *worker) drainAlerts() {
+	for {
+		select {
+		case ev, ok := <-w.healthSub.Events():
+			if !ok {
+				return
+			}
+			if !strings.HasPrefix(ev.Name, "health.") {
+				continue
+			}
+			a := HealthAlert{
+				Kind:   strings.TrimPrefix(ev.Name, "health."),
+				UnixUS: time.Now().UnixMicro(),
+			}
+			if d, _ := ev.Fields["detail"].(string); d != "" {
+				a.Detail = d
+			}
+			w.alerts = append(w.alerts, a)
+			if len(w.alerts) > maxHeldAlerts {
+				w.alerts = w.alerts[len(w.alerts)-maxHeldAlerts:]
+			}
+		default:
+			return
+		}
+	}
+}
+
+// heartbeat builds the federation payload renewals carry: the sanitized
+// registry snapshot plus the held alert window.
+func (w *worker) heartbeat() RenewRequest {
+	w.drainAlerts()
+	return RenewRequest{
+		Metrics: WirePoints(w.cfg.Registry.Snapshot()),
+		Alerts:  append([]HealthAlert(nil), w.alerts...),
+	}
+}
+
+// poll asks for a lease; nil without error means no work. A granted
+// lease's response carries the coordinator's wall clock, which —
+// bracketed by the request round trip — feeds the clock-offset
+// estimate.
 func (w *worker) poll(ctx context.Context) (*Lease, error) {
 	var lease Lease
+	send := time.Now().UnixMicro()
 	status, err := w.post(ctx, "/v1/dist/poll", PollRequest{
 		Worker: WorkerInfo{ID: w.cfg.ID, Cores: w.cfg.Cores},
 	}, &lease)
+	recv := time.Now().UnixMicro()
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +175,9 @@ func (w *worker) poll(ctx context.Context) (*Lease, error) {
 	}
 	if status != http.StatusOK {
 		return nil, fmt.Errorf("dist: poll status %d", status)
+	}
+	if lease.CoordUnixUS != 0 {
+		w.clock.Observe(send, recv, lease.CoordUnixUS)
 	}
 	return &lease, nil
 }
@@ -117,41 +198,87 @@ func (w *worker) process(ctx context.Context, lease *Lease) {
 	}()
 	defer func() { cancel(); <-renewDone }()
 
+	// The worker's half of the stitched trace: a fresh per-lease trace
+	// on the registry, rooted in a span carrying the granted context.
+	// Leases are processed sequentially, so swapping the registry's
+	// trace per lease is safe.
+	tr := telemetry.NewTrace()
+	w.cfg.Registry.SetTrace(tr)
+	defer w.cfg.Registry.SetTrace(nil)
+	root := tr.StartSpan(nil, "worker.lease")
+	root.SetAttr("worker", w.cfg.ID)
+	root.SetAttr("lease", lease.ID)
+	root.SetAttr("job", lease.Job)
+	root.SetAttr("traceparent", lease.Trace.Traceparent())
+	root.SetAttr("lo", lease.Range.Lo)
+	root.SetAttr("hi", lease.Range.Hi)
+	// A separate variable: the renewal goroutine above still reads
+	// leaseCtx, so reassigning it here would race.
+	runCtx := telemetry.ContextWithSpan(leaseCtx, root)
+
+	log := w.log.With("job", lease.Job, "lease", lease.ID, "trace", lease.Trace.TraceID)
+	log.Debug("lease granted", "lo", lease.Range.Lo, "hi", lease.Range.Hi)
+	w.cfg.Registry.Emit("worker.lease.start", map[string]any{
+		"job": lease.Job, "lease": lease.ID, "trace": lease.Trace.TraceID,
+		"lo": lease.Range.Lo, "hi": lease.Range.Hi,
+	})
+
 	metric, err := w.cfg.Resolve(lease.Spec.Workload)
 	if err == nil {
 		var run *repro.PartialRun
 		opts := lease.Spec.Options()
 		opts.Telemetry = w.cfg.Registry
-		run, err = repro.EstimatePartial(leaseCtx, metric, opts, []repro.ShardRange{lease.Range})
+		run, err = repro.EstimatePartial(runCtx, metric, opts, []repro.ShardRange{lease.Range})
 		if err == nil {
+			root.End()
 			up := ResultUpload{PrefixDigest: run.Prefix.Digest(), Chunks: run.Chunks}
 			if lease.NeedPrefix {
 				up.Prefix = &run.Prefix
 			}
+			up.Spans = tr.Snapshot()
+			up.TraceStartUnixUS = tr.StartUnixUS()
+			up.ClockOffsetUS, _ = w.clock.OffsetUS()
+			up.ClockRTTUS = w.clock.RTTUS()
+			up.Metrics = WirePoints(w.cfg.Registry.Snapshot())
 			status, postErr := w.post(ctx, "/v1/dist/leases/"+lease.ID+"/result", up, nil)
 			switch {
 			case postErr != nil:
 				err = postErr
 			case status == http.StatusOK:
 				w.completed.Inc()
+				w.cfg.Registry.Emit("worker.lease.done", map[string]any{
+					"job": lease.Job, "lease": lease.ID, "spans": len(up.Spans),
+				})
+				log.Debug("lease completed", "spans", len(up.Spans),
+					"clock_offset_us", up.ClockOffsetUS, "clock_rtt_us", up.ClockRTTUS)
 				return
 			default:
 				err = fmt.Errorf("dist: result upload status %d", status)
 			}
 		}
 	}
+	root.End()
 	// The coordinator requeues the range; a lost lease (cancelled
 	// leaseCtx, 410 upload) needs no report.
 	if ctx.Err() == nil && leaseCtx.Err() == nil {
 		w.failures.Inc()
+		w.cfg.Registry.Emit("worker.lease.failed", map[string]any{
+			"job": lease.Job, "lease": lease.ID, "error": err.Error(),
+		})
+		log.Warn("lease failed", "error", err.Error())
 		w.post(ctx, "/v1/dist/leases/"+lease.ID+"/fail", FailUpload{Error: err.Error()}, nil)
 	} else {
 		w.lost.Inc()
+		w.cfg.Registry.Emit("worker.lease.lost", map[string]any{
+			"job": lease.Job, "lease": lease.ID,
+		})
+		log.Warn("lease lost")
 	}
 }
 
 // renewLoop heartbeats the lease at a third of its TTL; a 410 means the
-// lease was reassigned, so the evaluation is cancelled.
+// lease was reassigned, so the evaluation is cancelled. Each beat
+// carries the federation payload and returns a clock-offset sample.
 func (w *worker) renewLoop(ctx context.Context, cancel context.CancelFunc, lease *Lease) {
 	ttl := time.Duration(lease.TTLSeconds * float64(time.Second))
 	period := max(ttl/3, 10*time.Millisecond)
@@ -162,10 +289,16 @@ func (w *worker) renewLoop(ctx context.Context, cancel context.CancelFunc, lease
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			status, err := w.post(ctx, "/v1/dist/leases/"+lease.ID+"/renew", struct{}{}, nil)
+			var resp RenewResponse
+			send := time.Now().UnixMicro()
+			status, err := w.post(ctx, "/v1/dist/leases/"+lease.ID+"/renew", w.heartbeat(), &resp)
+			recv := time.Now().UnixMicro()
 			if err == nil && status == http.StatusGone {
 				cancel()
 				return
+			}
+			if err == nil && status == http.StatusOK && resp.CoordUnixUS != 0 {
+				w.clock.Observe(send, recv, resp.CoordUnixUS)
 			}
 			// Transient errors are fine — the TTL absorbs a missed beat.
 		}

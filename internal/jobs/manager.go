@@ -26,6 +26,7 @@ import (
 
 	"repro"
 	"repro/internal/mc"
+	"repro/internal/obslog"
 	"repro/internal/telemetry"
 )
 
@@ -406,6 +407,15 @@ type Config struct {
 	// submission goes terminal immediately with the cached result and
 	// zero new simulations.
 	CacheSize int
+	// Log, when non-nil, receives structured records for the job
+	// lifecycle (submit, run, terminal state, drain), each carrying the
+	// "job" correlation field.
+	Log *obslog.Logger
+	// AlertProfile, when positive and FlightDir is set, arms the
+	// auto-profiler: the first watchdog alert of each kind captures a
+	// heap profile plus an AlertProfile-long CPU profile into FlightDir,
+	// next to the flight-recorder event dump for the same alert.
+	AlertProfile time.Duration
 }
 
 // minSweep bounds how often the retention sweeper wakes up.
@@ -445,6 +455,11 @@ type Manager struct {
 	gcDone     chan struct{}
 	mirrorDone chan struct{}
 	stopOnce   sync.Once
+
+	log *obslog.Logger
+	// profiler captures pprof profiles into FlightDir on watchdog
+	// alerts (nil when auto-profiling is off).
+	profiler *telemetry.Profiler
 
 	// "jobs" scope instruments on cfg.Registry (nil-safe).
 	submitted, completed, failed, cancelled, rejected *telemetry.Counter
@@ -487,6 +502,12 @@ func NewManager(cfg Config) *Manager {
 		gcStop:     make(chan struct{}),
 		gcDone:     make(chan struct{}),
 		mirrorDone: make(chan struct{}),
+		log:        cfg.Log.With("component", "jobs"),
+	}
+	if cfg.AlertProfile > 0 {
+		// NewProfiler returns nil without a directory, keeping the
+		// feature inert unless the flight recorder has somewhere to write.
+		m.profiler = telemetry.NewProfiler(cfg.FlightDir, cfg.AlertProfile)
 	}
 	if cfg.EventRing > 0 {
 		// Reuse a bus the caller already installed on the registry (the
@@ -643,6 +664,8 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		"job": job.id, "workload": req.Workload, "method": req.Method, "seed": req.Seed,
 	})
 	m.mu.Unlock()
+	m.log.Info("job submitted", "job", job.id, "workload", req.Workload,
+		"method", req.Method, "seed", req.Seed, "distribute", req.Distribute)
 	return job, nil
 }
 
@@ -776,18 +799,30 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	}
 }
 
+// BeginDrain flips the manager into draining mode without waiting: new
+// submissions reject with ErrDraining (503 + problem+json at the API)
+// and the queue is closed, while queued and running jobs continue.
+// Idempotent. The server calls this before shutting its listener down,
+// so submissions that cross the drain boundary see clean rejections
+// instead of connection errors; Drain then waits for the in-flight
+// work.
+func (m *Manager) BeginDrain() {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+		m.log.Info("drain started", "queued", len(m.queue))
+	}
+	m.mu.Unlock()
+}
+
 // Drain stops the manager gracefully: new submissions are rejected,
 // queued and running jobs are given until ctx expires to finish, then
 // everything still running is cancelled. Drain returns nil when all
 // jobs finished in time, or ctx's error after the forced cancellation
 // completes.
 func (m *Manager) Drain(ctx context.Context) error {
-	m.mu.Lock()
-	if !m.draining {
-		m.draining = true
-		close(m.queue)
-	}
-	m.mu.Unlock()
+	m.BeginDrain()
 
 	idle := make(chan struct{})
 	go func() {
@@ -811,6 +846,11 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.bus.Close()
 	}
 	<-m.mirrorDone
+	if err != nil {
+		m.log.Warn("drain forced cancellation", "error", err.Error())
+	} else {
+		m.log.Info("drain complete")
+	}
 	return err
 }
 
@@ -1038,9 +1078,18 @@ func (m *Manager) run(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	// The watchdog rides the job's private bus (nil bus → nil watchdog,
-	// fully inert); its first alert dumps the flight recorder.
+	// fully inert); its first alert dumps the flight recorder and, with
+	// auto-profiling armed, captures pprof CPU+heap profiles next to it.
+	// The capture runs off the watchdog goroutine — a CPU profile takes
+	// AlertProfile wall time and must not stall alert evaluation.
 	job.watchdog = telemetry.StartWatchdog(job.reg, telemetry.WatchdogConfig{
-		OnAlert: func(a telemetry.Alert) { job.dumpFlight("alert-" + a.Kind) },
+		OnAlert: func(a telemetry.Alert) {
+			m.log.Warn("watchdog alert", "job", job.id, "kind", a.Kind, "detail", a.Detail)
+			job.dumpFlight("alert-" + a.Kind)
+			if m.profiler != nil {
+				go m.profiler.Capture(job.id + "-" + a.Kind)
+			}
+		},
 	})
 	job.mu.Unlock()
 	m.running.Set(m.running.Value() + 1)
@@ -1096,6 +1145,13 @@ func (m *Manager) run(job *Job) {
 	// before the flight dump and the done close, so the dump's ring ends
 	// on job.done and a waiter that saw done can rely on both.
 	job.reg.Emit("job.done", fields)
+	switch {
+	case err != nil:
+		m.log.Warn("job finished", "job", job.id, "state", string(state), "error", err.Error())
+	case res != nil:
+		m.log.Info("job finished", "job", job.id, "state", string(state),
+			"pf", res.Pf, "sims", res.TotalSims)
+	}
 	if state == StateFailed {
 		job.dumpFlight("failed")
 	}

@@ -1,0 +1,213 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestBeginDrainRejectsCleanly checks the drain-boundary guarantee: once
+// BeginDrain flips the manager, new submissions are rejected with the
+// typed draining problem while the already-running job keeps going —
+// the server keeps its listener up through this window so clients see a
+// clean 503 instead of a connection error.
+func TestBeginDrainRejectsCleanly(t *testing.T) {
+	m, srv := newTestServer(t, Config{Registry: telemetry.New()})
+	snap := postJob(t, srv, `{"workload":"slow","method":"mc","seed":1,"n":4194304}`, http.StatusAccepted)
+
+	m.BeginDrain()
+	m.BeginDrain() // idempotent: a second call must not double-close the queue
+
+	if _, err := m.Submit(Request{Workload: "lin"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after BeginDrain: %v, want ErrDraining", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"lin","method":"g-s","seed":5,"k":200,"n":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after BeginDrain: status %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/problem+json" {
+		t.Fatalf("drain rejection Content-Type = %q, want application/problem+json", ct)
+	}
+	var p Problem
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != ProblemType+"draining" {
+		t.Fatalf("drain rejection type = %q, want %q", p.Type, ProblemType+"draining")
+	}
+
+	// The in-flight job survives BeginDrain (only Drain's grace-period
+	// expiry cancels it).
+	if s := getSnapshot(t, srv, snap.ID).State; s.Terminal() {
+		t.Fatalf("running job went %s at BeginDrain, want it to keep running", s)
+	}
+	if _, err := m.Cancel(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, srv, snap.ID)
+}
+
+// TestSSEGapDetection forces ring eviction and checks both endpoints
+// announce the replay gap: a client resuming from a cursor that fell
+// off the ring gets a stream.gap meta event before the tail replay,
+// instead of a silent discontinuity.
+func TestSSEGapDetection(t *testing.T) {
+	// Ring of 8 against a run that publishes dozens of progress events:
+	// the early lifecycle is guaranteed evicted by the time we resume.
+	m, srv := newTestServer(t, Config{Registry: telemetry.New(), EventRing: 8})
+	snap := postJob(t, srv, `{"workload":"lin","method":"g-s","seed":5,"k":200,"n":8000}`, http.StatusAccepted)
+	waitTerminal(t, srv, snap.ID)
+
+	job, err := m.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest := job.Events().OldestSeq()
+	if oldest < 2 {
+		t.Fatalf("ring did not wrap (oldest %d) — the gap scenario needs eviction", oldest)
+	}
+
+	// Per-job stream, resuming after seq 0.
+	resp, closeBody := getSSE(t, srv.URL+"/v1/jobs/"+snap.ID+"/events", "0")
+	frames := readSSE(t, resp.Body, 0)
+	closeBody()
+	if len(frames) < 2 {
+		t.Fatalf("got %d frames, want gap + replay", len(frames))
+	}
+	gap := frames[0]
+	if gap.Event != "stream.gap" {
+		t.Fatalf("first resumed frame %q, want stream.gap", gap.Event)
+	}
+	if ra, _ := gap.Data["requested_after"].(float64); ra != 0 {
+		t.Fatalf("gap requested_after = %v, want 0", gap.Data["requested_after"])
+	}
+	reportedOldest, _ := gap.Data["oldest"].(float64)
+	missed, _ := gap.Data["missed"].(float64)
+	if reportedOldest < 2 || missed != reportedOldest-1 {
+		t.Fatalf("gap data = %v, want oldest >= 2 and missed = oldest-1", gap.Data)
+	}
+	if frames[1].ID != int64(reportedOldest) {
+		t.Fatalf("replay after gap starts at %d, want the ring tail %v", frames[1].ID, reportedOldest)
+	}
+	if frames[len(frames)-1].Event != "job.done" {
+		t.Fatalf("resumed stream last event %q, want job.done", frames[len(frames)-1].Event)
+	}
+
+	// A resume from within the ring must NOT see a gap event.
+	resp2, close2 := getSSE(t, srv.URL+"/v1/jobs/"+snap.ID+"/events", strconv.FormatInt(oldest, 10))
+	clean := readSSE(t, resp2.Body, 0)
+	close2()
+	for _, f := range clean {
+		if f.Event == "stream.gap" {
+			t.Fatal("in-ring resume reported a spurious gap")
+		}
+	}
+
+	// Global stream: the same events (tagged) wrapped the global ring
+	// too, so resuming from 0 must announce a gap there as well.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/events", nil)
+	req.Header.Set("Last-Event-ID", "0")
+	gresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	gframes := readSSE(t, gresp.Body, 1) // global stream never self-terminates
+	if len(gframes) != 1 || gframes[0].Event != "stream.gap" {
+		t.Fatalf("global resume frames = %+v, want a leading stream.gap", gframes)
+	}
+}
+
+// TestWatchdogAlertCapturesProfiles is the auto-profiling acceptance
+// test: a forced watchdog alert on a running job must produce pprof
+// heap and CPU captures in the flight-recorder directory, next to the
+// event-ring dump for the same alert.
+func TestWatchdogAlertCapturesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	m, srv := newTestServer(t, Config{
+		Registry: telemetry.New(), EventRing: 64,
+		FlightDir: dir, AlertProfile: 20 * time.Millisecond,
+	})
+	snap := postJob(t, srv, `{"workload":"slow","method":"mc","seed":1,"n":4194304}`, http.StatusAccepted)
+	job, err := m.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The watchdog starts when the job does; wait for Running before
+	// forcing the alert so the subscription is guaranteed live.
+	deadline := time.Now().Add(30 * time.Second)
+	for getSnapshot(t, srv, snap.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A Gibbs chain reporting 500 updates with zero acceptance trips the
+	// chain_stalled trigger.
+	job.Telemetry().Emit("gibbs.chain", map[string]any{"updates": 500, "acceptance": 0.0})
+
+	// Capture runs on its own goroutine (the CPU window blocks for
+	// AlertProfile); poll for both profile files.
+	var heap, cpu, dump string
+	deadline = time.Now().Add(30 * time.Second)
+	for (heap == "" || cpu == "" || dump == "") && time.Now().Before(deadline) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasPrefix(name, snap.ID+"-") || !strings.Contains(name, "chain_stalled") {
+				continue
+			}
+			// The CPU profile file exists (empty) while its sampling window
+			// is still open; only accept files with content.
+			if info, err := e.Info(); err != nil || info.Size() == 0 {
+				continue
+			}
+			switch {
+			case strings.HasSuffix(name, ".heap.pprof"):
+				heap = name
+			case strings.HasSuffix(name, ".cpu.pprof"):
+				cpu = name
+			case strings.HasSuffix(name, ".jsonl"):
+				dump = name
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if heap == "" || cpu == "" {
+		t.Fatalf("alert produced no pprof captures (heap %q, cpu %q) in %s", heap, cpu, dir)
+	}
+	if dump == "" {
+		t.Fatal("alert produced no flight-recorder event dump")
+	}
+	for _, name := range []string{heap, cpu, dump} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("capture %s missing or empty: %v", name, err)
+		}
+	}
+
+	if _, err := m.Cancel(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, srv, snap.ID)
+}

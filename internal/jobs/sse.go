@@ -49,6 +49,16 @@ func (m *Manager) sseEvents(w http.ResponseWriter, r *http.Request, bus *telemet
 			after = seq
 		}
 	}
+	// Detect a resume gap before subscribing: if the client's cursor
+	// fell off the ring (wraparound, or the ring owner was swept), the
+	// events in between are gone and the replay silently starts at the
+	// ring's tail. The stream.gap meta event makes that visible so the
+	// client can resynchronize instead of assuming continuity.
+	var gap int64
+	oldest := bus.OldestSeq()
+	if after >= 0 && oldest > after+1 {
+		gap = oldest - after - 1
+	}
 	sub := bus.SubscribeFrom(after, 256)
 	defer sub.Close()
 
@@ -57,6 +67,10 @@ func (m *Manager) sseEvents(w http.ResponseWriter, r *http.Request, bus *telemet
 	h.Set("Cache-Control", "no-store")
 	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
 	w.WriteHeader(http.StatusOK)
+	if gap > 0 {
+		fmt.Fprintf(w, "event: stream.gap\ndata: {\"requested_after\":%d,\"oldest\":%d,\"missed\":%d}\n\n",
+			after, oldest, gap)
+	}
 	flusher.Flush()
 
 	heartbeat := time.NewTicker(m.cfg.Heartbeat)

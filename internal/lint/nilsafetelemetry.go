@@ -13,13 +13,23 @@ import (
 // nil-receiver guard; one unguarded method is a latent panic on the
 // disabled path that no amount of sampling-based testing reliably
 // catches.
+//
+// The obslog package adopts the same contract for its *Logger (library
+// code logs unconditionally; a nil logger is "logging off"), so the
+// analyzer covers both packages. The telemetry wire types the dist
+// protocol uploads (SpanSnapshot, MetricPoint, ClockSync, Profiler)
+// live in telemetry and are checked by the same sweep.
 var NilSafeTelemetry = &Analyzer{
 	Name: "nilsafetelemetry",
-	Doc: "every exported method on a telemetry pointer-receiver type must " +
-		"begin with a nil-receiver guard (the zero-alloc disabled path " +
-		"depends on it)",
+	Doc: "every exported method on a telemetry or obslog pointer-receiver " +
+		"type must begin with a nil-receiver guard (the zero-alloc " +
+		"disabled path depends on it)",
 	Applies: func(p *Package) bool {
-		return p.Pkg != nil && p.Pkg.Name() == "telemetry"
+		if p.Pkg == nil {
+			return false
+		}
+		name := p.Pkg.Name()
+		return name == "telemetry" || name == "obslog"
 	},
 	Run: runNilSafeTelemetry,
 }

@@ -1,0 +1,114 @@
+// Package obslog is the repo's structured-logging front door: a thin,
+// nil-safe wrapper over log/slog used by the daemons (sramserverd,
+// sramworkerd) and the serving layers (internal/jobs, internal/dist).
+//
+// Two conventions distinguish it from bare slog:
+//
+//   - A nil *Logger no-ops every method, the same contract as
+//     internal/telemetry, so library code logs unconditionally and the
+//     caller decides whether logging exists. No conditionals at call
+//     sites, no package-level default logger.
+//   - Correlation first: records about a job carry "job", records about
+//     a lease carry "lease"+"worker", records inside a distributed
+//     trace carry "trace". With -log-format json the records are
+//     machine-parseable and these fields join log lines to the trace
+//     and event-bus views of the same run.
+package obslog
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Logger is a nil-safe structured logger. The zero value is not useful;
+// build one with New (or Discard for tests).
+type Logger struct {
+	s *slog.Logger
+}
+
+// Formats accepted by New.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// New returns a logger writing to w in the given format ("text" or
+// "json") at the given minimum level ("debug", "info", "warn",
+// "error"; "" means info). Unknown formats or levels are errors so a
+// bad -log-format flag fails fast instead of silently logging nothing.
+func New(w io.Writer, format, level string) (*Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obslog: unknown level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", FormatText:
+		h = slog.NewTextHandler(w, opts)
+	case FormatJSON:
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obslog: unknown format %q (want text or json)", format)
+	}
+	return &Logger{s: slog.New(h)}, nil
+}
+
+// Discard returns a logger that drops everything — equivalent to nil
+// but non-nil, for tests that want to pass "a logger" explicitly.
+func Discard() *Logger {
+	return &Logger{s: slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))}
+}
+
+// With returns a logger whose records all carry the given key/value
+// attributes — how job/lease/trace correlation fields attach once
+// instead of at every call site. Nil-safe (returns nil).
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Debug logs at debug level (nil-safe).
+func (l *Logger) Debug(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Debug(msg, args...)
+}
+
+// Info logs at info level (nil-safe).
+func (l *Logger) Info(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Info(msg, args...)
+}
+
+// Warn logs at warn level (nil-safe).
+func (l *Logger) Warn(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Warn(msg, args...)
+}
+
+// Error logs at error level (nil-safe).
+func (l *Logger) Error(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Error(msg, args...)
+}

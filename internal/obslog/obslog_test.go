@@ -1,0 +1,92 @@
+package obslog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNewJSONFormatAndLevel checks that the JSON handler emits parseable
+// records, the minimum level filters, and With-attached attributes ride
+// every record.
+func TestNewJSONFormatAndLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, FormatJSON, "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log = log.With("service", "testd", "job", "j42")
+	log.Info("dropped")          // below warn
+	log.Debug("dropped as well") // below warn
+	log.Warn("kept", "kind", "chain_stalled")
+	log.Error("kept too")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d records, want 2 (info/debug filtered):\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("json record not parseable: %v\n%s", err, lines[0])
+	}
+	if rec["msg"] != "kept" || rec["level"] != "WARN" {
+		t.Fatalf("record = %v, want msg=kept level=WARN", rec)
+	}
+	if rec["service"] != "testd" || rec["job"] != "j42" || rec["kind"] != "chain_stalled" {
+		t.Fatalf("record lost correlation fields: %v", rec)
+	}
+}
+
+// TestNewTextDefaults checks the zero-config path: empty format and
+// level mean text at info.
+func TestNewTextDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("filtered at default level")
+	log.Info("visible", "worker", "w0")
+	out := buf.String()
+	if strings.Contains(out, "filtered") {
+		t.Fatalf("default level let debug through:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=visible") || !strings.Contains(out, "worker=w0") {
+		t.Fatalf("text record malformed:\n%s", out)
+	}
+}
+
+// TestNewRejectsUnknownConfig checks the fail-fast contract for the
+// -log-format / -log-level flags.
+func TestNewRejectsUnknownConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New(&buf, "yaml", "info"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := New(&buf, FormatText, "loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+// TestNilLoggerNoOps drives the whole API through a nil receiver — the
+// library-side "logging off" contract.
+func TestNilLoggerNoOps(t *testing.T) {
+	var log *Logger
+	if log.With("k", "v") != nil {
+		t.Fatal("nil With must return nil")
+	}
+	log.Debug("x")
+	log.Info("x")
+	log.Warn("x")
+	log.Error("x", "k", 1)
+}
+
+// TestDiscard checks the explicit non-nil sink: usable, silent.
+func TestDiscard(t *testing.T) {
+	log := Discard()
+	if log == nil {
+		t.Fatal("Discard returned nil")
+	}
+	log.With("k", "v").Error("dropped")
+}

@@ -268,6 +268,26 @@ func (b *Bus) Seq() int64 {
 	return b.seq
 }
 
+// OldestSeq returns the sequence number of the oldest event the ring
+// still retains, or the bus's next sequence number when the ring is
+// empty (0 on nil). An SSE resume asking for events after a seq below
+// OldestSeq()-1 has a replay gap: events between the requested cursor
+// and the ring's tail were evicted and cannot be delivered.
+func (b *Bus) OldestSeq() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.filled {
+		if b.next == 0 {
+			return b.seq
+		}
+		return b.ring[0].Seq
+	}
+	return b.ring[b.next].Seq
+}
+
 // Dropped returns the total events dropped across all subscribers since
 // the bus was created (0 on nil).
 func (b *Bus) Dropped() int64 {

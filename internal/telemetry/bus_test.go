@@ -122,6 +122,34 @@ func TestBusRingEviction(t *testing.T) {
 	}
 }
 
+// TestBusOldestSeq pins the SSE gap-detection cursor through the ring's
+// three states: empty, partially filled, and wrapped.
+func TestBusOldestSeq(t *testing.T) {
+	var nilBus *Bus
+	if nilBus.OldestSeq() != 0 {
+		t.Fatal("nil bus reports a retained event")
+	}
+	b := NewBus(4)
+	if b.OldestSeq() != 0 {
+		t.Fatalf("empty ring OldestSeq = %d, want 0 (next seq)", b.OldestSeq())
+	}
+	b.Publish("e", nil)
+	b.Publish("e", nil)
+	if b.OldestSeq() != 0 {
+		t.Fatalf("partial ring OldestSeq = %d, want 0", b.OldestSeq())
+	}
+	for i := 0; i < 8; i++ {
+		b.Publish("e", nil)
+	}
+	// 10 events through a 4-slot ring: 0..5 evicted, 6 is the oldest.
+	if b.OldestSeq() != 6 {
+		t.Fatalf("wrapped ring OldestSeq = %d, want 6", b.OldestSeq())
+	}
+	if b.Seq() != 10 {
+		t.Fatalf("Seq = %d, want 10", b.Seq())
+	}
+}
+
 func TestBusParentForwardingMergesTags(t *testing.T) {
 	parent := NewBus(8)
 	child := NewBus(8).WithParent(parent, map[string]any{"job": "j000001"})

@@ -1,0 +1,79 @@
+package telemetry
+
+import "sync"
+
+// ClockSync estimates the offset between this process's wall clock and a
+// remote peer's from request round trips (Cristian's algorithm): for a
+// request sent at local time s, answered with the peer's clock reading
+// m, and received at local time r, the peer's clock at the midpoint is
+// assumed to read m while the local clock read (s+r)/2, giving
+// offset = m - (s+r)/2 with an uncertainty of half the round trip.
+//
+// Workers feed every dist poll/renew round trip through Observe and the
+// coordinator uses the resulting offset to place worker span times on
+// its own trace clock. The estimator keeps the lowest-round-trip sample
+// (the tightest uncertainty bound) but ages it out after maxStale worse
+// samples so a long-lived worker still tracks slow clock drift.
+//
+// All methods are nil-safe, matching the rest of the package.
+type ClockSync struct {
+	mu       sync.Mutex
+	has      bool
+	offsetUS int64
+	rttUS    int64
+	stale    int
+}
+
+// maxStale is how many higher-RTT samples are observed before the kept
+// minimum-RTT sample is considered outdated and replaced regardless:
+// with dist's default renew cadence (TTL/3) this re-anchors the offset
+// estimate every few minutes of steady-state polling.
+const maxStale = 32
+
+// Observe records one round trip: the request left at sendUnixUS, the
+// response arrived at recvUnixUS (both local wall-clock microseconds),
+// and the peer reported its wall clock as remoteUnixUS. Negative round
+// trips (clock steps mid-request) are discarded.
+func (c *ClockSync) Observe(sendUnixUS, recvUnixUS, remoteUnixUS int64) {
+	if c == nil || remoteUnixUS == 0 {
+		return
+	}
+	rtt := recvUnixUS - sendUnixUS
+	if rtt < 0 {
+		return
+	}
+	offset := remoteUnixUS - (sendUnixUS+recvUnixUS)/2
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.has || rtt <= c.rttUS || c.stale >= maxStale {
+		c.has = true
+		c.offsetUS = offset
+		c.rttUS = rtt
+		c.stale = 0
+		return
+	}
+	c.stale++
+}
+
+// OffsetUS returns the current estimate of (remote clock − local clock)
+// in microseconds, and whether any sample has been observed. Remote
+// wall time ≈ local wall time + offset.
+func (c *ClockSync) OffsetUS() (int64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offsetUS, c.has
+}
+
+// RTTUS returns the round trip of the sample backing the current offset
+// estimate — its uncertainty is half of this (0 before any sample).
+func (c *ClockSync) RTTUS() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rttUS
+}

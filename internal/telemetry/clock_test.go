@@ -1,0 +1,90 @@
+package telemetry
+
+import "testing"
+
+// TestClockSyncKeepsMinRTT checks the core Cristian's-algorithm
+// behaviour: the estimator keeps the sample with the tightest round
+// trip, since its offset has the smallest uncertainty bound.
+func TestClockSyncKeepsMinRTT(t *testing.T) {
+	var c ClockSync
+	if _, ok := c.OffsetUS(); ok {
+		t.Fatal("fresh ClockSync claims to have a sample")
+	}
+	if c.RTTUS() != 0 {
+		t.Fatal("fresh ClockSync reports a round trip")
+	}
+
+	// send 1000, recv 1200 → midpoint 1100; remote 501100 → offset 500000.
+	c.Observe(1000, 1200, 501100)
+	if off, ok := c.OffsetUS(); !ok || off != 500000 {
+		t.Fatalf("offset = %d (ok %v), want 500000", off, ok)
+	}
+	if c.RTTUS() != 200 {
+		t.Fatalf("rtt = %d, want 200", c.RTTUS())
+	}
+
+	// A worse (higher-RTT) sample must not displace the kept one even
+	// when its offset estimate differs wildly.
+	c.Observe(2000, 4000, 703000)
+	if off, _ := c.OffsetUS(); off != 500000 {
+		t.Fatalf("higher-RTT sample displaced the estimate: offset %d", off)
+	}
+
+	// A tighter round trip replaces it.
+	c.Observe(5000, 5100, 905050) // midpoint 5050, offset 900000, rtt 100
+	if off, _ := c.OffsetUS(); off != 900000 {
+		t.Fatalf("lower-RTT sample not adopted: offset %d", off)
+	}
+	if c.RTTUS() != 100 {
+		t.Fatalf("rtt = %d, want 100", c.RTTUS())
+	}
+}
+
+// TestClockSyncAgesOutStaleMinimum checks the drift defence: after
+// maxStale consecutive worse samples the kept minimum is considered
+// outdated and the next sample wins regardless of its round trip.
+func TestClockSyncAgesOutStaleMinimum(t *testing.T) {
+	var c ClockSync
+	c.Observe(0, 100, 1000050) // offset 1000000, rtt 100
+	base := int64(10000)
+	for i := 0; i < maxStale; i++ {
+		send := base + int64(i)*1000
+		c.Observe(send, send+500, send+250+2000000) // rtt 500, offset 2000000
+		if off, _ := c.OffsetUS(); off != 1000000 {
+			t.Fatalf("sample %d displaced the minimum before maxStale", i)
+		}
+	}
+	// The (maxStale+1)-th worse sample re-anchors.
+	send := base + int64(maxStale)*1000
+	c.Observe(send, send+500, send+250+2000000)
+	if off, _ := c.OffsetUS(); off != 2000000 {
+		t.Fatalf("offset = %d after aging, want 2000000", off)
+	}
+	if c.RTTUS() != 500 {
+		t.Fatalf("rtt = %d after aging, want 500", c.RTTUS())
+	}
+}
+
+// TestClockSyncDiscardsBadSamples checks that negative round trips
+// (clock steps mid-request) and zero remote readings are ignored, and
+// that the whole API is nil-safe.
+func TestClockSyncDiscardsBadSamples(t *testing.T) {
+	var c ClockSync
+	c.Observe(1000, 500, 2000) // negative rtt
+	if _, ok := c.OffsetUS(); ok {
+		t.Fatal("negative round trip was accepted")
+	}
+	c.Observe(1000, 1100, 0) // no remote reading
+	if _, ok := c.OffsetUS(); ok {
+		t.Fatal("zero remote reading was accepted")
+	}
+
+	var nilc *ClockSync
+	nilc.Observe(1, 2, 3)
+	if off, ok := nilc.OffsetUS(); ok || off != 0 {
+		t.Fatal("nil ClockSync leaked state")
+	}
+	if nilc.RTTUS() != 0 {
+		t.Fatal("nil ClockSync reported a round trip")
+	}
+}

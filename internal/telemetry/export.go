@@ -10,20 +10,31 @@ import (
 	"text/tabwriter"
 )
 
-// MetricPoint is one metric in a registry snapshot.
+// MetricPoint is one metric in a registry snapshot. It is also the
+// metrics-federation wire type workers upload on lease renew; the JSON
+// tags keep that wire format stable. Beware that a raw snapshot is not
+// always JSON-marshalable — empty histograms carry NaN quantiles and
+// ±Inf extrema, and the overflow bucket's bound is +Inf — so wire
+// senders sanitize first (see internal/dist).
 type MetricPoint struct {
 	// Scope and Name locate the metric; Kind is "counter", "gauge" or
 	// "histogram".
-	Scope, Name, Kind string
+	Scope string `json:"scope"`
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
 	// Value is the counter count or gauge level (0 for histograms).
-	Value float64
+	Value float64 `json:"value,omitempty"`
 	// Histogram aggregates (Count is also the number of observations).
-	Count         int64
-	Sum, Min, Max float64
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
 	// P50, P90 and P99 are approximate quantiles reconstructed from the
 	// bucket counts (NaN with no observations).
-	P50, P90, P99 float64
-	Buckets       []BucketCount
+	P50     float64       `json:"p50,omitempty"`
+	P90     float64       `json:"p90,omitempty"`
+	P99     float64       `json:"p99,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot returns every metric in the registry, sorted by scope then

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTraceGraft checks the cross-process stitch: remote snapshot ids
+// are remapped into the local trace's id space, in-batch parent links
+// survive the remap, orphans attach to the graft parent, Running is
+// cleared, and every span is clamped into the enclosing window.
+func TestTraceGraft(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan(nil, "dist")
+	leaseSpan := root.Child("lease")
+	time.Sleep(3 * time.Millisecond) // give the lease window real width
+	leaseSpan.End()
+	root.End()
+	lo, hi := leaseSpan.StartUS(), leaseSpan.EndUS()
+	if hi <= lo {
+		t.Fatalf("lease window [%d,%d] has no width", lo, hi)
+	}
+
+	remote := []SpanSnapshot{
+		// A worker root still marked running at snapshot time.
+		{ID: 7, Name: "worker.lease", StartUS: lo, DurUS: hi - lo, Running: true,
+			Attrs: map[string]any{"worker": "w0"}},
+		// Its child, linked by the remote trace's ids.
+		{ID: 8, ParentID: 7, Name: "stage1", StartUS: lo + 1, DurUS: 1},
+		// An orphan (parent not in the batch) with a badly shifted clock:
+		// starts before the window and overruns its end.
+		{ID: 9, ParentID: 1234, Name: "orphan", StartUS: lo - 500000, DurUS: (hi - lo) + 900000},
+	}
+	if n := tr.Graft(leaseSpan, remote, lo, hi); n != 3 {
+		t.Fatalf("Graft returned %d, want 3", n)
+	}
+
+	byName := map[string]SpanSnapshot{}
+	localIDs := map[int64]bool{root.ID(): true, leaseSpan.ID(): true}
+	for _, s := range tr.Snapshot() {
+		byName[s.Name] = s
+	}
+	workerSpan, stage, orphan := byName["worker.lease"], byName["stage1"], byName["orphan"]
+
+	if workerSpan.ID == 7 || localIDs[workerSpan.ID] {
+		t.Fatalf("grafted id %d not remapped into a fresh local id", workerSpan.ID)
+	}
+	if workerSpan.ParentID != leaseSpan.ID() {
+		t.Fatalf("worker.lease parent = %d, want lease span %d", workerSpan.ParentID, leaseSpan.ID())
+	}
+	if stage.ParentID != workerSpan.ID {
+		t.Fatalf("stage1 parent = %d, want remapped worker.lease %d", stage.ParentID, workerSpan.ID)
+	}
+	if orphan.ParentID != leaseSpan.ID() {
+		t.Fatalf("orphan parent = %d, want graft parent %d", orphan.ParentID, leaseSpan.ID())
+	}
+	if workerSpan.Running {
+		t.Fatal("grafted span still marked running")
+	}
+	if got, _ := workerSpan.Attrs["worker"].(string); got != "w0" {
+		t.Fatalf("grafted attrs lost: %v", workerSpan.Attrs)
+	}
+	for _, s := range []SpanSnapshot{workerSpan, stage, orphan} {
+		if s.StartUS < lo || s.StartUS+s.DurUS > hi {
+			t.Fatalf("span %s [%d,%d] escapes lease window [%d,%d]",
+				s.Name, s.StartUS, s.StartUS+s.DurUS, lo, hi)
+		}
+		if s.DurUS < 1 {
+			t.Fatalf("span %s duration %d, want >= 1", s.Name, s.DurUS)
+		}
+	}
+}
+
+// TestTraceGraftUnclamped checks the maxEndUS<=minStartUS escape hatch
+// (no clamping) and root attachment when parent is nil.
+func TestTraceGraftUnclamped(t *testing.T) {
+	tr := NewTrace()
+	n := tr.Graft(nil, []SpanSnapshot{{ID: 3, Name: "free", StartUS: -10, DurUS: 5}}, 0, 0)
+	if n != 1 {
+		t.Fatalf("Graft returned %d, want 1", n)
+	}
+	snaps := tr.Snapshot()
+	if len(snaps) != 1 || snaps[0].ParentID != 0 {
+		t.Fatalf("snapshot = %+v, want one root span", snaps)
+	}
+	if snaps[0].StartUS != -10 {
+		t.Fatalf("unclamped StartUS = %d, want -10 untouched", snaps[0].StartUS)
+	}
+
+	var nilTrace *Trace
+	if nilTrace.Graft(nil, snaps, 0, 0) != 0 {
+		t.Fatal("nil trace grafted spans")
+	}
+	if tr.Graft(nil, nil, 0, 0) != 0 {
+		t.Fatal("empty batch grafted spans")
+	}
+}

@@ -96,8 +96,8 @@ func (h *Histogram) Max() float64 {
 // BucketCount is one histogram bucket in a snapshot: the count of
 // observations at or below UpperBound but above the previous bound.
 type BucketCount struct {
-	UpperBound float64 // +Inf for the overflow bucket
-	Count      int64
+	UpperBound float64 `json:"le"` // +Inf for the overflow bucket
+	Count      int64   `json:"count"`
 }
 
 // Buckets returns a consistent-enough snapshot of the per-bucket counts

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProfilerHeapOnly checks the cpu<=0 configuration: one heap
+// profile per capture, written into a directory created on demand.
+func TestProfilerHeapOnly(t *testing.T) {
+	if NewProfiler("", time.Second) != nil {
+		t.Fatal("empty dir must disable the profiler")
+	}
+	dir := filepath.Join(t.TempDir(), "flight") // does not exist yet
+	p := NewProfiler(dir, 0)
+	paths := p.Capture("job1-chain_stalled")
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1 (heap only): %v", len(paths), paths)
+	}
+	if !strings.HasSuffix(paths[0], ".heap.pprof") {
+		t.Fatalf("path %q, want .heap.pprof suffix", paths[0])
+	}
+	if filepath.Dir(paths[0]) != dir {
+		t.Fatalf("profile %q written outside %q", paths[0], dir)
+	}
+	info, err := os.Stat(paths[0])
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+// TestProfilerCPUAndHeap checks the full capture: heap plus a CPU
+// window, both named after the sanitized prefix.
+func TestProfilerCPUAndHeap(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(dir, 20*time.Millisecond)
+	paths := p.Capture("job/2 weird")
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want heap + cpu: %v", len(paths), paths)
+	}
+	var sawHeap, sawCPU bool
+	for _, path := range paths {
+		base := filepath.Base(path)
+		if strings.ContainsAny(base, "/ ") {
+			t.Fatalf("capture prefix not sanitized: %q", base)
+		}
+		if !strings.HasPrefix(base, "job_2_weird-") {
+			t.Fatalf("capture name %q, want sanitized prefix job_2_weird-", base)
+		}
+		info, err := os.Stat(path)
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("profile %s missing or empty: %v", path, err)
+		}
+		sawHeap = sawHeap || strings.HasSuffix(path, ".heap.pprof")
+		sawCPU = sawCPU || strings.HasSuffix(path, ".cpu.pprof")
+	}
+	if !sawHeap || !sawCPU {
+		t.Fatalf("captures %v, want one .heap.pprof and one .cpu.pprof", paths)
+	}
+}
+
+// TestProfilerSerializesCaptures checks the alert-storm guard: while a
+// capture is in flight, further Capture calls return immediately with
+// nothing, and a nil profiler no-ops.
+func TestProfilerSerializesCaptures(t *testing.T) {
+	p := NewProfiler(t.TempDir(), 0)
+	p.busy.Store(true) // simulate an in-flight capture
+	if got := p.Capture("overlap"); got != nil {
+		t.Fatalf("overlapping capture wrote %v, want nil", got)
+	}
+	p.busy.Store(false)
+	if got := p.Capture("after"); len(got) == 0 {
+		t.Fatal("capture after the window freed must work")
+	}
+
+	var nilp *Profiler
+	if nilp.Capture("x") != nil {
+		t.Fatal("nil profiler captured something")
+	}
+}

@@ -49,10 +49,24 @@ type Trace struct {
 
 	mu    sync.Mutex
 	spans []*Span
+	// grafted holds finished spans imported from another process's trace
+	// (a worker's lease evaluation), already remapped onto this trace's
+	// id space and clock. See Graft.
+	grafted []SpanSnapshot
 }
 
 // NewTrace returns an empty trace whose clock starts now.
 func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// StartUnixUS returns the wall-clock time of the trace's start as
+// microseconds since the Unix epoch (0 on nil). Cross-process trace
+// stitching uses it to convert span offsets between trace clocks.
+func (t *Trace) StartUnixUS() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.start.UnixMicro()
+}
 
 // Span is one named interval of a trace. Create spans with
 // Registry.StartSpan, StartSpan (context-aware) or Span.Child; finish
@@ -136,6 +150,33 @@ func (s *Span) Child(name string) *Span {
 		return nil
 	}
 	return s.trace.newSpan(name, s.id)
+}
+
+// ID returns the span's trace-local id (0 on nil) — what a distributed
+// trace context carries as the parent span id.
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// StartUS returns the span's start in microseconds on its trace's clock
+// (0 on nil).
+func (s *Span) StartUS() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.start.Microseconds()
+}
+
+// EndUS returns the span's end in microseconds on its trace's clock, or
+// 0 while the span is still running (and on nil).
+func (s *Span) EndUS() int64 {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.end.Load()).Microseconds()
 }
 
 // End closes the span at the current monotonic time and, when the span
@@ -237,9 +278,64 @@ type SpanSnapshot struct {
 	Aggs     []AggSnapshot  `json:"aggs,omitempty"`
 }
 
-// Snapshot returns every span in creation order. Spans still running are
-// reported with Running=true and a duration up to now, so a live trace
-// (the estimation service's per-job endpoint) is always exportable.
+// Graft imports finished spans captured by another process's trace
+// under the given parent span of this trace: ids are remapped into this
+// trace's id space, parent links inside the batch are preserved, and
+// spans whose parent is not in the batch attach to parent (or become
+// roots when parent is nil). The caller must already have converted
+// each snapshot's StartUS onto this trace's clock (see internal/dist's
+// worker-clock normalization); Graft clamps grafted spans into
+// [minStartUS, maxEndUS] when maxEndUS > 0 so a badly estimated remote
+// clock offset cannot produce spans outside their enclosing lease.
+// Attrs maps are retained as-is and treated read-only. Returns the
+// number of spans grafted; nil-safe.
+func (t *Trace) Graft(parent *Span, spans []SpanSnapshot, minStartUS, maxEndUS int64) int {
+	if t == nil || len(spans) == 0 {
+		return 0
+	}
+	parentID := int64(0)
+	if parent != nil {
+		parentID = parent.id
+	}
+	idMap := make(map[int64]int64, len(spans))
+	out := make([]SpanSnapshot, 0, len(spans))
+	for _, s := range spans {
+		ns := s
+		ns.ID = t.nextID.Add(1)
+		idMap[s.ID] = ns.ID
+		if mapped, ok := idMap[s.ParentID]; ok && s.ParentID != 0 {
+			ns.ParentID = mapped
+		} else {
+			ns.ParentID = parentID
+		}
+		ns.Running = false
+		if maxEndUS > minStartUS {
+			if ns.StartUS < minStartUS {
+				ns.StartUS = minStartUS
+			}
+			if ns.StartUS > maxEndUS-1 {
+				ns.StartUS = maxEndUS - 1
+			}
+			if ns.StartUS+ns.DurUS > maxEndUS {
+				ns.DurUS = maxEndUS - ns.StartUS
+			}
+		}
+		if ns.DurUS < 1 {
+			ns.DurUS = 1
+		}
+		out = append(out, ns)
+	}
+	t.mu.Lock()
+	t.grafted = append(t.grafted, out...)
+	t.mu.Unlock()
+	return len(out)
+}
+
+// Snapshot returns every span in creation order, locally started spans
+// first, then grafted (imported) spans in graft order. Spans still
+// running are reported with Running=true and a duration up to now, so a
+// live trace (the estimation service's per-job endpoint) is always
+// exportable.
 func (t *Trace) Snapshot() []SpanSnapshot {
 	if t == nil {
 		return nil
@@ -247,8 +343,9 @@ func (t *Trace) Snapshot() []SpanSnapshot {
 	now := time.Since(t.start)
 	t.mu.Lock()
 	spans := append([]*Span(nil), t.spans...)
+	grafted := append([]SpanSnapshot(nil), t.grafted...)
 	t.mu.Unlock()
-	out := make([]SpanSnapshot, 0, len(spans))
+	out := make([]SpanSnapshot, 0, len(spans)+len(grafted))
 	for _, s := range spans {
 		end := time.Duration(s.end.Load())
 		running := end == 0
@@ -278,7 +375,7 @@ func (t *Trace) Snapshot() []SpanSnapshot {
 		s.mu.Unlock()
 		out = append(out, snap)
 	}
-	return out
+	return append(out, grafted...)
 }
 
 // WriteJSONL writes the trace as one JSON object per span line, in span

@@ -2,11 +2,14 @@
 # End-to-end smoke test of distributed serving: build sramserverd (with
 # -dist), sramworkerd, sramfail and loadtest; run a single-node baseline
 # job; restart with two workers and prove the distributed result is
-# byte-identical; kill one worker mid-job and require the same bytes
-# again with a reassigned lease; then exercise the idempotency keys and
-# the content-addressed result cache (a repeat submission must do zero
-# new simulations). Needs curl + jq. Used by CI (see
-# .github/workflows/ci.yml) and runnable locally: scripts/dist_smoke.sh
+# byte-identical; check the stitched cross-process trace and the
+# /v1/cluster federation summary; kill one worker mid-job and require
+# the same bytes again with a reassigned lease; then exercise the
+# idempotency keys and the content-addressed result cache (a repeat
+# submission must do zero new simulations); finally cross a graceful
+# drain under load and require zero lost jobs. Needs curl + jq. Used by
+# CI (see .github/workflows/ci.yml) and runnable locally:
+# scripts/dist_smoke.sh
 set -euo pipefail
 
 ADDR="localhost:${DIST_SMOKE_PORT:-18932}"
@@ -79,6 +82,22 @@ DIST_SNAP=$(submit_wait '{"seed":7,"distribute":true}')
 WORKERS=$(curl -fsS "http://$ADDR/v1/dist/workers")
 [ "$(jq 'map(.completed) | add' <<<"$WORKERS")" -gt 0 ] || fail "no worker completed a lease"
 echo "dist_smoke: 2-worker result byte-identical ($(jq 'length' <<<"$WORKERS") workers registered)"
+
+# The stitched trace: one Chrome trace for the distributed job, with
+# the workers' clock-normalized spans grafted in and tagged.
+DIST_ID=$(jq -r .id <<<"$DIST_SNAP")
+TRACE=$(curl -fsS "http://$ADDR/v1/jobs/$DIST_ID/trace")
+jq -e '.traceEvents | length > 0' <<<"$TRACE" >/dev/null || fail "stitched trace is empty"
+TRACE_WORKERS=$(jq -r '[.traceEvents[].args.worker // empty] | unique | join(",")' <<<"$TRACE")
+[ -n "$TRACE_WORKERS" ] || fail "stitched trace has no worker-tagged spans"
+echo "dist_smoke: stitched trace carries spans from [$TRACE_WORKERS]"
+
+# Metrics federation: the cluster summary folds both workers' totals.
+CLUSTER=$(curl -fsS "http://$ADDR/v1/cluster")
+[ "$(jq '.workers | length' <<<"$CLUSTER")" = 2 ] || fail "cluster summary missing workers: $(jq -c . <<<"$CLUSTER")"
+jq -e '.samples > 0 and .leases_completed > 0' <<<"$CLUSTER" >/dev/null \
+  || fail "cluster summary has no federated throughput: $(jq -c . <<<"$CLUSTER")"
+echo "dist_smoke: /v1/cluster folds $(jq -r .samples <<<"$CLUSTER") samples across the fleet"
 
 # Kill one worker mid-job: submit asynchronously, wait until the doomed
 # worker holds a lease, SIGKILL it, and require the same bytes again.
@@ -160,5 +179,21 @@ grep -q 'cached            20' "$WORK/lt2.out" || fail "repeat loadtest not full
 grep -q '^failure rate' "$WORK/remote.out" || fail "sramfail -remote printed no result"
 
 stop_server
+
+# ---- Phase 3: drain crossing under load. ----
+# loadtest SIGTERMs the server itself after 10 completions; every job
+# accepted before the signal must still finish, later submissions must
+# get the typed draining problem, and nothing may be lost. loadtest
+# exits non-zero if any of that fails.
+start_server
+"$WORK/loadtest" -server "http://$ADDR" -jobs 30 -concurrency 4 \
+  -workload readcurrent -k 200 -n 20000 \
+  -drain-after 10 -drain-pid "$SERVER_PID" | tee "$WORK/lt3.out" \
+  || fail "drain-crossing loadtest lost or failed jobs"
+wait "$SERVER_PID" || fail "server exited non-zero after drain"
+grep -q 'drain crossing' "$WORK/lt3.out" || fail "loadtest did not run in drain mode"
+echo "dist_smoke: drain crossing OK (zero lost jobs, clean rejections)"
+
 trap - EXIT
+cleanup
 echo "dist_smoke: PASS"
