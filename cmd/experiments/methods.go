@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/stat"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // methodNames is the paper's comparison order.
@@ -72,7 +73,7 @@ type mixing struct {
 // chainCounterValues snapshots the gibbs-scope interval-search counters;
 // taking before/after deltas isolates one run on a shared registry.
 func chainCounterValues(reg *telemetry.Registry) (updates, resampled int64) {
-	s := reg.Scope("gibbs")
+	s := reg.Scope(wire.ScopeGibbs)
 	return s.Counter("updates_total").Value(), s.Counter("resampled_total").Value()
 }
 

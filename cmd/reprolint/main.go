@@ -6,12 +6,22 @@
 // Usage:
 //
 //	reprolint [-json] [-v] [pattern ...]
+//	reprolint -suppressions [pattern ...]
+//	reprolint -fix-annotations [pattern ...]
 //	reprolint -list
 //
 // Patterns follow the go tool's shape: "./..." (the default) lints every
 // non-test package in the module; "./internal/mc" or "internal/mc"
 // lints one package; a trailing "/..." lints a subtree. Test files are
 // never loaded — the invariants are about production code.
+//
+// -suppressions audits the //reprolint:ignore inventory: it prints every
+// active suppression with its justification and fails if any directive
+// is malformed, names an unknown analyzer, or suppresses nothing.
+//
+// -fix-annotations lists mutex-adjacent struct fields that carry no
+// "guarded by" comment — the worklist for adopting lockguard in a
+// package. It is advisory and always exits 0 unless loading fails.
 //
 // Exit codes: 0 clean, 1 diagnostics reported, 2 load/usage error.
 package main
@@ -36,8 +46,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	jsonOut := fs.Bool("json", false, "write machine-readable reprolint/v1 JSON to stdout")
 	verbose := fs.Bool("v", false, "also list suppressed findings with their justifications")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	suppressions := fs.Bool("suppressions", false, "audit the suppression inventory: list every active ignore directive and fail on stale or malformed ones")
+	fixAnnotations := fs.Bool("fix-annotations", false, "list mutex-adjacent struct fields missing a \"guarded by\" annotation")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: reprolint [-json] [-v] [pattern ...]\n")
+		fmt.Fprintf(stderr, "usage: reprolint [-json] [-v] [-suppressions] [-fix-annotations] [pattern ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -78,7 +90,21 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	if *fixAnnotations {
+		cands := lint.AnnotationCandidates(selected)
+		for _, c := range cands {
+			fmt.Fprintf(stdout, "%s: %s.%s // guarded by %s\n", c.Pos, c.Struct, c.Field, c.Mutex)
+		}
+		fmt.Fprintf(stderr, "reprolint: %d unannotated field(s) next to a lone mutex in %d package(s)\n",
+			len(cands), len(selected))
+		return 0
+	}
+
 	res := lint.Run(selected, lint.Analyzers())
+
+	if *suppressions {
+		return auditSuppressions(res, stdout)
+	}
 
 	if *jsonOut {
 		if err := lint.WriteJSON(stdout, res); err != nil {
@@ -98,6 +124,30 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	if len(res.Diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// auditSuppressions prints the active suppression inventory and fails
+// if the directive machinery itself reported anything: a malformed
+// directive, an unknown analyzer name, or a suppression that matches no
+// finding. Real (non-directive) findings are left to the plain run —
+// this gate is only about keeping the ignore inventory honest.
+func auditSuppressions(res lint.Result, stdout *os.File) int {
+	for _, d := range res.Suppressed {
+		fmt.Fprintf(stdout, "%s (suppressed: %s)\n", d.String(), d.Reason)
+	}
+	bad := 0
+	for _, d := range res.Diags {
+		if d.Analyzer == lint.DirectiveAnalyzer {
+			fmt.Fprintln(stdout, d.String())
+			bad++
+		}
+	}
+	fmt.Fprintf(stdout, "reprolint: %d active suppression(s), %d directive problem(s)\n",
+		len(res.Suppressed), bad)
+	if bad > 0 {
 		return 1
 	}
 	return 0

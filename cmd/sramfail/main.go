@@ -21,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -158,7 +159,7 @@ func main() {
 		// The footer's throughput comes from the same "progress" scope
 		// estimator that feeds the SSE streams and the server's status
 		// JSON, so every surface agrees on the rate.
-		if rate := cli.Registry.Scope("progress").Gauge("sims_per_sec").Value(); rate > 0 {
+		if rate := cli.Registry.Scope(wire.ScopeProgress).Gauge("sims_per_sec").Value(); rate > 0 {
 			fmt.Printf("stage throughput  %.0f samples/s (live estimator)\n\n", rate)
 		}
 		cli.Registry.WriteTable(os.Stdout)
@@ -184,7 +185,7 @@ func startWatch(reg *telemetry.Registry) func() {
 		defer close(done)
 		wrote := false
 		for ev := range sub.Events() {
-			if ev.Name != "progress" {
+			if ev.Name != wire.EvProgress {
 				continue
 			}
 			stage, _ := ev.Fields["stage"].(string)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/jobs"
+	"repro/internal/wire"
 )
 
 // remoteJob carries the CLI flags of a -remote submission.
@@ -120,10 +121,10 @@ func printRemote(base string, snap jobs.Snapshot, elapsed time.Duration) {
 func watchRemote(ctx context.Context, c *client.Client, id string) {
 	wrote := false
 	err := c.Events(ctx, id, -1, func(ev client.Event) error {
-		if ev.Name == "job.done" || ev.Name == "job.failed" || ev.Name == "job.cancelled" {
+		if ev.Name == wire.EvJobDone || ev.Name == "job.failed" || ev.Name == "job.cancelled" {
 			return errWatchDone
 		}
-		if ev.Name != "progress" {
+		if ev.Name != wire.EvProgress {
 			return nil
 		}
 		var fields map[string]any

@@ -118,6 +118,7 @@ func main() {
 				log.Info("flight dump written", "path", path)
 			}
 			if profiler != nil {
+				//reprolint:ignore goroutinelife profile capture self-terminates after the sampling window; joining it would stall alert handling
 				go profiler.Capture("worker-" + sanitize(*id) + "-" + a.Kind)
 			}
 		},
@@ -127,6 +128,7 @@ func main() {
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.MetricsHandler())
+		//reprolint:ignore goroutinelife debug listener lives for the process; ListenAndServe returns on process exit
 		go func() {
 			srv := &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/obslog"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Config configures a Coordinator. The zero value is usable.
@@ -51,10 +52,10 @@ type Coordinator struct {
 	log *obslog.Logger
 
 	mu      sync.Mutex
-	jobs    map[string]*shardJob
-	order   []string // grant fairness: oldest submitted job first
-	leases  map[string]*lease
-	workers map[string]*workerState
+	jobs    map[string]*shardJob    // guarded by mu
+	order   []string                // grant fairness: oldest submitted job first; guarded by mu
+	leases  map[string]*lease       // guarded by mu
+	workers map[string]*workerState // guarded by mu
 
 	seq      atomic.Int64
 	stop     chan struct{}
@@ -139,7 +140,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		stop:    make(chan struct{}),
 		swept:   make(chan struct{}),
 	}
-	scope := cfg.Registry.Scope("dist")
+	scope := cfg.Registry.Scope(wire.ScopeDist)
 	c.granted = scope.Counter("leases_granted_total")
 	c.completed = scope.Counter("leases_completed_total")
 	c.expired = scope.Counter("leases_expired_total")
@@ -203,7 +204,7 @@ func (c *Coordinator) Run(ctx context.Context, job *jobs.Job) (*repro.Result, er
 	c.order = append(c.order, sj.id)
 	c.gaugesLocked()
 	c.mu.Unlock()
-	job.Telemetry().Emit("dist.job.start", map[string]any{
+	job.Telemetry().Emit(wire.EvDistJobStart, map[string]any{
 		"job": sj.id, "total": total, "ranges": len(ranges), "trace": sj.traceID,
 	})
 	c.log.Info("distributed job sharded",
@@ -228,7 +229,7 @@ func (c *Coordinator) Run(ctx context.Context, job *jobs.Job) (*repro.Result, er
 	if foldErr != nil {
 		return nil, foldErr
 	}
-	job.Telemetry().Emit("dist.job.done", map[string]any{
+	job.Telemetry().Emit(wire.EvDistJobDone, map[string]any{
 		"job": sj.id, "pf": res.Pf, "sims": res.TotalSims,
 	})
 	c.log.Info("distributed job folded",
@@ -301,7 +302,7 @@ func (c *Coordinator) touchWorkerLocked(info WorkerInfo) *workerState {
 	if ws == nil {
 		ws = &workerState{WorkerInfo: info}
 		c.workers[info.ID] = ws
-		c.cfg.Registry.Emit("dist.worker.joined", map[string]any{
+		c.cfg.Registry.Emit(wire.EvDistWorkerJoined, map[string]any{
 			"worker": info.ID, "cores": info.Cores,
 		})
 		c.log.Info("worker joined", "worker", info.ID, "cores", info.Cores)
@@ -326,7 +327,7 @@ func (c *Coordinator) gaugesLocked() {
 
 // workerScope returns the per-worker metrics scope.
 func (c *Coordinator) workerScope(id string) *telemetry.Scope {
-	return c.cfg.Registry.Scope("dist_worker_" + id)
+	return c.cfg.Registry.Scope(wire.ScopeDistWorkerPrefix + id)
 }
 
 // sortedWorkersLocked returns the worker records ordered by ID, so
@@ -350,7 +351,7 @@ func (c *Coordinator) ingestReportLocked(ws *workerState, points []telemetry.Met
 		ws.points = points
 		scope := c.workerScope(ws.ID)
 		for _, p := range points {
-			if p.Scope == "progress" && p.Name == "sims_per_sec" {
+			if p.Scope == wire.ScopeProgress && p.Name == "sims_per_sec" {
 				ws.simsPerSec = p.Value
 			}
 			name := p.Scope + "_" + p.Name
@@ -390,7 +391,7 @@ func (c *Coordinator) ingestReportLocked(ws *workerState, points []telemetry.Met
 // Workers are folded in ID order so the float sums are deterministic.
 // Callers hold c.mu.
 func (c *Coordinator) aggregateClusterLocked() {
-	scope := c.cfg.Registry.Scope("cluster")
+	scope := c.cfg.Registry.Scope(wire.ScopeCluster)
 	sums := make(map[string]float64)
 	var names []string
 	rate := 0.0
@@ -418,7 +419,7 @@ func (c *Coordinator) aggregateClusterLocked() {
 // registry's event stream (the global SSE firehose) and the log.
 func (c *Coordinator) emitWorkerAlerts(workerID string, fresh []HealthAlert) {
 	for _, a := range fresh {
-		c.cfg.Registry.Emit("worker.health."+a.Kind, map[string]any{
+		c.cfg.Registry.Emit(wire.EvWorkerHealthPrefix+a.Kind, map[string]any{
 			"worker": workerID, "kind": a.Kind, "detail": a.Detail,
 		})
 		c.log.Warn("worker health alert", "worker", workerID, "kind", a.Kind, "detail", a.Detail)
@@ -475,7 +476,7 @@ func (c *Coordinator) sweepOnce(now time.Time) {
 	c.gaugesLocked()
 	c.mu.Unlock()
 	for _, e := range fired {
-		e.jobReg.Emit("dist.lease.expired", e.fields)
+		e.jobReg.Emit(wire.EvDistLeaseExpired, e.fields)
 	}
 }
 
@@ -545,7 +546,7 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	jobReg.Emit("dist.lease.granted", map[string]any{
+	jobReg.Emit(wire.EvDistLeaseGranted, map[string]any{
 		"job": out.Job, "lease": out.ID, "worker": req.Worker.ID,
 		"lo": out.Range.Lo, "hi": out.Range.Hi,
 	})
@@ -685,7 +686,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	endLeaseSpan(l, "completed")
 	grafted := c.stitchSpans(jobReg.TraceData(), l, &up)
 	c.emitWorkerAlerts(l.worker, fresh)
-	jobReg.Emit("dist.lease.result", map[string]any{
+	jobReg.Emit(wire.EvDistLeaseResult, map[string]any{
 		"job": l.jobID, "lease": id, "worker": l.worker,
 		"lo": l.r.Lo, "hi": l.r.Hi, "sims": sims, "complete": finished,
 	})

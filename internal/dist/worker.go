@@ -14,6 +14,7 @@ import (
 	"repro"
 	"repro/internal/obslog"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // WorkerConfig configures RunWorker.
@@ -69,7 +70,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		cfg.Client = &http.Client{}
 	}
 	w := &worker{cfg: cfg, log: cfg.Log.With("component", "worker", "worker", cfg.ID)}
-	scope := cfg.Registry.Scope("worker")
+	scope := cfg.Registry.Scope(wire.ScopeWorker)
 	w.leases = scope.Counter("leases_total")
 	w.completed = scope.Counter("leases_completed_total")
 	w.failures = scope.Counter("leases_failed_total")
@@ -126,11 +127,11 @@ func (w *worker) drainAlerts() {
 			if !ok {
 				return
 			}
-			if !strings.HasPrefix(ev.Name, "health.") {
+			if !strings.HasPrefix(ev.Name, wire.EvHealthPrefix) {
 				continue
 			}
 			a := HealthAlert{
-				Kind:   strings.TrimPrefix(ev.Name, "health."),
+				Kind:   strings.TrimPrefix(ev.Name, wire.EvHealthPrefix),
 				UnixUS: time.Now().UnixMicro(),
 			}
 			if d, _ := ev.Fields["detail"].(string); d != "" {
@@ -218,7 +219,7 @@ func (w *worker) process(ctx context.Context, lease *Lease) {
 
 	log := w.log.With("job", lease.Job, "lease", lease.ID, "trace", lease.Trace.TraceID)
 	log.Debug("lease granted", "lo", lease.Range.Lo, "hi", lease.Range.Hi)
-	w.cfg.Registry.Emit("worker.lease.start", map[string]any{
+	w.cfg.Registry.Emit(wire.EvWorkerLeaseStart, map[string]any{
 		"job": lease.Job, "lease": lease.ID, "trace": lease.Trace.TraceID,
 		"lo": lease.Range.Lo, "hi": lease.Range.Hi,
 	})
@@ -246,7 +247,7 @@ func (w *worker) process(ctx context.Context, lease *Lease) {
 				err = postErr
 			case status == http.StatusOK:
 				w.completed.Inc()
-				w.cfg.Registry.Emit("worker.lease.done", map[string]any{
+				w.cfg.Registry.Emit(wire.EvWorkerLeaseDone, map[string]any{
 					"job": lease.Job, "lease": lease.ID, "spans": len(up.Spans),
 				})
 				log.Debug("lease completed", "spans", len(up.Spans),
@@ -262,14 +263,14 @@ func (w *worker) process(ctx context.Context, lease *Lease) {
 	// leaseCtx, 410 upload) needs no report.
 	if ctx.Err() == nil && leaseCtx.Err() == nil {
 		w.failures.Inc()
-		w.cfg.Registry.Emit("worker.lease.failed", map[string]any{
+		w.cfg.Registry.Emit(wire.EvWorkerLeaseFailed, map[string]any{
 			"job": lease.Job, "lease": lease.ID, "error": err.Error(),
 		})
 		log.Warn("lease failed", "error", err.Error())
 		w.post(ctx, "/v1/dist/leases/"+lease.ID+"/fail", FailUpload{Error: err.Error()}, nil)
 	} else {
 		w.lost.Inc()
-		w.cfg.Registry.Emit("worker.lease.lost", map[string]any{
+		w.cfg.Registry.Emit(wire.EvWorkerLeaseLost, map[string]any{
 			"job": lease.Job, "lease": lease.ID,
 		})
 		log.Warn("lease lost")

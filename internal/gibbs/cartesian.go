@@ -10,6 +10,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/stat"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // ErrStartNotFailing is returned when a chain is started outside the
@@ -49,7 +50,7 @@ func CartesianChainContext(ctx context.Context, metric mc.Metric, start []float6
 	if !mc.Fail(metric, x) {
 		return nil, ErrStartNotFailing
 	}
-	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, "gibbs.chain")
+	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, wire.EvGibbsChain)
 	defer span.End()
 	span.SetAttr("coord", Cartesian.String())
 	updateAgg, probeAgg := span.Agg("update"), span.Agg("probe")

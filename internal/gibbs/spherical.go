@@ -10,6 +10,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/stat"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // SphericalCoords maps a Cartesian point to the paper's redundant
@@ -88,7 +89,7 @@ func SphericalChainContext(ctx context.Context, metric mc.Metric, start []float6
 		return x
 	}
 
-	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, "gibbs.chain")
+	ctx, span := telemetry.StartSpan(ctx, o.Telemetry, wire.EvGibbsChain)
 	defer span.End()
 	span.SetAttr("coord", Spherical.String())
 	updateAgg, probeAgg := span.Agg("update"), span.Agg("probe")

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Chain telemetry lives in the "gibbs" scope:
@@ -82,8 +83,8 @@ func newChainTelemetry(reg *telemetry.Registry, coordNames []string, target int)
 	if reg == nil {
 		return nil
 	}
-	s := reg.Scope("gibbs")
-	prog := reg.Scope("progress")
+	s := reg.Scope(wire.ScopeGibbs)
+	prog := reg.Scope(wire.ScopeProgress)
 	ct := &chainTelemetry{
 		reg:        reg,
 		coordNames: coordNames,
@@ -156,7 +157,7 @@ func (t *chainTelemetry) progress() {
 	t.gN.Set(float64(t.nUpdates))
 	t.gRate.Set(rate)
 	t.gETA.Set(eta)
-	t.reg.Emit("progress", map[string]any{
+	t.reg.Emit(wire.EvProgress, map[string]any{
 		"stage": "stage1", "n": t.nUpdates, "total": t.target,
 		"resampled": t.nResampled, "sims": t.nProbes,
 		"sims_per_sec": rate, "eta_seconds": eta,
@@ -186,12 +187,12 @@ func (t *chainTelemetry) done(coord Coord, samples [][]float64) {
 		"resampled_by_coord": t.byCoord,
 	}
 	t.gETA.Set(0)
-	s := t.reg.Scope("gibbs")
+	s := t.reg.Scope(wire.ScopeGibbs)
 	s.Gauge("chain_acceptance").Set(acceptance)
 	if ess, err := EffectiveSampleSize(samples); err == nil {
 		fields["ess"] = ess
 		fields["tau_max"] = float64(len(samples)) / ess
 		s.Gauge("chain_ess").Set(ess)
 	}
-	t.reg.Emit("gibbs.chain", fields)
+	t.reg.Emit(wire.EvGibbsChain, fields)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/stat"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Coord selects the Gibbs chain's coordinate system.
@@ -117,7 +118,7 @@ func firstStage(ctx context.Context, counter *mc.Counter, opts *TwoStageOptions,
 	}()
 	span.SetAttr("coord", opts.Coord.String())
 	span.SetAttr("k", opts.K)
-	opts.Telemetry.Emit("stage1.start", map[string]any{
+	opts.Telemetry.Emit(wire.EvStage1Start, map[string]any{
 		"coord": opts.Coord.String(), "k": opts.K, "budget": opts.Stage1Budget,
 	})
 	start := opts.StartPoint
@@ -135,7 +136,7 @@ func firstStage(ctx context.Context, counter *mc.Counter, opts *TwoStageOptions,
 		}
 	}
 	res.Start = start
-	opts.Telemetry.Emit("stage1.start_point", map[string]any{
+	opts.Telemetry.Emit(wire.EvStage1StartPoint, map[string]any{
 		"sims": counter.Count(), "norm": linalg.Norm2(start),
 	})
 
@@ -172,7 +173,7 @@ func firstStage(ctx context.Context, counter *mc.Counter, opts *TwoStageOptions,
 	res.Samples = samples
 	res.Stage1Sims = counter.Count()
 	span.SetAttr("sims", res.Stage1Sims)
-	opts.Telemetry.Emit("stage1.done", map[string]any{
+	opts.Telemetry.Emit(wire.EvStage1Done, map[string]any{
 		"sims": res.Stage1Sims, "samples": len(samples),
 	})
 
@@ -230,7 +231,7 @@ func TwoStageContext(ctx context.Context, counter *mc.Counter, opts TwoStageOpti
 		return nil, err
 	}
 	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
-	opts.Telemetry.Emit("stage2.start", map[string]any{
+	opts.Telemetry.Emit(wire.EvStage2Start, map[string]any{
 		"n": opts.N, "workers": ev.Workers(), "mixture": opts.Mixture,
 	})
 	t0 := time.Now()
@@ -259,7 +260,7 @@ func TwoStageUntilContext(ctx context.Context, counter *mc.Counter, opts TwoStag
 		return nil, err
 	}
 	ev := mc.NewEvaluator(counter, opts.Workers).WithTelemetry(opts.Telemetry)
-	opts.Telemetry.Emit("stage2.start", map[string]any{
+	opts.Telemetry.Emit(wire.EvStage2Start, map[string]any{
 		"target": target, "min_n": minN, "max_n": maxN, "workers": ev.Workers(), "mixture": opts.Mixture,
 	})
 	t0 := time.Now()

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/obslog"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Queue and lifecycle errors. HTTP handlers map these to status codes;
@@ -206,15 +207,15 @@ type Job struct {
 	cached   bool   // served from the result cache at submission
 
 	mu        sync.Mutex
-	flight    string // path of the written flight dump, under mu
-	state     State
-	cancel    context.CancelFunc // set when the job starts running
-	cancelled bool               // cancel requested (possibly while queued)
-	result    *repro.Result
-	err       error
-	created   time.Time
-	started   time.Time
-	finished  time.Time
+	flight    string             // path of the written flight dump; guarded by mu
+	state     State              // guarded by mu
+	cancel    context.CancelFunc // set when the job starts running; guarded by mu
+	cancelled bool               // cancel requested (possibly while queued); guarded by mu
+	result    *repro.Result      // guarded by mu
+	err       error              // guarded by mu
+	created   time.Time          // guarded by mu
+	started   time.Time          // guarded by mu
+	finished  time.Time          // guarded by mu
 
 	done chan struct{} // closed on reaching a terminal state
 }
@@ -315,8 +316,8 @@ func (j *Job) Snapshot() Snapshot {
 		s.Elapsed = end.Sub(j.started).Seconds()
 	}
 	if j.state == StateRunning {
-		mcScope := j.reg.Scope("mc")
-		prog := j.reg.Scope("progress")
+		mcScope := j.reg.Scope(wire.ScopeMC)
+		prog := j.reg.Scope(wire.ScopeProgress)
 		if n := int(mcScope.Gauge("stage2_n").Value()); n > 0 {
 			s.Progress = &Progress{
 				Stage2N:    n,
@@ -429,10 +430,10 @@ type Manager struct {
 	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for List
+	jobs     map[string]*Job // guarded by mu
+	order    []string        // submission order, for List; guarded by mu
 	queue    chan *Job
-	draining bool
+	draining bool // guarded by mu
 
 	seq atomic.Int64
 	wg  sync.WaitGroup
@@ -442,7 +443,7 @@ type Manager struct {
 	// concurrent duplicate can never double-submit.
 	cache  *resultCache
 	idemMu sync.Mutex
-	idem   map[string]idemEntry
+	idem   map[string]idemEntry // guarded by idemMu
 
 	// bus is the server-global event bus (nil with EventRing 0): every
 	// job's events arrive here tagged with the job ID, and the global
@@ -532,7 +533,7 @@ func NewManager(cfg Config) *Manager {
 	} else {
 		close(m.gcDone)
 	}
-	scope := cfg.Registry.Scope("jobs")
+	scope := cfg.Registry.Scope(wire.ScopeJobs)
 	m.submitted = scope.Counter("submitted_total")
 	m.completed = scope.Counter("completed_total")
 	m.failed = scope.Counter("failed_total")
@@ -637,10 +638,10 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		m.submitted.Inc()
 		m.cacheHits.Inc()
 		m.completed.Inc()
-		job.reg.Emit("job.submitted", map[string]any{
+		job.reg.Emit(wire.EvJobSubmitted, map[string]any{
 			"job": job.id, "workload": req.Workload, "method": req.Method, "seed": req.Seed,
 		})
-		job.reg.Emit("job.done", map[string]any{
+		job.reg.Emit(wire.EvJobDone, map[string]any{
 			"job": job.id, "state": string(StateDone), "pf": res.Pf, "sims": res.TotalSims, "cached": true,
 		})
 		close(job.done)
@@ -660,7 +661,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	// Emitting on the job's registry reaches the shared sink and, when
 	// enabled, the job bus (so a per-job SSE stream sees its own
 	// lifecycle from the first event) plus the tagged global bus.
-	job.reg.Emit("job.submitted", map[string]any{
+	job.reg.Emit(wire.EvJobSubmitted, map[string]any{
 		"job": job.id, "workload": req.Workload, "method": req.Method, "seed": req.Seed,
 	})
 	m.mu.Unlock()
@@ -963,9 +964,9 @@ func (m *Manager) mirrorEvent(ev telemetry.Event) {
 	if !tracked {
 		return
 	}
-	s := m.cfg.Registry.Scope("job_" + id)
+	s := m.cfg.Registry.Scope(wire.ScopeJobPrefix + id)
 	switch ev.Name {
-	case "progress":
+	case wire.EvProgress:
 		if n, ok := numEventField(ev.Fields, "n"); ok {
 			s.Gauge("progress_n").Set(n)
 		}
@@ -1058,7 +1059,7 @@ func (m *Manager) run(job *Job) {
 		job.finished = time.Now()
 		job.mu.Unlock()
 		m.cancelled.Inc()
-		job.reg.Emit("job.done", map[string]any{
+		job.reg.Emit(wire.EvJobDone, map[string]any{
 			"job": job.id, "state": string(StateCancelled), "error": context.Canceled.Error(),
 		})
 		close(job.done)
@@ -1087,6 +1088,7 @@ func (m *Manager) run(job *Job) {
 			m.log.Warn("watchdog alert", "job", job.id, "kind", a.Kind, "detail", a.Detail)
 			job.dumpFlight("alert-" + a.Kind)
 			if m.profiler != nil {
+				//reprolint:ignore goroutinelife profile capture self-terminates after the sampling window; joining it would stall alert handling
 				go m.profiler.Capture(job.id + "-" + a.Kind)
 			}
 		},
@@ -1144,7 +1146,7 @@ func (m *Manager) run(job *Job) {
 	// (every per-job SSE stream ends on it) and tagged global bus —
 	// before the flight dump and the done close, so the dump's ring ends
 	// on job.done and a waiter that saw done can rely on both.
-	job.reg.Emit("job.done", fields)
+	job.reg.Emit(wire.EvJobDone, fields)
 	switch {
 	case err != nil:
 		m.log.Warn("job finished", "job", job.id, "state", string(state), "error", err.Error())

@@ -6,6 +6,8 @@ import (
 	"net/http"
 
 	"repro"
+
+	"repro/internal/wire"
 )
 
 // RFC 9457 problem details: every non-2xx response from the v1 API is
@@ -16,7 +18,7 @@ import (
 // URIs.
 
 // ProblemType is the URN prefix of every problem Type this API emits.
-const ProblemType = "urn:repro:problem:"
+const ProblemType = wire.ProblemURNPrefix
 
 // Problem is the RFC 9457 error document. It implements error, so the
 // typed client surfaces API failures as *Problem values callers can
@@ -48,24 +50,24 @@ func problemFrom(err error) *Problem {
 	p := &Problem{Detail: err.Error()}
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		p.Type, p.Title, p.Status = ProblemType+"queue-full", "Job queue is full", http.StatusTooManyRequests
+		p.Type, p.Title, p.Status = wire.ProblemQueueFull, "Job queue is full", http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
-		p.Type, p.Title, p.Status = ProblemType+"draining", "Server is draining", http.StatusServiceUnavailable
+		p.Type, p.Title, p.Status = wire.ProblemDraining, "Server is draining", http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
-		p.Type, p.Title, p.Status = ProblemType+"not-found", "No such job", http.StatusNotFound
+		p.Type, p.Title, p.Status = wire.ProblemNotFound, "No such job", http.StatusNotFound
 	case errors.Is(err, ErrIdempotencyConflict):
-		p.Type, p.Title, p.Status = ProblemType+"idempotency-conflict", "Idempotency key reused with a different request", http.StatusConflict
+		p.Type, p.Title, p.Status = wire.ProblemIdempotencyConflict, "Idempotency key reused with a different request", http.StatusConflict
 	case errors.Is(err, ErrDistributionDisabled):
-		p.Type, p.Title, p.Status = ProblemType+"distribution-disabled", "Distributed execution is not enabled", http.StatusNotImplemented
+		p.Type, p.Title, p.Status = wire.ProblemDistributionDisabled, "Distributed execution is not enabled", http.StatusNotImplemented
 	case errors.Is(err, repro.ErrNotShardable):
-		p.Type, p.Title, p.Status = ProblemType+"not-distributable", "Options cannot run distributed", http.StatusBadRequest
+		p.Type, p.Title, p.Status = wire.ProblemNotDistributable, "Options cannot run distributed", http.StatusBadRequest
 	case errors.Is(err, repro.ErrInvalidOptions),
 		errors.Is(err, repro.ErrUnknownMethod),
 		errors.Is(err, repro.ErrUnknownWorkload):
-		p.Type, p.Title, p.Status = ProblemType+"invalid-request", "Request validation failed", http.StatusBadRequest
+		p.Type, p.Title, p.Status = wire.ProblemInvalidRequest, "Request validation failed", http.StatusBadRequest
 		p.Errors = leaves(err)
 	default:
-		p.Type, p.Title, p.Status = ProblemType+"internal", "Internal error", http.StatusInternalServerError
+		p.Type, p.Title, p.Status = wire.ProblemInternal, "Internal error", http.StatusInternalServerError
 	}
 	return p
 }
@@ -74,7 +76,7 @@ func problemFrom(err error) *Problem {
 // parameter) as a 400 problem.
 func badRequest(err error) *Problem {
 	return &Problem{
-		Type: ProblemType + "invalid-request", Title: "Request validation failed",
+		Type: wire.ProblemInvalidRequest, Title: "Request validation failed",
 		Status: http.StatusBadRequest, Detail: err.Error(),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Server-Sent Events endpoints — the live half of the jobs API:
@@ -68,8 +69,8 @@ func (m *Manager) sseEvents(w http.ResponseWriter, r *http.Request, bus *telemet
 	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
 	w.WriteHeader(http.StatusOK)
 	if gap > 0 {
-		fmt.Fprintf(w, "event: stream.gap\ndata: {\"requested_after\":%d,\"oldest\":%d,\"missed\":%d}\n\n",
-			after, oldest, gap)
+		fmt.Fprintf(w, "event: %s\ndata: {\"requested_after\":%d,\"oldest\":%d,\"missed\":%d}\n\n",
+			wire.EvStreamGap, after, oldest, gap)
 	}
 	flusher.Flush()
 
@@ -92,7 +93,7 @@ func (m *Manager) sseEvents(w http.ResponseWriter, r *http.Request, bus *telemet
 				return
 			}
 			if d := sub.Dropped(); d > reportedDrops {
-				fmt.Fprintf(w, "event: stream.dropped\ndata: {\"dropped\":%d}\n\n", d)
+				fmt.Fprintf(w, "event: %s\ndata: {\"dropped\":%d}\n\n", wire.EvStreamDropped, d)
 				reportedDrops = d
 			}
 			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Name, ev.Data); err != nil {

@@ -3,6 +3,10 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -105,5 +109,92 @@ func FuzzFormatDiagnostic(f *testing.F) {
 		if rep["schema"] != JSONSchema {
 			t.Fatalf("schema tag lost: %v", rep["schema"])
 		}
+	})
+}
+
+// FuzzParseGuardedBy holds the annotation grammar to its contract:
+// never panic, and any accepted guard name is a single clean token —
+// no whitespace, no leftover punctuation that collectGuards would then
+// fail to resolve against a real field name.
+func FuzzParseGuardedBy(f *testing.F) {
+	f.Add("guarded by mu")
+	f.Add("jobs is guarded by mu.")
+	f.Add("(guarded by rw)")
+	f.Add("guarded by")
+	f.Add("guarded  by\tmu")
+	f.Add("guardedby mu")
+	f.Add("guarded by ...")
+	f.Add("guarded by mu, among other things; guarded by other")
+	f.Add("\x00guarded by \xffmu")
+	f.Fuzz(func(t *testing.T, text string) {
+		name, ok := parseGuardedBy(text)
+		if !ok {
+			if name != "" {
+				t.Fatalf("parseGuardedBy(%q) = %q, false — name must be empty on miss", text, name)
+			}
+			return
+		}
+		if name == "" {
+			t.Fatalf("parseGuardedBy(%q) accepted an empty guard name", text)
+		}
+		if strings.ContainsAny(name, " \t\n") {
+			t.Fatalf("parseGuardedBy(%q) returned name %q containing whitespace", text, name)
+		}
+	})
+}
+
+// FuzzDataflowAnalyzers feeds arbitrary (often ill-typed) Go source
+// through the full dataflow suite. The type checker runs in tolerant
+// mode, so the analyzers see exactly the partial types.Info they would
+// get from broken code — and must not panic on it.
+func FuzzDataflowAnalyzers(f *testing.F) {
+	f.Add(`package mc
+import "math/rand"
+import "time"
+func bad() { _ = rand.NewSource(time.Now().UnixNano()) }`)
+	f.Add(`package mc
+import "sync"
+type s struct {
+	mu sync.Mutex
+	// n is guarded by mu
+	n int
+}
+func (x *s) get() int { return x.n }`)
+	f.Add(`package mc
+func spawn() { go func() { for { } }() }`)
+	f.Add(`package telemetry
+type Registry struct{}
+func (r *Registry) Emit(name string) {}
+func use(r *Registry) { r.Emit("literal.event") }`)
+	f.Add(`package mc
+const u = "urn:repro:problem:late"`)
+	f.Add(`package mc
+func broken() { undeclared(, }`)
+	f.Add("package mc\nvar x = guarded by mu")
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		// No importer and errors swallowed: imports fail to resolve and
+		// ill-typed expressions leave holes in info — the adversarial
+		// input surface for the analyzers.
+		conf := types.Config{Error: func(error) {}}
+		pkg, _ := conf.Check("repro/internal/mc", fset, []*ast.File{file}, info)
+		p := &Package{
+			ImportPath: "repro/internal/mc",
+			Fset:       fset,
+			Files:      []*ast.File{file},
+			Pkg:        pkg,
+			Info:       info,
+		}
+		Run([]*Package{p}, []*Analyzer{Seedflow, LockGuard, GoroutineLife, WireStable})
 	})
 }

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife enforces goroutine accountability: every go statement
+// must carry a visible lifetime signal — a join (WaitGroup.Done, a
+// channel send/close the spawner can wait on) or a cancellation path
+// (a select, a channel receive, or any use of a context). A goroutine
+// with neither outlives its spawner silently, which in the serving
+// path means leaked renew loops and executors that survive drain.
+//
+// The check follows calls into module functions (two hops): `go
+// m.sweep()` is accountable when sweep's body selects on the manager's
+// done channel. External callees it cannot see into (go srv.Serve(ln))
+// are flagged with their own message — wrap them in a literal that
+// owns the shutdown path, or suppress with a reason.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "every go statement must be joined (WaitGroup/channel) or " +
+		"cancellable (select, channel receive, context use), directly " +
+		"or inside a module callee up to two hops away",
+	RunModule: runGoroutineLife,
+}
+
+// maxLifeHops bounds how far through module callees the signal search
+// descends from the spawned body.
+const maxLifeHops = 2
+
+func runGoroutineLife(pkgs []*Package, report Reporter) {
+	ix := buildIndex(pkgs)
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		pkg := p
+		for _, fd := range enclosingFuncs(p) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pkg, ix, gs, report)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(p *Package, ix *moduleIndex, gs *ast.GoStmt, report Reporter) {
+	call := gs.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		seen := make(map[*types.Func]bool)
+		if bodySignals(p, ix, lit.Body, 0, seen) {
+			return
+		}
+		if loop := unconditionalLoop(lit.Body); loop != nil {
+			report(gs.Pos(), "goroutine loops forever with no select, channel operation, or context use; it can never be joined or cancelled")
+			return
+		}
+		report(gs.Pos(), "goroutine has no join or cancellation signal (no WaitGroup.Done, channel operation, select, or context use)")
+		return
+	}
+	// go expr() with a named callee: a context argument makes it
+	// cancellable; a module callee is searched for signals; anything
+	// else is opaque.
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return
+		}
+	}
+	callee := calleeFunc(p, call)
+	if callee != nil {
+		if info, ok := ix.funcs[callee]; ok && info.decl.Body != nil {
+			seen := map[*types.Func]bool{callee: true}
+			if bodySignals(info.pkg, ix, info.decl.Body, 1, seen) {
+				return
+			}
+			report(gs.Pos(), "goroutine running %s has no join or cancellation signal (no WaitGroup.Done, channel operation, select, or context use in the callee)",
+				callee.Name())
+			return
+		}
+	}
+	report(gs.Pos(), "goroutine calls %s, which this module cannot see into; wrap it in a func literal that owns its shutdown path",
+		types.ExprString(call.Fun))
+}
+
+// bodySignals scans a function body for lifetime signals, descending
+// into module callees up to maxLifeHops away. Nested function literals
+// inside the body belong to further goroutines or callbacks and are
+// not scanned — their signals do not bound this goroutine's life.
+func bodySignals(p *Package, ix *moduleIndex, body *ast.BlockStmt, hops int, seen map[*types.Func]bool) bool {
+	found := false
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+			if fn := calleeFunc(p, x); fn != nil {
+				if fn.Name() == "Done" && recvIsWaitGroup(fn) {
+					found = true
+					return false
+				}
+				if _, inModule := ix.funcs[fn]; inModule && !seen[fn] {
+					callees = append(callees, fn)
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := p.Info.Uses[x].(*types.Var); ok && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	if hops >= maxLifeHops {
+		return false
+	}
+	for _, fn := range callees {
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		info := ix.funcs[fn]
+		if info.decl.Body == nil {
+			continue
+		}
+		if bodySignals(info.pkg, ix, info.decl.Body, hops+1, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvIsWaitGroup reports whether fn is a method on sync.WaitGroup.
+func recvIsWaitGroup(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// unconditionalLoop returns a `for {}` loop (no condition) found at
+// any depth of the body, for the sharper "loops forever" message.
+func unconditionalLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var loop *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if loop != nil {
+			return false
+		}
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil {
+			loop = f
+			return false
+		}
+		return true
+	})
+	return loop
+}

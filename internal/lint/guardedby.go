@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// guardedby.go implements the "// guarded by <mu>" annotation grammar
+// shared by the lockguard analyzer and the -fix-annotations helper.
+//
+// A struct field is annotated by placing the phrase "guarded by <name>"
+// in its doc comment or trailing line comment, where <name> is a
+// sibling field of type sync.Mutex, sync.RWMutex, or a pointer to
+// either. The phrase may appear anywhere in the comment, so prose like
+// "// jobs is the queue index, guarded by mu." works; trailing
+// punctuation after the mutex name is ignored.
+
+// guardInfo describes the mutex protecting one annotated struct field.
+type guardInfo struct {
+	mutex *types.Var // the sibling mutex field
+	rw    bool       // true for sync.RWMutex: RLock satisfies reads
+}
+
+// parseGuardedBy extracts the mutex name from comment text (as
+// returned by ast.CommentGroup.Text, i.e. with comment markers
+// stripped). It returns the first "guarded by <name>" phrase found.
+func parseGuardedBy(text string) (string, bool) {
+	words := strings.Fields(text)
+	for i := 0; i+2 < len(words); i++ {
+		if words[i] != "guarded" || words[i+1] != "by" {
+			continue
+		}
+		name := strings.TrimRight(words[i+2], ".,;:!?)")
+		name = strings.TrimLeft(name, "(")
+		if name != "" {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one); rw distinguishes the reader/writer variant.
+func isMutexType(t types.Type) (rw, ok bool) {
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// fieldComment joins a struct field's doc and line comments.
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// collectGuards walks every struct type in the package set, resolving
+// "guarded by" annotations to their mutex fields. Annotations naming a
+// sibling that does not exist or is not a mutex are reported — a typo
+// in an annotation must not silently disable checking.
+func collectGuards(pkgs []*Package, report Reporter) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		pkg := p
+		walkFiles(p, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			// Index the struct's mutex fields by name first, so guard
+			// annotations can resolve regardless of field order.
+			mutexes := make(map[string]guardInfo)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fv, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if rw, isMu := isMutexType(fv.Type()); isMu {
+						mutexes[name.Name] = guardInfo{mutex: fv, rw: rw}
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				muName, ok := parseGuardedBy(fieldComment(f))
+				if !ok {
+					continue
+				}
+				g, found := mutexes[muName]
+				for _, name := range f.Names {
+					if !found {
+						report(name.Pos(),
+							"field %s is annotated \"guarded by %s\", but the struct has no sync.Mutex or sync.RWMutex field named %s",
+							name.Name, muName, muName)
+						continue
+					}
+					if fv, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[fv] = g
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// AnnotationCandidate is one struct field that sits next to a mutex but
+// carries no "guarded by" annotation — the raw material for adopting
+// lockguard in a package (cmd/reprolint -fix-annotations).
+type AnnotationCandidate struct {
+	Pos    string // file:line of the field
+	Struct string // declared struct type name ("" for anonymous)
+	Field  string
+	Mutex  string // suggested guard: the struct's mutex field name
+}
+
+// AnnotationCandidates lists, across the package set, every named
+// non-mutex field of a struct that has exactly one mutex field and no
+// annotation on that field. Structs with several mutexes are skipped —
+// the right guard is ambiguous and needs a human.
+func AnnotationCandidates(pkgs []*Package) []AnnotationCandidate {
+	var out []AnnotationCandidate
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		pkg := p
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				var muNames []string
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						fv, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if _, isMu := isMutexType(fv.Type()); isMu {
+							muNames = append(muNames, name.Name)
+						}
+					}
+				}
+				if len(muNames) != 1 {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					if _, annotated := parseGuardedBy(fieldComment(f)); annotated {
+						continue
+					}
+					for _, name := range f.Names {
+						fv, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if _, isMu := isMutexType(fv.Type()); isMu {
+							continue
+						}
+						pos := pkg.Fset.Position(name.Pos())
+						out = append(out, AnnotationCandidate{
+							Pos:    fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+							Struct: ts.Name.Name,
+							Field:  name.Name,
+							Mutex:  muNames[0],
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}

@@ -96,13 +96,14 @@ func TestDirectiveText(t *testing.T) {
 func TestAnalyzerRegistryNames(t *testing.T) {
 	names := AnalyzerNames()
 	for _, wantName := range []string{
-		"globalrand", "maporder", "ctxhygiene", "nilsafetelemetry", "floateq", DirectiveAnalyzer,
+		"globalrand", "maporder", "ctxhygiene", "nilsafetelemetry", "floateq",
+		"seedflow", "lockguard", "goroutinelife", "wirestable", DirectiveAnalyzer,
 	} {
 		if !names[wantName] {
 			t.Errorf("registry is missing analyzer %q", wantName)
 		}
 	}
-	if len(names) != 6 {
-		t.Errorf("registry has %d names, want 6: %v", len(names), names)
+	if len(names) != 10 {
+		t.Errorf("registry has %d names, want 10: %v", len(names), names)
 	}
 }

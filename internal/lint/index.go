@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// index.go is the module-wide function/call index shared by the
+// dataflow analyzers (seedflow, lockguard, goroutinelife). It maps
+// every declared function to its AST and every resolvable call
+// expression to its callee, across all packages of one Run — the seam
+// that lets an analyzer chase a value from a call argument in one
+// package to a parameter use in another.
+
+// funcInfo locates one function declaration.
+type funcInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// callSite is one resolved call: the package and enclosing function
+// declaration it appears in (caller is nil for package-level
+// initializer expressions).
+type callSite struct {
+	pkg    *Package
+	caller *ast.FuncDecl
+	call   *ast.CallExpr
+}
+
+// moduleIndex is the cross-package lookup structure.
+type moduleIndex struct {
+	pkgs  []*Package
+	funcs map[*types.Func]funcInfo
+	calls map[*types.Func][]callSite
+}
+
+// buildIndex walks every file of every package once. Packages that
+// failed to type-check (fuzzing feeds those) contribute nothing.
+func buildIndex(pkgs []*Package) *moduleIndex {
+	ix := &moduleIndex{
+		pkgs:  pkgs,
+		funcs: make(map[*types.Func]funcInfo),
+		calls: make(map[*types.Func][]callSite),
+	}
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok && obj != nil {
+					ix.funcs[obj] = funcInfo{pkg: p, decl: fd}
+				}
+			}
+		}
+	}
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				encl, _ := decl.(*ast.FuncDecl)
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := calleeFunc(p, call); fn != nil {
+						ix.calls[fn] = append(ix.calls[fn], callSite{pkg: p, caller: encl, call: call})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return ix
+}
+
+// calleeFunc resolves the function object a call expression invokes:
+// plain identifiers, package selectors and method calls all resolve
+// through the Uses table. Conversions, builtins and indirect calls
+// through function values yield nil.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// enclosingFuncs pairs every function declaration of a package with its
+// file, in source order, for analyzers that walk function bodies.
+func enclosingFuncs(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

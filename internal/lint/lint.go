@@ -9,6 +9,14 @@
 // accumulation, ctx threading, nil-safe telemetry, tolerance-based float
 // comparison — into CI-gated diagnostics.
 //
+// The suite has two analyzer shapes. AST-local analyzers (globalrand,
+// maporder, ctxhygiene, nilsafetelemetry, floateq, wirestable) inspect
+// one package at a time. Dataflow analyzers (seedflow, lockguard,
+// goroutinelife) run once over the whole loaded package set: they build
+// a module-wide function/call index and chase values across function
+// and package boundaries — seed provenance through helper calls,
+// lock-guarded field discipline, goroutine lifetime.
+//
 // Findings can be suppressed one line at a time with
 //
 //	//reprolint:ignore <analyzer>[,<analyzer>...] <reason>
@@ -49,8 +57,12 @@ func (d Diagnostic) String() string {
 type Reporter func(pos token.Pos, format string, args ...any)
 
 // Analyzer is one invariant check. Applies (optional) gates the
-// analyzer to the packages whose invariant it protects; Run walks the
-// package and reports findings.
+// analyzer to the packages whose invariant it protects; Run walks one
+// package and reports findings. Dataflow analyzers set RunModule
+// instead: they receive the whole package set in one call (all loaded
+// through a single Loader, so positions share one FileSet) and may
+// follow calls across package boundaries. When RunModule is set, Run
+// and Applies are ignored.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -58,6 +70,8 @@ type Analyzer struct {
 	// means "every package".
 	Applies func(p *Package) bool
 	Run     func(p *Package, report Reporter)
+	// RunModule, when non-nil, marks a module-level dataflow analyzer.
+	RunModule func(pkgs []*Package, report Reporter)
 }
 
 // DirectiveAnalyzer is the pseudo-analyzer name under which reprolint
@@ -73,6 +87,10 @@ func Analyzers() []*Analyzer {
 		CtxHygiene,
 		NilSafeTelemetry,
 		FloatEq,
+		Seedflow,
+		LockGuard,
+		GoroutineLife,
+		WireStable,
 	}
 }
 
@@ -96,61 +114,99 @@ type Result struct {
 }
 
 // Run executes the analyzers over the packages and applies ignore
-// directives. Directive hygiene problems (malformed directives, unused
-// suppressions) are reported as findings of the "reprolint"
-// pseudo-analyzer and cannot themselves be suppressed.
+// directives. Per-package analyzers run on each package they apply to;
+// module-level dataflow analyzers run once over the whole set. All
+// directives are collected up front and matched against the combined
+// finding stream by file position, so a module analyzer's diagnostics
+// are suppressible exactly like a local analyzer's.
+//
+// Directive hygiene problems (malformed directives, unused
+// suppressions, analyzer names in a directive's list that suppress
+// nothing) are reported as findings of the "reprolint" pseudo-analyzer
+// and cannot themselves be suppressed.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	var res Result
 	known := AnalyzerNames()
-	for _, p := range pkgs {
-		var raw []Diagnostic
-		for _, a := range analyzers {
+	var raw []Diagnostic
+	diagAt := func(name string) Reporter {
+		var fset *token.FileSet
+		if len(pkgs) > 0 {
+			// Every Loader shares one FileSet across the packages it
+			// loads, so any package's Fset resolves any position.
+			fset = pkgs[0].Fset
+		}
+		return func(pos token.Pos, format string, args ...any) {
+			position := fset.Position(pos)
+			raw = append(raw, Diagnostic{
+				Analyzer: name,
+				File:     position.Filename,
+				Line:     position.Line,
+				Col:      position.Column,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(pkgs, diagAt(a.Name))
+			continue
+		}
+		for _, p := range pkgs {
 			if a.Applies != nil && !a.Applies(p) {
 				continue
 			}
-			name := a.Name
-			report := func(pos token.Pos, format string, args ...any) {
-				position := p.Fset.Position(pos)
-				raw = append(raw, Diagnostic{
-					Analyzer: name,
-					File:     position.Filename,
-					Line:     position.Line,
-					Col:      position.Column,
-					Message:  fmt.Sprintf(format, args...),
-				})
-			}
-			a.Run(p, report)
+			a.Run(p, diagAt(a.Name))
 		}
+	}
 
-		directives, dirDiags := collectDirectives(p, known)
+	var directives []*directive
+	for _, p := range pkgs {
+		dirs, dirDiags := collectDirectives(p, known)
+		directives = append(directives, dirs...)
 		raw = append(raw, dirDiags...)
+	}
 
-		for i := range raw {
-			d := &raw[i]
-			if d.Analyzer == DirectiveAnalyzer {
-				// Directive hygiene findings are never suppressible.
-				res.Diags = append(res.Diags, *d)
-				continue
-			}
-			if dir := match(directives, d); dir != nil {
-				dir.used = true
-				d.Suppressed = true
-				d.Reason = dir.Reason
-				res.Suppressed = append(res.Suppressed, *d)
-			} else {
-				res.Diags = append(res.Diags, *d)
-			}
+	for i := range raw {
+		d := &raw[i]
+		if d.Analyzer == DirectiveAnalyzer {
+			// Directive hygiene findings are never suppressible.
+			res.Diags = append(res.Diags, *d)
+			continue
 		}
-		for _, dir := range directives {
-			if !dir.used {
-				res.Diags = append(res.Diags, Diagnostic{
-					Analyzer: DirectiveAnalyzer,
-					File:     dir.File,
-					Line:     dir.Line,
-					Col:      dir.Col,
-					Message: fmt.Sprintf("ignore directive for %q suppresses nothing; delete it",
-						dir.AnalyzerList()),
-				})
+		if dir := match(directives, d); dir != nil {
+			dir.used[d.Analyzer] = true
+			d.Suppressed = true
+			d.Reason = dir.Reason
+			res.Suppressed = append(res.Suppressed, *d)
+		} else {
+			res.Diags = append(res.Diags, *d)
+		}
+	}
+	for _, dir := range directives {
+		switch {
+		case len(dir.used) == 0:
+			res.Diags = append(res.Diags, Diagnostic{
+				Analyzer: DirectiveAnalyzer,
+				File:     dir.File,
+				Line:     dir.Line,
+				Col:      dir.Col,
+				Message: fmt.Sprintf("ignore directive for %q suppresses nothing; delete it",
+					dir.AnalyzerList()),
+			})
+		case len(dir.used) < len(dir.Analyzers):
+			// The directive earns its keep, but part of its analyzer
+			// list is stale: report each name that suppressed nothing.
+			for _, name := range dir.Analyzers {
+				if !dir.used[name] {
+					res.Diags = append(res.Diags, Diagnostic{
+						Analyzer: DirectiveAnalyzer,
+						File:     dir.File,
+						Line:     dir.Line,
+						Col:      dir.Col,
+						Message: fmt.Sprintf("ignore directive names %q but suppresses no %[1]s finding; drop it from the list",
+							name),
+					})
+				}
 			}
 		}
 	}
@@ -227,6 +283,7 @@ func collectDirectives(p *Package, known map[string]bool) ([]*directive, []Diagn
 					File:          pos.Filename,
 					Line:          pos.Line,
 					Col:           pos.Column,
+					used:          make(map[string]bool),
 				})
 			}
 		}
@@ -234,13 +291,17 @@ func collectDirectives(p *Package, known map[string]bool) ([]*directive, []Diagn
 	return dirs, diags
 }
 
-// directive is a parsed ignore comment anchored at a position.
+// directive is a parsed ignore comment anchored at a position. used
+// tracks, per analyzer name in the directive's list, whether at least
+// one finding was suppressed under that name — so a stale name in a
+// multi-analyzer directive is detected even when a sibling name still
+// earns the directive its keep.
 type directive struct {
 	IgnoreComment
 	File string
 	Line int
 	Col  int
-	used bool
+	used map[string]bool
 }
 
 func sortDiags(diags []Diagnostic) {

@@ -35,6 +35,10 @@ var fixtureCases = []struct {
 	{"nilsafetelemetry", "repro/internal/telemetry", lint.NilSafeTelemetry},
 	{"floateq", "repro/internal/sram", lint.FloatEq},
 	{"ignore", "repro/internal/sram", lint.FloatEq},
+	{"seedflow", "repro/internal/model", lint.Seedflow},
+	{"lockguard", "repro/internal/dist", lint.LockGuard},
+	{"goroutinelife", "repro/internal/serve", lint.GoroutineLife},
+	{"wirestable", "repro/internal/telwire", lint.WireStable},
 }
 
 // TestFixtures runs each analyzer over its golden fixture package and
@@ -55,6 +59,58 @@ func TestFixtures(t *testing.T) {
 			}
 			checkDiags(t, res.Diags, wants)
 		})
+	}
+}
+
+// TestSeedflowCrossPackage proves the taint chase crosses package
+// boundaries: the caller package feeds time.Now into the provider
+// package's constructor, and the diagnostic lands at the constructor
+// with the foreign call site cited. The provider must load first so
+// the caller's import resolves through the loader cache.
+func TestSeedflowCrossPackage(t *testing.T) {
+	api, err := fixtureLoader.LoadDir(filepath.Join("testdata", "seedflowapi"), "repro/internal/surrogate")
+	if err != nil {
+		t.Fatalf("loading provider fixture: %v", err)
+	}
+	caller, err := fixtureLoader.LoadDir(filepath.Join("testdata", "seedflowcaller"), "repro/internal/distcall")
+	if err != nil {
+		t.Fatalf("loading caller fixture: %v", err)
+	}
+	res := lint.Run([]*lint.Package{api, caller}, []*lint.Analyzer{lint.Seedflow})
+	if len(res.Diags) != 1 {
+		t.Fatalf("diags = %d, want exactly 1:\n%v", len(res.Diags), res.Diags)
+	}
+	d := res.Diags[0]
+	if !strings.Contains(d.File, "seedflowapi") {
+		t.Errorf("finding reported in %s; want the provider package (seedflowapi)", d.File)
+	}
+	for _, needle := range []string{"the wall clock (time.Now)", "tainted via the call at", "seedflowcaller"} {
+		if !strings.Contains(d.Message, needle) {
+			t.Errorf("message %q missing %q", d.Message, needle)
+		}
+	}
+}
+
+// TestAnnotationCandidates exercises the -fix-annotations helper: the
+// lockguard fixture's tracker struct has two mutexes (ambiguous guard,
+// skipped); a single-mutex struct in the real module must surface its
+// unannotated mutex-adjacent fields.
+func TestAnnotationCandidates(t *testing.T) {
+	pkg, err := fixtureLoader.LoadDir(filepath.Join("testdata", "ctxhygiene"), "repro/internal/jobs")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	// The ctxhygiene fixture has no mutexes at all: no candidates.
+	if got := lint.AnnotationCandidates([]*lint.Package{pkg}); len(got) != 0 {
+		t.Errorf("candidates in mutex-free fixture: %v", got)
+	}
+	lg, err := fixtureLoader.LoadDir(filepath.Join("testdata", "lockguard"), "repro/internal/dist")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	// tracker has two mutexes: ambiguous, so still no candidates.
+	if got := lint.AnnotationCandidates([]*lint.Package{lg}); len(got) != 0 {
+		t.Errorf("candidates despite ambiguous guards: %v", got)
 	}
 }
 

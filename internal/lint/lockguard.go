@@ -1,0 +1,646 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockGuard is a checklocks-style analyzer driven by "// guarded by
+// <mu>" field annotations (see guardedby.go). For every function it
+// interprets the lock state of each (receiver object, mutex field)
+// pair across the statement graph — branch-aware, defer-aware — and
+// flags reads or writes of a guarded field while the guard is not
+// held, writes while only a read lock is held, and local variables
+// reassigned after a goroutine captured them (the PR 9 worker leaseCtx
+// race: a `go func(){...}` closure read leaseCtx while the spawning
+// function reassigned it).
+//
+// Two exemptions keep the analysis single-function and honest:
+// functions whose name ends in "Locked" assert by convention that the
+// caller holds the receiver's locks, and objects freshly constructed
+// in the same function (composite literal or new) are not yet shared.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "reads and writes of struct fields annotated \"// guarded by " +
+		"<mu>\" must happen with the mutex held in the same function " +
+		"(Lock for writes, at least RLock for reads); also flags " +
+		"variables reassigned after being captured by a goroutine",
+	RunModule: runLockGuard,
+}
+
+// lockLevel encodes how strongly a mutex is held.
+const (
+	lockNone  = 0
+	lockRead  = 1 // RLock: reads of guarded fields are safe
+	lockWrite = 2 // Lock: writes too
+)
+
+// lockKey identifies one mutex instance: the object the selector chain
+// is rooted at plus the mutex field variable. A package-level mutex
+// variable is its own root.
+type lockKey struct {
+	root  types.Object
+	mutex *types.Var
+}
+
+type lockState map[lockKey]int
+
+func copyState(st lockState) lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeStates intersects two branch outcomes, keeping the weaker hold.
+func mergeStates(a, b lockState) lockState {
+	out := make(lockState)
+	for k, v := range a {
+		if bv, ok := b[k]; ok {
+			if bv < v {
+				v = bv
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func runLockGuard(pkgs []*Package, report Reporter) {
+	guards := collectGuards(pkgs, report)
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, fd := range enclosingFuncs(p) {
+			w := &lockWalker{p: p, guards: guards, report: report}
+			w.analyzeFunc(fd)
+			checkCaptureReassign(p, fd, report)
+		}
+	}
+}
+
+type lockWalker struct {
+	p      *Package
+	guards map[*types.Var]guardInfo
+	report Reporter
+	// fresh holds locals constructed in this function (composite
+	// literal or new): not yet shared, so access is exempt.
+	fresh map[types.Object]bool
+	// lockedRecv is the receiver object of a function whose name ends
+	// in "Locked" — the caller-holds-the-lock convention.
+	lockedRecv types.Object
+}
+
+func (w *lockWalker) analyzeFunc(fd *ast.FuncDecl) {
+	if len(w.guards) == 0 {
+		return
+	}
+	w.fresh = make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(st.Rhs) {
+					continue
+				}
+				if isFreshExpr(w.p, st.Rhs[i]) {
+					if obj := w.p.Info.Defs[id]; obj != nil {
+						w.fresh[obj] = true
+					} else if obj := w.p.Info.Uses[id]; obj != nil {
+						w.fresh[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i < len(st.Values) && isFreshExpr(w.p, st.Values[i]) {
+					if obj := w.p.Info.Defs[name]; obj != nil {
+						w.fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 &&
+		hasSuffix(fd.Name.Name, "Locked") {
+		w.lockedRecv = w.p.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	w.stmts(fd.Body.List, make(lockState))
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// isFreshExpr reports whether e constructs a new object: &T{...},
+// T{...}, or new(T).
+func isFreshExpr(p *Package, e ast.Expr) bool {
+	if compositeLitOf(e) != nil {
+		return true
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmts interprets a statement list sequentially; terminated reports
+// whether control cannot fall off the end (return, break, ...).
+func (w *lockWalker) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch x := s.(type) {
+	case nil:
+		return st, false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if key, op, ok := w.lockOp(call); ok {
+				return applyLockOp(st, key, op), false
+			}
+		}
+		w.expr(x.X, st)
+		return st, false
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			w.expr(rhs, st)
+		}
+		for _, lhs := range x.Lhs {
+			w.exprW(lhs, st)
+		}
+		return st, false
+	case *ast.IncDecStmt:
+		w.exprW(x.X, st)
+		return st, false
+	case *ast.DeferStmt:
+		if key, op, ok := w.lockOp(x.Call); ok {
+			// defer mu.Unlock() releases at return: the lock stays
+			// held for the remainder of this function's statements.
+			// defer mu.Lock() is nonsense we leave to vet.
+			_ = key
+			_ = op
+			return st, false
+		}
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			// Deferred closures run at return; interpreting them with
+			// the current state is an approximation that accepts the
+			// dominant cleanup idiom.
+			w.stmts(lit.Body.List, copyState(st))
+		} else {
+			w.expr(x.Call.Fun, st)
+		}
+		for _, arg := range x.Call.Args {
+			w.expr(arg, st)
+		}
+		return st, false
+	case *ast.GoStmt:
+		// Arguments are evaluated synchronously; the body runs on a
+		// new goroutine that holds no locks.
+		for _, arg := range x.Call.Args {
+			w.expr(arg, st)
+		}
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, make(lockState))
+		} else {
+			w.expr(x.Call.Fun, st)
+		}
+		return st, false
+	case *ast.SendStmt:
+		w.expr(x.Chan, st)
+		w.expr(x.Value, st)
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.BlockStmt:
+		return w.stmts(x.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		w.expr(x.Cond, st)
+		thenSt, thenTerm := w.stmts(x.Body.List, copyState(st))
+		elseSt, elseTerm := copyState(st), false
+		if x.Else != nil {
+			elseSt, elseTerm = w.stmt(x.Else, copyState(st))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeStates(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			w.expr(x.Cond, st)
+		}
+		// The body is interpreted once from the loop-entry state; its
+		// effects on the post-loop state are discarded (a lock/unlock
+		// pair inside the body is still checked sequentially within).
+		body := copyState(st)
+		body, _ = w.stmts(x.Body.List, body)
+		if x.Post != nil {
+			w.stmt(x.Post, body)
+		}
+		return st, false
+	case *ast.RangeStmt:
+		w.expr(x.X, st)
+		w.stmts(x.Body.List, copyState(st))
+		return st, false
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			w.expr(x.Tag, st)
+		}
+		return w.caseClauses(x.Body, st)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st, _ = w.stmt(x.Init, st)
+		}
+		if as, ok := x.Assign.(*ast.AssignStmt); ok {
+			for _, rhs := range as.Rhs {
+				w.expr(rhs, st)
+			}
+		} else if es, ok := x.Assign.(*ast.ExprStmt); ok {
+			w.expr(es.X, st)
+		}
+		return w.caseClauses(x.Body, st)
+	case *ast.SelectStmt:
+		var merged lockState
+		allTerm := true
+		for _, c := range x.Body.List {
+			comm, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := copyState(st)
+			if comm.Comm != nil {
+				branch, _ = w.stmt(comm.Comm, branch)
+			}
+			branch, term := w.stmts(comm.Body, branch)
+			if term {
+				continue
+			}
+			allTerm = false
+			if merged == nil {
+				merged = branch
+			} else {
+				merged = mergeStates(merged, branch)
+			}
+		}
+		if len(x.Body.List) == 0 {
+			return st, false
+		}
+		if allTerm {
+			return st, true
+		}
+		return merged, false
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.expr(r, st)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the straight-line path; treating
+		// them as terminators keeps merges honest.
+		return st, x.Tok != token.FALLTHROUGH
+	default:
+		return st, false
+	}
+}
+
+// caseClauses interprets switch bodies: each case on a copy of the
+// entry state, merged with the entry state itself unless a default
+// clause makes the switch exhaustive.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, st lockState) (lockState, bool) {
+	merged := (lockState)(nil)
+	hasDefault := false
+	allTerm := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.expr(e, st)
+		}
+		branch, term := w.stmts(cc.Body, copyState(st))
+		if term {
+			continue
+		}
+		allTerm = false
+		if merged == nil {
+			merged = branch
+		} else {
+			merged = mergeStates(merged, branch)
+		}
+	}
+	if !hasDefault {
+		if merged == nil {
+			return st, false
+		}
+		return mergeStates(merged, st), false
+	}
+	if allTerm {
+		return st, true
+	}
+	return merged, false
+}
+
+func applyLockOp(st lockState, key lockKey, op string) lockState {
+	st = copyState(st)
+	switch op {
+	case "Lock":
+		st[key] = lockWrite
+	case "RLock":
+		if st[key] < lockRead {
+			st[key] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(st, key)
+	}
+	return st
+}
+
+// lockOp recognizes x.mu.Lock() / mu.RLock() / ... calls on mutex
+// fields or package-level mutex variables.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		fv, _ := w.p.Info.Uses[recv.Sel].(*types.Var)
+		if fv == nil {
+			return lockKey{}, "", false
+		}
+		if _, isMu := isMutexType(fv.Type()); !isMu {
+			return lockKey{}, "", false
+		}
+		root := rootObjOf(w.p, recv.X)
+		if root == nil {
+			return lockKey{}, "", false
+		}
+		return lockKey{root: root, mutex: fv}, op, true
+	case *ast.Ident:
+		v, _ := w.p.Info.Uses[recv].(*types.Var)
+		if v == nil {
+			return lockKey{}, "", false
+		}
+		if _, isMu := isMutexType(v.Type()); !isMu {
+			return lockKey{}, "", false
+		}
+		return lockKey{root: v, mutex: v}, op, true
+	}
+	return lockKey{}, "", false
+}
+
+// rootObjOf resolves the object at the base of a selector chain.
+func rootObjOf(p *Package, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// expr checks guarded-field reads in an expression tree. Function
+// literals are interpreted with a copy of the current state (the
+// synchronous-call assumption); go-statement literals never reach here
+// (the statement walker hands them an empty state).
+func (w *lockWalker) expr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		w.stmts(x.Body.List, copyState(st))
+	case *ast.SelectorExpr:
+		w.checkAccess(x, st, false)
+		w.expr(x.X, st)
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.ParenExpr:
+		w.expr(x.X, st)
+	case *ast.StarExpr:
+		w.expr(x.X, st)
+	case *ast.UnaryExpr:
+		w.expr(x.X, st)
+	case *ast.BinaryExpr:
+		w.expr(x.X, st)
+		w.expr(x.Y, st)
+	case *ast.CallExpr:
+		w.expr(x.Fun, st)
+		for _, a := range x.Args {
+			w.expr(a, st)
+		}
+	case *ast.IndexExpr:
+		w.expr(x.X, st)
+		w.expr(x.Index, st)
+	case *ast.IndexListExpr:
+		w.expr(x.X, st)
+		for _, idx := range x.Indices {
+			w.expr(idx, st)
+		}
+	case *ast.SliceExpr:
+		w.expr(x.X, st)
+		w.expr(x.Low, st)
+		w.expr(x.High, st)
+		w.expr(x.Max, st)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X, st)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			w.expr(elt, st)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(x.Key, st)
+		w.expr(x.Value, st)
+	}
+}
+
+// exprW checks an assignment target: the outermost guarded selector —
+// reached through index, star and paren wrappers — needs the write
+// lock; everything below it is a read.
+func (w *lockWalker) exprW(e ast.Expr, st lockState) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if w.checkAccess(x, st, true) {
+			w.expr(x.X, st)
+			return
+		}
+		// Not itself guarded: writing c.inner.field also mutates
+		// c.inner, so the write requirement cascades down the chain.
+		w.exprW(x.X, st)
+	case *ast.IndexExpr:
+		w.exprW(x.X, st) // m.jobs[id] = v mutates the guarded map
+		w.expr(x.Index, st)
+	case *ast.StarExpr:
+		// Writing through a pointer mutates the pointee, not the
+		// variable holding the pointer: reads only from here down.
+		w.expr(x.X, st)
+	default:
+		w.expr(e, st)
+	}
+}
+
+// checkAccess reports a guarded access made without the required hold;
+// it returns true when sel resolves to a guarded field (whether or not
+// it was reported).
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, st lockState, write bool) bool {
+	fv, _ := w.p.Info.Uses[sel.Sel].(*types.Var)
+	if fv == nil {
+		return false
+	}
+	g, guarded := w.guards[fv]
+	if !guarded {
+		return false
+	}
+	root := rootObjOf(w.p, sel.X)
+	if root == nil {
+		return true // unkeyable chain (method-call base): accept
+	}
+	if w.fresh[root] || (w.lockedRecv != nil && root == w.lockedRecv) {
+		return true
+	}
+	held := st[lockKey{root: root, mutex: g.mutex}]
+	switch {
+	case write && held == lockRead:
+		w.report(sel.Pos(), "%s.%s is written while holding only %s.%s.RLock; writes need the full Lock",
+			root.Name(), fv.Name(), root.Name(), g.mutex.Name())
+	case write && held < lockWrite:
+		w.report(sel.Pos(), "%s.%s is written without holding %s.%s",
+			root.Name(), fv.Name(), root.Name(), g.mutex.Name())
+	case !write && held < lockRead:
+		w.report(sel.Pos(), "%s.%s is read without holding %s.%s",
+			root.Name(), fv.Name(), root.Name(), g.mutex.Name())
+	}
+	return true
+}
+
+// checkCaptureReassign flags the PR 9 leaseCtx shape: a local variable
+// read by a go-statement closure and then reassigned later in the
+// spawning function. The goroutine reads the variable concurrently, so
+// the reassignment is a data race regardless of any mutex — the fix is
+// to give the continuation its own variable.
+func checkCaptureReassign(p *Package, fd *ast.FuncDecl, report Reporter) {
+	type capture struct {
+		goPos token.Pos
+		lit   *ast.FuncLit
+	}
+	captured := make(map[types.Object][]capture)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := p.Info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			// Free variable of the closure: declared inside the
+			// enclosing function but outside the literal.
+			if v.Pos() < fd.Pos() || v.Pos() >= fd.End() {
+				return true
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+				return true
+			}
+			captured[v] = append(captured[v], capture{goPos: gs.Pos(), lit: lit})
+			return true
+		})
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if p.Info.Defs[id] != nil {
+				continue // a fresh declaration, not a reassignment
+			}
+			v, ok := p.Info.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			for _, c := range captured[v] {
+				if as.Pos() <= c.goPos {
+					continue
+				}
+				if as.Pos() >= c.lit.Pos() && as.Pos() < c.lit.End() {
+					continue // the goroutine writing its own capture
+				}
+				goLine := p.Fset.Position(c.goPos).Line
+				report(as.Pos(), "%s is reassigned after being captured by the goroutine started on line %d; the goroutine reads it concurrently — give the continuation its own variable",
+					id.Name, goLine)
+				break
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,95 @@
+// Package serve is the goroutinelife golden fixture: spawned
+// goroutines with no join or cancellation path, next to the accounted
+// shapes (WaitGroup, channel close, context, module callee signals).
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+type runner interface{ Run() }
+
+func step() {}
+
+func churn() { step() }
+
+// spawnForever leaks the sharpest way: an unconditional loop with no
+// exit signal.
+func spawnForever() {
+	go func() { // want goroutinelife `goroutine loops forever with no select, channel operation, or context use`
+		for {
+			step()
+		}
+	}()
+}
+
+// spawnFireAndForget does bounded work, but nothing can wait for it.
+func spawnFireAndForget(items []int) {
+	go func() { // want goroutinelife `goroutine has no join or cancellation signal`
+		for range items {
+			step()
+		}
+	}()
+}
+
+// spawnOpaque hands the goroutine to a callee the module cannot see
+// into.
+func spawnOpaque(r runner) {
+	go r.Run() // want goroutinelife `goroutine calls r\.Run, which this module cannot see into`
+}
+
+// spawnNamedLeak spawns a module function that has no signal either.
+func spawnNamedLeak() {
+	go churn() // want goroutinelife `goroutine running churn has no join or cancellation signal`
+}
+
+// spawnJoined is the WaitGroup shape.
+func spawnJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+	wg.Wait()
+}
+
+// spawnCtx selects on the context.
+func spawnCtx(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// spawnChannel closes a done channel the spawner receives on.
+func spawnChannel() {
+	done := make(chan struct{})
+	go func() {
+		step()
+		close(done)
+	}()
+	<-done
+}
+
+// spawnCtxArg passes a context to the callee: cancellable by contract.
+func spawnCtxArg(ctx context.Context) {
+	go hop1(ctx)
+}
+
+func hop1(ctx context.Context) { hop2(ctx) }
+func hop2(ctx context.Context) { <-ctx.Done() }
+
+// spawnPump's callee ranges over a channel — the signal is one module
+// hop away from the go statement.
+func spawnPump() {
+	go pump(make(chan int))
+}
+
+func pump(ch chan int) {
+	for range ch {
+		step()
+	}
+}

@@ -1,0 +1,101 @@
+// Package dist is the lockguard golden fixture: struct fields
+// annotated "// guarded by <mu>" accessed with and without their
+// mutexes held, plus the PR 9 leaseCtx capture-reassign race.
+package dist
+
+import (
+	"context"
+	"sync"
+)
+
+// tracker mirrors the coordinator shape: a plain mutex over the lease
+// tables and a reader/writer mutex over the stats.
+type tracker struct {
+	mu    sync.Mutex
+	jobs  map[string]int // guarded by mu
+	order []string       // guarded by mu
+
+	rw    sync.RWMutex
+	stats map[string]int // guarded by rw
+
+	phantom int // guarded by missing // want lockguard `annotated "guarded by missing", but the struct has no sync\.Mutex or sync\.RWMutex field named missing`
+}
+
+type ctxKey struct{}
+
+func renew(ctx context.Context) { <-ctx.Done() }
+
+// readNoLock reads a guarded map with no lock at all.
+func (t *tracker) readNoLock() int {
+	return len(t.jobs) // want lockguard `t\.jobs is read without holding t\.mu`
+}
+
+// writeNoLock mutates a guarded map with no lock at all.
+func (t *tracker) writeNoLock(id string) {
+	t.jobs[id] = 1 // want lockguard `t\.jobs is written without holding t\.mu`
+}
+
+// writeUnderRLock holds only the read half of an RWMutex for a write.
+func (t *tracker) writeUnderRLock(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.stats[k]++ // want lockguard `t\.stats is written while holding only t\.rw\.RLock`
+}
+
+// renewLease reproduces the PR 9 worker bug: the renewal goroutine
+// captures leaseCtx, and the spawning function then reassigns it for
+// the next phase — a data race on the variable itself.
+func (t *tracker) renewLease(ctx context.Context) {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		renew(leaseCtx)
+	}()
+	leaseCtx = context.WithValue(ctx, ctxKey{}, "next") // want lockguard `leaseCtx is reassigned after being captured by the goroutine started on line \d+`
+	_ = leaseCtx
+	cancel()
+	<-done
+}
+
+// locked is the sanctioned shape: every access under the mutex, the
+// unlock deferred.
+func (t *tracker) locked(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.jobs[id] = 2
+	t.order = append(t.order, id)
+}
+
+// branches exercises branch-aware state: the early-return arm unlocks
+// and leaves; the fallthrough arm still holds the lock.
+func (t *tracker) branches(id string) int {
+	t.mu.Lock()
+	if id == "" {
+		t.mu.Unlock()
+		return 0
+	}
+	n := t.jobs[id]
+	t.mu.Unlock()
+	return n
+}
+
+// appendLocked asserts by suffix convention that the caller holds t.mu.
+func (t *tracker) appendLocked(id string) {
+	t.order = append(t.order, id)
+}
+
+// newTracker writes guarded fields of a freshly constructed, not yet
+// shared object.
+func newTracker() *tracker {
+	t := &tracker{jobs: make(map[string]int)}
+	t.jobs["boot"] = 1
+	return t
+}
+
+// stat holds the read half for a read — enough.
+func (t *tracker) stat(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.stats[k]
+}

@@ -1,0 +1,12 @@
+// Package surrogate is the provider half of the cross-package seedflow
+// fixture: the RNG constructor lives here, behind an exported API; the
+// tainted caller lives in testdata/seedflowcaller. The finding must be
+// reported at this constructor, citing the foreign call site.
+package surrogate
+
+import "math/rand"
+
+// NewSampler builds a per-chunk generator from the caller's seed.
+func NewSampler(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

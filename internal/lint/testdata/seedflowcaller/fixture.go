@@ -1,0 +1,15 @@
+// Package distcall is the consumer half of the cross-package seedflow
+// fixture: it feeds a wall-clock seed into the surrogate package's
+// constructor. The diagnostic lands in seedflowapi, not here.
+package distcall
+
+import (
+	"time"
+
+	"repro/internal/surrogate"
+)
+
+// Boot seeds the sampler from the clock — across a package boundary.
+func Boot() any {
+	return surrogate.NewSampler(time.Now().UnixNano())
+}

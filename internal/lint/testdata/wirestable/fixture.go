@@ -1,0 +1,49 @@
+// Package telemetry is the wirestable golden fixture. Registry and Bus
+// mirror the real telemetry API surface — the analyzer matches
+// Emit/Scope/Publish by receiver type name inside a package named
+// telemetry, so the fixture needs no imports of the real module.
+package telemetry
+
+type Registry struct{}
+
+func (r *Registry) Emit(event string, fields map[string]any) {}
+func (r *Registry) Scope(name string) *Scope                 { return nil }
+
+type Scope struct{}
+
+type Bus struct{}
+
+func (b *Bus) Publish(event string, fields map[string]any) {}
+
+// localName lives outside the registry file: using it as a wire name
+// defeats the one-registry guarantee.
+const localName = "local.event"
+
+func emits(r *Registry, b *Bus, kind string) {
+	r.Emit("progress", nil)    // want wirestable `event name "progress" is a string literal`
+	r.Emit(localName, nil)     // want wirestable `event name comes from constant localName declared in fixture\.go`
+	b.Publish("job.done", nil) // want wirestable `event name "job\.done" is a string literal`
+	_ = r.Scope("mc")          // want wirestable `scope name "mc" is a string literal`
+
+	// Sanctioned shapes: registry constants, prefix composition,
+	// parameter forwarding.
+	r.Emit(EvProgress, nil)
+	r.Emit(EvHealthPrefix+kind, nil)
+	forward(r, kind)
+	_ = r.Scope(ScopeMC)
+}
+
+// forward re-emits a name someone upstream already validated.
+func forward(r *Registry, event string) {
+	r.Emit(event, nil)
+}
+
+// problem composes a URN from a raw literal instead of the registry.
+func problem() string {
+	return "urn:repro:problem:queue-full" // want wirestable `problem URN literal "urn:repro:problem:queue-full" must be composed from constants`
+}
+
+// problemOK composes from the registry prefix.
+func problemOK() string {
+	return ProblemPrefix + "not-found"
+}

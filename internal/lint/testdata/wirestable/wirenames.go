@@ -1,0 +1,11 @@
+package telemetry
+
+// The fixture's wire-name registry: constants declared in this file —
+// matched by basename, exactly like internal/wire/wirenames.go — are
+// the sanctioned spellings.
+const (
+	EvProgress     = "progress"
+	EvHealthPrefix = "health."
+	ScopeMC        = "mc"
+	ProblemPrefix  = "urn:repro:problem:"
+)

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WireStable pins the cluster wire format to one registry file. Event
+// names (Registry.Emit, Bus.Publish), metric scope names
+// (Registry.Scope) and problem URNs (urn:repro:problem:*) are protocol:
+// coordinator and workers match on them across process boundaries, the
+// dashboard and clients parse them, and DESIGN.md §15 freezes them. A
+// string literal at a call site can drift without any reviewer noticing
+// — so every wire name must be (or be composed from) a constant
+// declared in a file named wirenames.go, and every constant used as a
+// wire name must come from that file. Runtime composition around the
+// constants (prefix + variable, parameter forwarding) stays legal.
+var WireStable = &Analyzer{
+	Name: "wirestable",
+	Doc: "telemetry event names, metric scope names and problem URNs " +
+		"must come from constants declared in the wire-name registry " +
+		"(a file named wirenames.go); string literals at Emit/Scope/" +
+		"Publish call sites and urn:repro:problem literals elsewhere drift silently",
+	Run: runWireStable,
+}
+
+// wireRegistryFile is the basename every wire-name constant must be
+// declared in. The real registry is internal/wire/wirenames.go;
+// fixtures carry their own.
+const wireRegistryFile = "wirenames.go"
+
+// problemURNMarker is matched inside string literals: composing a
+// problem URN from a raw literal bypasses the registry.
+const problemURNMarker = "urn:repro:problem"
+
+func runWireStable(p *Package, report Reporter) {
+	if p.Info == nil {
+		return
+	}
+	// The analyzer's own implementation necessarily spells the URN
+	// namespace it polices; exempt the lint package from the
+	// URN-literal rule (fixtures load under other synthetic paths).
+	selfExempt := pathIn(p, false, "lint")
+	for _, f := range p.Files {
+		inRegistry := filepath.Base(p.Fset.Position(f.Pos()).Filename) == wireRegistryFile
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if kind := wireNameCall(p, x); kind != "" && len(x.Args) > 0 {
+					checkWireName(p, x.Args[0], kind, report)
+				}
+			case *ast.BasicLit:
+				if inRegistry || selfExempt || x.Kind != token.STRING {
+					return true
+				}
+				if s, err := strconv.Unquote(x.Value); err == nil && strings.Contains(s, problemURNMarker) {
+					report(x.Pos(), "problem URN literal %q must be composed from constants in the wire-name registry (%s)",
+						s, wireRegistryFile)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wireNameCall classifies a call whose first argument is a wire name:
+// Emit/Scope on a telemetry Registry, Publish on a telemetry Bus.
+// Matching is by receiver type name within a package named "telemetry"
+// so fixtures (which cannot import the real module) participate.
+func wireNameCall(p *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "telemetry" {
+		return ""
+	}
+	switch {
+	case obj.Name() == "Registry" && fn.Name() == "Emit":
+		return "event name"
+	case obj.Name() == "Registry" && fn.Name() == "Scope":
+		return "scope name"
+	case obj.Name() == "Bus" && fn.Name() == "Publish":
+		return "event name"
+	}
+	return ""
+}
+
+// checkWireName validates one wire-name argument: no string literals
+// anywhere in the expression, and every constant it references must be
+// declared in the registry file. Plain variables and parameters pass —
+// forwarding a name someone else validated is not a new name.
+func checkWireName(p *Package, arg ast.Expr, kind string, report Reporter) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BasicLit:
+			if x.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(x.Value)
+			if err != nil {
+				s = x.Value
+			}
+			report(x.Pos(), "%s %q is a string literal; declare it as a constant in the wire-name registry (%s)",
+				kind, s, wireRegistryFile)
+		case *ast.Ident:
+			c, ok := p.Info.Uses[x].(*types.Const)
+			if !ok || c.Pkg() == nil {
+				return true
+			}
+			declFile := filepath.Base(p.Fset.Position(c.Pos()).Filename)
+			if declFile != wireRegistryFile {
+				report(x.Pos(), "%s comes from constant %s declared in %s, not the wire-name registry (%s)",
+					kind, c.Name(), declFile, wireRegistryFile)
+			}
+		}
+		return true
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Evaluator is the shared batch-evaluation engine: a worker pool over
@@ -68,7 +69,7 @@ func (e *Evaluator) WithTelemetry(reg *telemetry.Registry) *Evaluator {
 	if e == nil || reg == nil {
 		return e
 	}
-	s := reg.Scope("mc")
+	s := reg.Scope(wire.ScopeMC)
 	e.tele = &evalTelemetry{
 		reg:          reg,
 		samples:      s.Counter("samples_total"),

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/stat"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // stageProgress is the throughput estimator behind the live
@@ -42,8 +43,8 @@ func newStageProgress(reg *telemetry.Registry, stage string, total int) *stagePr
 	if reg == nil {
 		return nil
 	}
-	mcScope := reg.Scope("mc")
-	prog := reg.Scope("progress")
+	mcScope := reg.Scope(wire.ScopeMC)
+	prog := reg.Scope(wire.ScopeProgress)
 	p := &stageProgress{
 		reg:   reg,
 		stage: stage,
@@ -93,7 +94,7 @@ func (p *stageProgress) publish(n, failures int, pf, relerr, maxWFrac float64) {
 	p.gRate.Set(rate)
 	p.gETA.Set(eta)
 
-	p.reg.Emit("progress", map[string]any{
+	p.reg.Emit(wire.EvProgress, map[string]any{
 		"stage": p.stage, "chunks": p.chunks, "n": n, "total": p.total,
 		"failures": failures, "pf": pf, "relerr99": relerr,
 		"max_weight_frac": maxWFrac,
@@ -121,7 +122,7 @@ func (p *stageProgress) done(res *Result) {
 		return
 	}
 	p.gETA.Set(0)
-	p.reg.Emit("estimator.done", map[string]any{
+	p.reg.Emit(wire.EvEstimatorDone, map[string]any{
 		"stage": p.stage, "n": res.N, "pf": res.Pf, "relerr99": res.RelErr99,
 		"failures": res.Failures, "weight_ess": res.WeightESS,
 	})

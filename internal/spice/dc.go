@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // ErrNoConvergence is returned when the operating-point solve exhausts
@@ -183,7 +184,7 @@ func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 	if err != nil {
 		tel.unconverged.Inc()
 		if o.Telemetry.Enabled() {
-			o.Telemetry.Emit("spice.unconverged", map[string]any{"error": err.Error()})
+			o.Telemetry.Emit(wire.EvSpiceUnconverged, map[string]any{"error": err.Error()})
 		}
 		return nil, err
 	}
@@ -197,7 +198,7 @@ func (c *Circuit) SolveDC(opts *DCOptions) (*OperatingPoint, error) {
 		tel.sourceFalls.Inc()
 	}
 	if op.strategy != StrategyNewton && o.Telemetry.Enabled() {
-		o.Telemetry.Emit("spice.fallback", map[string]any{
+		o.Telemetry.Emit(wire.EvSpiceFallback, map[string]any{
 			"strategy": op.strategy.String(), "newton_iterations": op.iters,
 		})
 	}

@@ -1,6 +1,9 @@
 package spice
 
-import "repro/internal/telemetry"
+import (
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
 
 // Telemetry metric names live in the "spice" scope:
 //
@@ -76,7 +79,7 @@ func newDCTelemetry(reg *telemetry.Registry) dcTelemetry {
 	if reg == nil {
 		return dcTelemetry{}
 	}
-	s := reg.Scope("spice")
+	s := reg.Scope(wire.ScopeSpice)
 	return dcTelemetry{
 		solves:       s.Counter("solves_total"),
 		unconverged:  s.Counter("unconverged_total"),

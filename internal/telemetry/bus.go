@@ -45,12 +45,12 @@ type Bus struct {
 	dropped   atomic.Int64
 
 	mu     sync.Mutex
-	seq    int64
-	ring   []Event // capacity fixed at NewBus; oldest overwritten first
-	next   int     // ring write cursor
-	filled bool    // ring wrapped at least once
-	subs   map[*Subscription]struct{}
-	closed bool
+	seq    int64                      // guarded by mu
+	ring   []Event                    // capacity fixed at NewBus; oldest overwritten first; guarded by mu
+	next   int                        // ring write cursor; guarded by mu
+	filled bool                       // ring wrapped at least once; guarded by mu
+	subs   map[*Subscription]struct{} // guarded by mu
+	closed bool                       // guarded by mu
 }
 
 // Event is one published bus event. Fields is the publisher's map —
@@ -334,7 +334,7 @@ func (b *Bus) Close() {
 type Subscription struct {
 	bus     *Bus
 	ch      chan Event
-	closed  bool // guarded by bus.mu (true only while unregistered)
+	closed  bool // protected by the owning bus.mu (true only while unregistered)
 	dropped atomic.Int64
 }
 

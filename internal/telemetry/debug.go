@@ -66,6 +66,7 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		return nil, fmt.Errorf("telemetry: debug listener: %w", err)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	//reprolint:ignore goroutinelife Serve returns when DebugServer.Close closes the listener; the handle owns the shutdown path
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{srv: srv, ln: ln}, nil
 }

@@ -40,7 +40,7 @@ type Registry struct {
 	trace atomic.Pointer[Trace]
 
 	mu     sync.RWMutex
-	scopes map[string]*Scope
+	scopes map[string]*Scope // guarded by mu
 }
 
 // New returns an empty enabled registry.
@@ -172,9 +172,9 @@ type Scope struct {
 	name string
 
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // Counter returns the named counter, creating it on first use (nil on a

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Watchdog evaluates a run's streamed telemetry against the same
@@ -38,8 +40,8 @@ type Watchdog struct {
 	alertsTotal *Counter
 
 	mu      sync.Mutex
-	active  map[string]Alert
-	starved int // consecutive ticker checks that looked starved
+	active  map[string]Alert // guarded by mu
+	starved int              // consecutive ticker checks that looked starved
 
 	stop chan struct{}
 	done chan struct{}
@@ -131,7 +133,7 @@ func StartWatchdog(reg *Registry, cfg WatchdogConfig) *Watchdog {
 		reg:         reg,
 		cfg:         cfg.withDefaults(),
 		sub:         bus.Subscribe(256),
-		alertsTotal: reg.Scope("health").Counter("alerts_total"),
+		alertsTotal: reg.Scope(wire.ScopeHealth).Counter("alerts_total"),
 		active:      make(map[string]Alert),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
@@ -202,23 +204,23 @@ func (w *Watchdog) loop() {
 // observe evaluates one streamed event.
 func (w *Watchdog) observe(ev Event) {
 	switch ev.Name {
-	case "gibbs.chain":
+	case wire.EvGibbsChain:
 		updates, _ := numField(ev.Fields, "updates")
 		acceptance, okA := numField(ev.Fields, "acceptance")
 		if okA && int(updates) >= w.cfg.MinChainUpdates && acceptance < w.cfg.MinChainAcceptance {
 			w.fire(Alert{
-				Kind: "chain_stalled",
+				Kind: wire.AlertChainStalled,
 				Detail: fmt.Sprintf("Gibbs chain acceptance %.4f below %.4f after %d updates — the chain is not mixing",
 					acceptance, w.cfg.MinChainAcceptance, int(updates)),
 				Seq: ev.Seq,
 			})
 		}
-	case "progress":
+	case wire.EvProgress:
 		n, _ := numField(ev.Fields, "n")
 		frac, okF := numField(ev.Fields, "max_weight_frac")
 		if okF && int(n) >= w.cfg.MinWeightSamples && frac > w.cfg.MaxWeightFrac {
 			w.fire(Alert{
-				Kind: "weight_blowup",
+				Kind: wire.AlertWeightBlowup,
 				Detail: fmt.Sprintf("a single importance weight carries %.0f%% of the running estimate after %d samples (threshold %.0f%%)",
 					100*frac, int(n), 100*w.cfg.MaxWeightFrac),
 				Seq: ev.Seq,
@@ -232,7 +234,7 @@ func (w *Watchdog) observe(ev Event) {
 // on its convergence fallbacks signals a metric pushed outside the
 // region where warm starts and plain Newton hold.
 func (w *Watchdog) checkNewtonStorm(seq int64) {
-	s := w.reg.Scope("spice")
+	s := w.reg.Scope(wire.ScopeSpice)
 	solves := s.Counter("solves_total").Value()
 	if solves < w.cfg.MinSolves {
 		return
@@ -240,7 +242,7 @@ func (w *Watchdog) checkNewtonStorm(seq int64) {
 	falls := s.Counter("fallback_gmin_total").Value() + s.Counter("fallback_source_total").Value()
 	if ratio := float64(falls) / float64(solves); ratio > w.cfg.MaxFallbackRatio {
 		w.fire(Alert{
-			Kind: "newton_storm",
+			Kind: wire.AlertNewtonStorm,
 			Detail: fmt.Sprintf("%.0f%% of %d DC solves needed gmin/source fallbacks (threshold %.0f%%)",
 				100*ratio, solves, 100*w.cfg.MaxFallbackRatio),
 			Seq: seq,
@@ -251,7 +253,7 @@ func (w *Watchdog) checkNewtonStorm(seq int64) {
 // checkStarvation fires when jobs sit queued with no executor making
 // progress for StarvationTicks consecutive ticks.
 func (w *Watchdog) checkStarvation() {
-	s := w.reg.Scope("jobs")
+	s := w.reg.Scope(wire.ScopeJobs)
 	queued := s.Gauge("queue_depth").Value()
 	running := s.Gauge("running").Value()
 	// Both gauges hold whole counts; < 1 avoids exact float comparison.
@@ -262,7 +264,7 @@ func (w *Watchdog) checkStarvation() {
 	}
 	if w.starved >= w.cfg.StarvationTicks {
 		w.fire(Alert{
-			Kind: "executor_starved",
+			Kind: wire.AlertExecutorStarved,
 			Detail: fmt.Sprintf("%d jobs queued with no executor running for %v",
 				int(queued), time.Duration(w.starved)*w.cfg.Tick),
 			Seq: -1,
@@ -282,8 +284,8 @@ func (w *Watchdog) fire(a Alert) {
 	w.mu.Unlock()
 
 	w.alertsTotal.Inc()
-	w.reg.Scope("health").Gauge(a.Kind).Set(1)
-	w.reg.Emit("health."+a.Kind, map[string]any{
+	w.reg.Scope(wire.ScopeHealth).Gauge(a.Kind).Set(1)
+	w.reg.Emit(wire.EvHealthPrefix+a.Kind, map[string]any{
 		"kind": a.Kind, "detail": a.Detail, "trigger_seq": a.Seq,
 	})
 	if w.cfg.OnAlert != nil {

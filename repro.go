@@ -48,6 +48,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/model"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Telemetry is the run-telemetry registry: counters, gauges and latency
@@ -345,7 +346,7 @@ func EstimateContext(ctx context.Context, metric Metric, opts Options) (*Result,
 		if tm, ok := metric.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
 			tm.SetTelemetry(o.Telemetry)
 		}
-		o.Telemetry.Emit("run.start", map[string]any{
+		o.Telemetry.Emit(wire.EvRunStart, map[string]any{
 			"method": string(o.Method), "k": o.K, "n": o.N, "target": o.Target,
 			"seed": o.Seed, "workers": o.Workers, "dim": metric.Dim(),
 		})
@@ -372,11 +373,11 @@ func EstimateContext(ctx context.Context, metric Metric, opts Options) (*Result,
 	}
 	if o.Telemetry != nil {
 		if err != nil {
-			o.Telemetry.Emit("run.done", map[string]any{
+			o.Telemetry.Emit(wire.EvRunDone, map[string]any{
 				"method": string(o.Method), "error": err.Error(),
 			})
 		} else {
-			o.Telemetry.Emit("run.done", map[string]any{
+			o.Telemetry.Emit(wire.EvRunDone, map[string]any{
 				"method": string(o.Method), "pf": res.Pf, "relerr99": res.RelErr99,
 				"n": res.N, "stage1_sims": res.Stage1Sims, "stage2_sims": res.Stage2Sims,
 				"total_sims": res.TotalSims, "uptime_seconds": o.Telemetry.Uptime().Seconds(),
